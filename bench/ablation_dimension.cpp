@@ -1,0 +1,75 @@
+/// Ablation A1: hypervector dimensionality.  The paper fixes d = 10,000;
+/// this sweep shows what d buys: the similarity-lattice step (the decode
+/// noise margin) grows linearly with d, the mismatch rate under heavy
+/// corruption falls to zero, and the software query cost grows linearly.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "core/hd_table.hpp"
+#include "emu/generator.hpp"
+#include "exp/robustness.hpp"
+#include "hashing/registry.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  std::printf("== Ablation A1: hypervector dimensionality (128 servers) ==\n");
+  std::printf("(mismatch under 32 bit flips — beyond the paper's 10 — plus\n"
+              " raw query latency; circle capacity 256)\n\n");
+
+  table_printer table({"dimension", "lattice step (bits)",
+                       "mismatch @32 flips", "worst trial", "query latency"});
+  for (const std::size_t dim :
+       {1024u, 2048u, 4096u, 10'000u, 16'384u}) {
+    table_options options;
+    options.hd.dimension = dim;
+    options.hd.capacity = 256;
+
+    robustness_config config;
+    config.servers = 128;
+    config.requests = 3000;
+    config.max_bit_flips = 32;
+    config.trials = 5;
+    const auto sweep = run_mismatch_sweep("hd", config, options);
+    const auto& worst_point = sweep.back();
+
+    // Raw (uncached) query latency at this dimensionality.
+    hd_table_config hd = options.hd;
+    hd.slot_cache = false;
+    hd_table probe_table(default_hash(), hd);
+    workload_config workload;
+    workload.initial_servers = 128;
+    const generator gen(workload);
+    for (const auto id : gen.initial_server_ids()) {
+      probe_table.join(id);
+    }
+    constexpr int kProbes = 2000;
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t sink = 0;
+    for (int i = 0; i < kProbes; ++i) {
+      sink ^= probe_table.lookup(static_cast<request_id>(i) * 7919);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        kProbes;
+    if (sink == 0xdeadbeef) {
+      std::printf("(unreachable)\n");
+    }
+
+    table.add_row({std::to_string(dim),
+                   std::to_string(probe_table.encoder().step_bits()),
+                   format_percent(worst_point.mismatch_rate),
+                   format_percent(worst_point.worst_trial),
+                   format_duration_ns(ns)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: the decode margin (step = d/n) scales with d, so higher\n"
+      "dimensions tolerate proportionally more upsets, at linear query\n"
+      "cost — the robustness/efficiency dial HDC exposes.\n");
+  return 0;
+}

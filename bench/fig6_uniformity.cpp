@@ -1,0 +1,63 @@
+/// Figure 6 reproduction: discrepancy between each algorithm's
+/// requests-per-server distribution and the uniform distribution,
+/// measured with Pearson's chi-squared statistic, for pool sizes
+/// 2..2048 and bit-error levels {0, 10}.
+///
+/// As in the paper, rendezvous hashing is reported only as a clean
+/// reference point: its assignment depends solely on hash outputs, so it
+/// is (pseudo-)perfectly uniform and unaffected by position errors; it
+/// still suffers mismatches (Figure 5) and O(n) lookups (Figure 4).
+#include <cstdio>
+#include <iostream>
+
+#include "exp/uniformity.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  std::printf("== Figure 6: chi-squared vs uniform distribution ==\n");
+  std::printf("(100,000 requests; E = |R|/|S|; 0 and 10 bit errors)\n\n");
+
+  uniformity_config config;  // defaults: paper's sweep, 100k requests
+  table_options options;
+
+  const auto consistent = run_uniformity("consistent", config, options);
+  const auto hd = run_uniformity("hd", config, options);
+  uniformity_config clean = config;
+  clean.bit_flip_levels = {0};
+  const auto rendezvous = run_uniformity("rendezvous", clean, options);
+
+  table_printer table({"servers", "consistent e=0", "consistent e=10",
+                       "hd e=0", "hd e=10", "rendezvous e=0"});
+  for (std::size_t i = 0; i < config.server_counts.size(); ++i) {
+    // run_uniformity interleaves flip levels per server count.
+    const auto& c0 = consistent[2 * i];
+    const auto& c10 = consistent[2 * i + 1];
+    const auto& h0 = hd[2 * i];
+    const auto& h10 = hd[2 * i + 1];
+    table.add_row({std::to_string(c0.servers), format_double(c0.chi_squared, 1),
+                   format_double(c10.chi_squared, 1),
+                   format_double(h0.chi_squared, 1),
+                   format_double(h10.chi_squared, 1),
+                   format_double(rendezvous[i].chi_squared, 1)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nNormalized (chi-squared / (servers - 1); 1.0 = ideal):\n");
+  table_printer norm({"servers", "consistent e=0", "consistent e=10",
+                      "hd e=0", "hd e=10"});
+  for (std::size_t i = 1; i < config.server_counts.size(); ++i) {
+    norm.add_row({std::to_string(consistent[2 * i].servers),
+                  format_double(consistent[2 * i].chi_over_dof, 2),
+                  format_double(consistent[2 * i + 1].chi_over_dof, 2),
+                  format_double(hd[2 * i].chi_over_dof, 2),
+                  format_double(hd[2 * i + 1].chi_over_dof, 2)});
+  }
+  norm.print(std::cout);
+
+  std::printf(
+      "\nShape check (paper): HD is more uniform than consistent hashing\n"
+      "without errors; 10 bit errors worsen consistent hashing's\n"
+      "uniformity further while HD's distribution remains intact.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// Micro-benchmarks (google-benchmark) of the primitives everything else
+/// is built from: HDC operations at the paper's d = 10,000, hash
+/// functions, basis-set generation and single table lookups.
+#include <benchmark/benchmark.h>
+
+#include "core/circular.hpp"
+#include "core/hd_table.hpp"
+#include "emu/generator.hpp"
+#include "exp/factory.hpp"
+#include "hashing/registry.hpp"
+#include "hdc/item_memory.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/similarity.hpp"
+
+namespace {
+
+using namespace hdhash;
+
+constexpr std::size_t kDim = 10'000;
+
+void bm_hypervector_random(benchmark::State& state) {
+  xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::hypervector::random(kDim, rng));
+  }
+}
+BENCHMARK(bm_hypervector_random);
+
+void bm_bind(benchmark::State& state) {
+  xoshiro256 rng(2);
+  const auto a = hdc::hypervector::random(kDim, rng);
+  const auto b = hdc::hypervector::random(kDim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::bind(a, b));
+  }
+}
+BENCHMARK(bm_bind);
+
+void bm_hamming_distance(benchmark::State& state) {
+  xoshiro256 rng(3);
+  const auto a = hdc::hypervector::random(kDim, rng);
+  const auto b = hdc::hypervector::random(kDim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::hamming_distance(a, b));
+  }
+}
+BENCHMARK(bm_hamming_distance);
+
+void bm_item_memory_query(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  xoshiro256 rng(4);
+  hdc::item_memory memory(kDim);
+  for (std::size_t i = 0; i < entries; ++i) {
+    memory.insert(i, hdc::hypervector::random(kDim, rng));
+  }
+  const auto probe = hdc::hypervector::random(kDim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.query(probe));
+  }
+}
+BENCHMARK(bm_item_memory_query)->RangeMultiplier(8)->Range(8, 2048);
+
+void bm_circular_set(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    xoshiro256 rng(5);
+    benchmark::DoNotOptimize(circular_set(count, kDim, rng));
+  }
+}
+BENCHMARK(bm_circular_set)->Arg(64)->Arg(1024)->Arg(4096);
+
+void bm_hash(benchmark::State& state, const char* name) {
+  const hash64& h = hash_by_name(name);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.hash_u64(++key, 7));
+  }
+}
+BENCHMARK_CAPTURE(bm_hash, fnv1a64, "fnv1a64");
+BENCHMARK_CAPTURE(bm_hash, splitmix64, "splitmix64");
+BENCHMARK_CAPTURE(bm_hash, murmur3, "murmur3_x64_128");
+BENCHMARK_CAPTURE(bm_hash, xxhash64, "xxhash64");
+BENCHMARK_CAPTURE(bm_hash, siphash24, "siphash24");
+
+void bm_table_lookup(benchmark::State& state, const char* algorithm) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  table_options options;
+  options.hd.dimension = kDim;
+  if (options.hd.capacity <= servers) {
+    options.hd.capacity = 2 * servers;
+  }
+  auto table = make_table(algorithm, options);
+  workload_config workload;
+  workload.initial_servers = servers;
+  const generator gen(workload);
+  for (const auto id : gen.initial_server_ids()) {
+    table->join(id);
+  }
+  request_id r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->lookup(++r * 0x9e3779b97f4a7c15ULL));
+  }
+}
+BENCHMARK_CAPTURE(bm_table_lookup, modular, "modular")->Arg(512);
+BENCHMARK_CAPTURE(bm_table_lookup, consistent, "consistent")
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2048);
+BENCHMARK_CAPTURE(bm_table_lookup, rendezvous, "rendezvous")
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2048);
+BENCHMARK_CAPTURE(bm_table_lookup, jump, "jump")->Arg(512);
+BENCHMARK_CAPTURE(bm_table_lookup, maglev, "maglev")->Arg(512);
+BENCHMARK_CAPTURE(bm_table_lookup, hd, "hd")->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+/// Minimal-disruption table: the property motivating the paper's problem
+/// statement (Section 1 — minimize redistributed requests when a
+/// resource joins or leaves).  For each algorithm: measured remap
+/// fraction on join/leave versus the theoretical minimum (the share the
+/// newcomer takes / the departed server owned).
+#include <cstdio>
+#include <iostream>
+
+#include "exp/disruption.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  std::printf("== Disruption on membership change (128 servers) ==\n\n");
+
+  disruption_config config;  // 128 servers, 20k requests, 8 events
+  table_options options;
+
+  table_printer table({"algorithm", "join remap", "join minimum",
+                       "leave remap", "leave minimum"});
+  for (const auto algorithm : all_algorithms()) {
+    const auto result = run_disruption(algorithm, config, options);
+    table.add_row({std::string(algorithm), format_percent(result.join_remap),
+                   format_percent(result.join_minimum),
+                   format_percent(result.leave_remap),
+                   format_percent(result.leave_minimum)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape check: modular hashing remaps ~everything (its motivating\n"
+      "failure); consistent, rendezvous and HD match their minima exactly;\n"
+      "jump adds one backfilled slot on leave; maglev is near-minimal.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// Live fault-injection walkthrough: corrupt each algorithm's working
+/// memory with progressively nastier error patterns and watch what the
+/// service returns.  This is the paper's robustness story (Section 5.3)
+/// as an interactive trace rather than an aggregate plot.
+#include <cstdio>
+#include <iostream>
+
+#include "emu/generator.hpp"
+#include "exp/factory.hpp"
+#include "fault/error_model.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace hdhash;
+
+/// Runs one error scenario against one algorithm; returns mismatch count
+/// over a fixed probe set, leaving the table restored.
+std::pair<std::size_t, std::size_t> probe_scenario(dynamic_table& table,
+                                                   const dynamic_table& oracle,
+                                                   const error_model& model,
+                                                   std::uint64_t seed) {
+  bit_flip_injector injector(seed);
+  const auto flips = apply_error_model(model, injector, table);
+  std::size_t mismatches = 0;
+  std::size_t invalid = 0;
+  constexpr std::size_t kProbes = 5000;
+  for (request_id r = 0; r < kProbes; ++r) {
+    const server_id answer = table.lookup(r * 0x9e3779b97f4a7c15ULL);
+    if (answer != oracle.lookup(r * 0x9e3779b97f4a7c15ULL)) {
+      ++mismatches;
+      if (!oracle.contains(answer)) {
+        ++invalid;
+      }
+    }
+  }
+  bit_flip_injector::undo(table, flips);
+  return {mismatches, invalid};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fault-injection walkthrough (256 servers, 5000 probes) ==\n");
+
+  const std::vector<error_model> scenarios = {
+      {upset_kind::seu, 1, 1},    // one cosmic-ray bit flip
+      {upset_kind::seu, 10, 1},   // the paper's Figure 5 endpoint
+      {upset_kind::mcu, 1, 4},    // 22 nm 4-bit burst (Ibe et al.)
+      {upset_kind::mcu, 1, 10},   // the paper's headline 10-bit MCU
+      {upset_kind::seu, 128, 1},  // far beyond the paper: 128 flips
+  };
+
+  for (const auto algorithm :
+       {"consistent", "consistent-rank", "rendezvous", "maglev", "hd"}) {
+    table_options options;
+    options.hd.capacity = 512;
+    auto table = make_table(algorithm, options);
+    workload_config workload;
+    workload.initial_servers = 256;
+    const generator gen(workload);
+    for (const auto id : gen.initial_server_ids()) {
+      table->join(id);
+    }
+    const auto oracle = table->clone();
+
+    std::printf("\n%s (fault surface: %zu KiB)\n", algorithm,
+                table->fault_bits() / 8 / 1024);
+    table_printer report({"scenario", "mismatched", "invalid ids"});
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const auto [mismatches, invalid] =
+          probe_scenario(*table, *oracle, scenarios[i], 31 * (i + 1));
+      report.add_row({scenarios[i].describe(), std::to_string(mismatches),
+                      std::to_string(invalid)});
+    }
+    report.print(std::cout);
+  }
+  std::printf(
+      "\nReading: the baselines start mis-routing (and even returning\n"
+      "identifiers of servers that do not exist) at a handful of flips;\n"
+      "HD hashing's holographic rows shrug off even the 128-flip barrage.\n");
+  return 0;
+}

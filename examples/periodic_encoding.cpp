@@ -1,0 +1,85 @@
+/// Future-work demo (paper Section 6): circular-hypervectors as an HDC
+/// encoding for *periodic* data, which level-hypervectors cannot
+/// represent without a seam.  We encode the 24 hours of a day and show
+/// (a) the similarity structure wraps around midnight, and (b) a toy
+/// nearest-prototype classifier over periods of the day that benefits
+/// from the wrap-around.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/circular.hpp"
+#include "hdc/basis.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/item_memory.hpp"
+#include "hdc/similarity.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  constexpr std::size_t kHours = 24;
+  constexpr std::size_t kDim = 10'000;
+  std::printf("== Circular-hypervectors for periodic data (hours of day) ==\n\n");
+
+  xoshiro256 rng(6);
+  const auto circular_hours = circular_set(kHours, kDim, rng);
+  xoshiro256 rng_level(6);
+  const auto level_hours = hdc::level_set(kHours, kDim, rng_level);
+
+  // (a) Similarity of selected hours to 23:00 — the seam test.
+  table_printer seam({"hour", "circular sim to 23h", "level sim to 23h"});
+  for (const std::size_t hour : {21u, 22u, 23u, 0u, 1u, 2u, 11u}) {
+    seam.add_row(
+        {std::to_string(hour) + ":00",
+         format_double(hdc::cosine(circular_hours[23], circular_hours[hour]), 3),
+         format_double(hdc::cosine(level_hours[23], level_hours[hour]), 3)});
+  }
+  seam.print(std::cout);
+  std::printf(
+      "\n23:00 and 01:00 are two hours apart on the clock; the circular\n"
+      "encoding sees that, the level encoding thinks they are 22 apart.\n");
+
+  // (b) Toy classifier: prototypes for periods of the day, stored in an
+  // associative memory keyed by period id; hours are classified by
+  // nearest prototype (HDC "inference", the same query HD hashing uses).
+  const std::vector<std::pair<std::string, std::vector<std::size_t>>> periods =
+      {{"night", {23, 0, 1, 2, 3, 4}},
+       {"morning", {5, 6, 7, 8, 9, 10}},
+       {"afternoon", {11, 12, 13, 14, 15, 16}},
+       {"evening", {17, 18, 19, 20, 21, 22}}};
+
+  hdc::item_memory prototypes(kDim);
+  for (std::size_t p = 0; p < periods.size(); ++p) {
+    std::vector<hdc::hypervector> members;
+    for (const std::size_t hour : periods[p].second) {
+      members.push_back(circular_hours[hour]);
+    }
+    // Odd-sized bundles keep the prototype deterministic.
+    members.resize(members.size() | 1, members.front());
+    prototypes.insert(p, hdc::bundle_odd(members));
+  }
+
+  table_printer classified({"hour", "period"});
+  std::size_t correct = 0;
+  for (std::size_t hour = 0; hour < kHours; ++hour) {
+    const auto result = prototypes.query(circular_hours[hour]);
+    const std::size_t predicted = static_cast<std::size_t>(result->key);
+    for (std::size_t p = 0; p < periods.size(); ++p) {
+      for (const std::size_t member : periods[p].second) {
+        if (member == hour && p == predicted) {
+          ++correct;
+        }
+      }
+    }
+    classified.add_row(
+        {std::to_string(hour) + ":00", periods[predicted].first});
+  }
+  std::printf("\nNearest-prototype classification of each hour:\n");
+  classified.print(std::cout);
+  std::printf("\n%zu / %zu hours classified into their own period —\n"
+              "wrap-around hours (23h, 4-5h) stay correct because the\n"
+              "encoding has no seam.\n",
+              correct, kHours);
+  return 0;
+}

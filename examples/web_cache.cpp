@@ -1,0 +1,95 @@
+/// Distributed web cache: the application consistent hashing was invented
+/// for (Karger et al.; Akamai).  Each server caches the objects routed to
+/// it; when the pool changes, remapped objects miss until refetched.  The
+/// hit rate under churn therefore measures the practical cost of each
+/// algorithm's disruption behaviour — including modular hashing's
+/// catastrophic full remap.
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <utility>
+
+#include "emu/generator.hpp"
+#include "exp/factory.hpp"
+#include "stats/zipf.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  std::printf("== Web cache hit rate under server churn ==\n");
+  std::printf("(100k Zipf requests over 20k objects, 32 caches, a churn\n"
+              " event every 10k requests)\n\n");
+
+  constexpr std::size_t kCaches = 32;
+  constexpr std::size_t kObjects = 20'000;
+  constexpr std::size_t kRequests = 100'000;
+
+  table_printer table(
+      {"algorithm", "hit rate", "cold misses", "churn misses"});
+  for (const auto algorithm : {"modular", "consistent", "rendezvous",
+                               "maglev", "hd"}) {
+    table_options options;
+    options.hd.capacity = 128;
+    auto router = make_table(algorithm, options);
+    workload_config workload;
+    workload.initial_servers = kCaches;
+    workload.seed = 99;
+    const generator gen(workload);
+    std::vector<std::uint64_t> pool = gen.initial_server_ids();
+    for (const auto id : pool) {
+      router->join(id);
+    }
+
+    // cache contents: (server, object) pairs present.
+    std::set<std::pair<server_id, std::uint64_t>> cached;
+    const zipf_sampler popularity(kObjects, 0.8);
+    xoshiro256 rng(7);
+    std::size_t hits = 0;
+    std::size_t cold = 0;
+    std::size_t churn_miss = 0;
+    std::size_t next_new_server = kCaches;
+
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      if (i > 0 && i % 10'000 == 0) {
+        // Alternate scale-out and scale-in, as an autoscaler would.
+        if ((i / 10'000) % 2 == 1) {
+          const auto id = generator::server_id_at(99, next_new_server++);
+          router->join(id);
+          pool.push_back(id);
+        } else {
+          const auto victim = static_cast<std::size_t>(
+              uniform_below(rng, pool.size()));
+          router->leave(pool[victim]);
+          // Eviction: the departed cache's contents are lost.
+          for (auto it = cached.begin(); it != cached.end();) {
+            it = it->first == pool[victim] ? cached.erase(it) : std::next(it);
+          }
+          pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+      }
+      const std::uint64_t object = popularity.sample(rng);
+      const server_id cache = router->lookup(object * 2 + 1);
+      if (cached.contains({cache, object})) {
+        ++hits;
+      } else {
+        // Was it ever cached anywhere (i.e. a churn-induced miss)?
+        bool elsewhere = false;
+        for (const auto id : pool) {
+          elsewhere |= cached.contains({id, object});
+        }
+        (elsewhere ? churn_miss : cold) += 1;
+        cached.insert({cache, object});
+      }
+    }
+    table.add_row({std::string(algorithm),
+                   format_percent(static_cast<double>(hits) / kRequests),
+                   std::to_string(cold), std::to_string(churn_miss)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: modular hashing's full remap turns every churn event into\n"
+      "a cache flush (low hit rate, huge churn misses); the consistent-\n"
+      "style algorithms, including HD hashing, only miss the moved share.\n");
+  return 0;
+}

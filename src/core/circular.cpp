@@ -1,0 +1,90 @@
+#include "core/circular.hpp"
+
+#include <algorithm>
+
+#include "hdc/ops.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::size_t circular_distance(std::size_t i, std::size_t j,
+                              std::size_t n) noexcept {
+  const std::size_t d = i > j ? i - j : j - i;
+  return std::min(d, n - d);
+}
+
+namespace {
+
+/// Algorithm 1 for even `count` (see the header's erratum note).
+std::vector<hdc::hypervector> circular_set_even(std::size_t count,
+                                                std::size_t dim,
+                                                xoshiro256& rng,
+                                                hdc::flip_policy policy) {
+  HDHASH_ASSERT(count % 2 == 0);
+  const std::size_t half = count / 2;
+  const std::size_t weight = dim / count;  // bits flipped per step (d/m, m=n)
+  HDHASH_REQUIRE(weight >= 1,
+                 "dimension too small for this circle size (need dim >= count)");
+
+  // Build the n/2 transformation hypervectors t (the FIFO queue contents).
+  std::vector<hdc::hypervector> transforms;
+  transforms.reserve(half);
+  if (policy == hdc::flip_policy::fresh_bits) {
+    // Reserve half·weight distinct positions so every t has disjoint
+    // support; this makes the similarity profile exactly linear in the
+    // circular distance.
+    const std::vector<std::size_t> positions =
+        sample_distinct(rng, dim, half * weight);
+    for (std::size_t k = 0; k < half; ++k) {
+      hdc::hypervector t(dim);
+      for (std::size_t b = 0; b < weight; ++b) {
+        t.set(positions[k * weight + b], true);
+      }
+      transforms.push_back(std::move(t));
+    }
+  } else {
+    // Literal Algorithm 1: every t independently sampled (collisions
+    // between steps possible; the profile saturates near the antipode).
+    for (std::size_t k = 0; k < half; ++k) {
+      transforms.push_back(hdc::random_flip_mask(dim, weight, rng));
+    }
+  }
+
+  std::vector<hdc::hypervector> set;
+  set.reserve(count);
+  set.push_back(hdc::hypervector::random(dim, rng));  // c_1
+  // Forward transformations T: bind each queued t in turn.
+  for (std::size_t k = 0; k < half; ++k) {
+    set.push_back(set.back() ^ transforms[k]);
+  }
+  // Backward transformations T^-1: dequeue (FIFO) and re-bind; XOR is
+  // self-inverse, so this walks back toward c_1 along the far side of
+  // the circle.  half - 1 steps complete the n vectors.
+  for (std::size_t k = 0; k + 1 < half; ++k) {
+    set.push_back(set.back() ^ transforms[k]);
+  }
+  HDHASH_ASSERT(set.size() == count);
+  return set;
+}
+
+}  // namespace
+
+std::vector<hdc::hypervector> circular_set(std::size_t count, std::size_t dim,
+                                           xoshiro256& rng,
+                                           hdc::flip_policy policy) {
+  HDHASH_REQUIRE(count >= 2, "a circle needs at least two hypervectors");
+  if (count % 2 == 0) {
+    return circular_set_even(count, dim, rng, policy);
+  }
+  // Footnote 1: odd cardinality — generate 2·count and keep every other.
+  std::vector<hdc::hypervector> doubled =
+      circular_set_even(2 * count, dim, rng, policy);
+  std::vector<hdc::hypervector> set;
+  set.reserve(count);
+  for (std::size_t i = 0; i < doubled.size(); i += 2) {
+    set.push_back(std::move(doubled[i]));
+  }
+  return set;
+}
+
+}  // namespace hdhash

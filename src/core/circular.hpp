@@ -1,0 +1,54 @@
+/// \file circular.hpp
+/// \brief Circular-hypervectors — the paper's second contribution
+/// (Section 4, Algorithm 1, Figure 3).
+///
+/// A circular set {c_1, …, c_n} represents a circle in hyperspace: the
+/// similarity between c_i and c_j decays with the *circular* distance
+/// min(|i−j|, n−|i−j|), with no discontinuity between c_n and c_1 (unlike
+/// level-hypervectors).  Construction: start from a random hypervector;
+/// perform n/2 forward transformations, each binding (XOR) a random
+/// low-weight transformation hypervector `t` that is pushed onto a FIFO
+/// queue; then obtain the remaining vectors by backward transformations
+/// that pop and re-bind the queued `t`s (XOR is self-inverse), closing
+/// the circle.
+///
+/// Erratum note: the paper's printed Algorithm 1 runs the forward loop
+/// for i ∈ {2…n/2} (n/2 − 1 transformations) but dequeues n/2 times in
+/// the backward loop, which would underflow the queue and reach c_1
+/// again at index n − 1.  We implement the consistent variant — n/2
+/// forward steps, n/2 − 1 backward steps — which yields exactly the
+/// circular similarity profile of the paper's Figures 2 and 3 (and
+/// matches the authors' later released implementation).  With the
+/// fresh-bits flip policy and per-step weight ⌊d/n⌋ the profile is exact:
+///   hamming(c_i, c_j) = ⌊d/n⌋ · min(|i−j|, n−|i−j|),
+/// so antipodal vectors are quasi-orthogonal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/basis.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace hdhash {
+
+/// Generates a circular set of `count` hypervectors of dimension `dim`.
+///
+/// Even `count` uses Algorithm 1 directly; odd `count` follows the
+/// paper's footnote 1: generate 2·count vectors and keep every other one
+/// (which halves the per-step granularity but preserves the circular
+/// profile).
+///
+/// \pre count >= 2.
+/// \pre dim >= count for even count (each forward step must flip at least
+///      one bit), dim >= 2*count for odd count.
+std::vector<hdc::hypervector> circular_set(
+    std::size_t count, std::size_t dim, xoshiro256& rng,
+    hdc::flip_policy policy = hdc::flip_policy::fresh_bits);
+
+/// Circular index distance min(|i−j|, n−|i−j|) — the geometry the set's
+/// similarity profile mirrors.
+std::size_t circular_distance(std::size_t i, std::size_t j,
+                              std::size_t n) noexcept;
+
+}  // namespace hdhash

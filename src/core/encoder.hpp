@@ -1,0 +1,60 @@
+/// \file encoder.hpp
+/// \brief The paper's encoding function Enc (Eq. 1):
+/// Enc(x) = C[h(x) mod n] — servers and requests are hashed onto the
+/// circle of hypervectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/circular.hpp"
+#include "hashing/hash64.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace hdhash {
+
+/// Owns the circular set C and maps 64-bit identifiers onto it.
+///
+/// The circle is generated once at construction from (count, dim, seed);
+/// two encoders constructed with identical parameters produce identical
+/// circles — the property the HD table's clone() relies on.
+class circle_encoder {
+ public:
+  /// \param count   n, the number of circle nodes (must exceed the maximum
+  ///                expected server pool; paper requires n > k).
+  /// \param dim     hypervector dimensionality d (paper uses 10,000).
+  /// \param hash    borrowed hash function h(·) (must outlive the encoder).
+  /// \param seed    seeds both the circle construction and h(·).
+  /// \param policy  Algorithm 1 bit-flip policy (see hdc/basis.hpp).
+  circle_encoder(std::size_t count, std::size_t dim, const hash64& hash,
+                 std::uint64_t seed,
+                 hdc::flip_policy policy = hdc::flip_policy::fresh_bits);
+
+  /// Circle slot of identifier `x`: h(x) mod n.
+  std::size_t slot_of(std::uint64_t x) const;
+
+  /// Enc(x): the circle hypervector of x's slot (borrowed reference,
+  /// valid for the encoder's lifetime).
+  const hdc::hypervector& encode(std::uint64_t x) const;
+
+  /// The hypervector at a given slot.  \pre slot < size().
+  const hdc::hypervector& at(std::size_t slot) const;
+
+  std::size_t size() const noexcept { return circle_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Hamming distance between adjacent circle nodes — the similarity
+  /// lattice step.  With the fresh-bits policy every pairwise distance on
+  /// the circle is an exact multiple of this value, which is what makes
+  /// lattice decoding (see hd_table) exact.
+  std::size_t step_bits() const noexcept { return step_bits_; }
+
+ private:
+  std::size_t dim_;
+  const hash64* hash_;
+  std::uint64_t seed_;
+  std::vector<hdc::hypervector> circle_;
+  std::size_t step_bits_;
+};
+
+}  // namespace hdhash

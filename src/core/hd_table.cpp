@@ -1,0 +1,133 @@
+#include "core/hd_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hdc/similarity.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+hd_table::hd_table(const hash64& hash, hd_table_config config)
+    : hash_(&hash),
+      config_(config),
+      encoder_(config.capacity, config.dimension, hash, config.seed,
+               config.policy),
+      memory_(config.dimension, config.metric) {
+  if (config_.slot_cache) {
+    cache_.assign(config_.capacity, std::nullopt);
+  }
+}
+
+void hd_table::join(server_id server) {
+  HDHASH_REQUIRE(!memory_.contains(server), "server already in the pool");
+  HDHASH_REQUIRE(memory_.size() + 1 < encoder_.size(),
+                 "pool would reach the circle capacity (need n > k)");
+  memory_.insert(server, encoder_.encode(server));
+  if (config_.slot_cache) {
+    cache_.assign(config_.capacity, std::nullopt);
+  }
+}
+
+void hd_table::leave(server_id server) {
+  memory_.erase(server);
+  if (config_.slot_cache) {
+    cache_.assign(config_.capacity, std::nullopt);
+  }
+}
+
+hdc::query_result hd_table::decode(const hdc::hypervector& probe) const {
+  if (!config_.lattice_decode) {
+    return *memory_.query(probe);
+  }
+  // Maximum-likelihood lattice decoding: snap each measured distance to
+  // the nearest circle level (the code's lattice) before comparing, so a
+  // per-row perturbation below step/2 bits cannot change the decision.
+  const double step = static_cast<double>(encoder_.step_bits());
+  struct best_entry {
+    std::uint64_t key = 0;
+    long long level = 0;
+    bool valid = false;
+  };
+  best_entry best;
+  hdc::query_result result;
+  result.best_score = -std::numeric_limits<double>::infinity();
+  result.runner_up = -std::numeric_limits<double>::infinity();
+  const auto dim = static_cast<double>(config_.dimension);
+  memory_.visit([&](std::uint64_t key, const hdc::hypervector& row) {
+    const auto distance =
+        static_cast<double>(hdc::hamming_distance(row, probe));
+    const auto level = static_cast<long long>(std::llround(distance / step));
+    // Both metrics are affine in the Hamming distance; deriving the raw
+    // score here avoids a second popcount pass over the row.
+    const double raw = memory_.similarity_metric() == hdc::metric::cosine
+                           ? 1.0 - 2.0 * distance / dim
+                           : dim - distance;
+    const bool wins = !best.valid || level < best.level ||
+                      (level == best.level && key < best.key);
+    if (wins) {
+      if (best.valid) {
+        result.runner_up = std::max(result.runner_up, result.best_score);
+      }
+      best = best_entry{key, level, true};
+      result.key = key;
+      result.best_score = raw;
+    } else {
+      result.runner_up = std::max(result.runner_up, raw);
+    }
+  });
+  return result;
+}
+
+server_id hd_table::lookup(request_id request) const {
+  HDHASH_REQUIRE(!memory_.empty(), "lookup on an empty pool");
+  if (config_.slot_cache) {
+    const std::size_t slot = encoder_.slot_of(request);
+    if (!cache_[slot].has_value()) {
+      cache_[slot] = decode(encoder_.at(slot)).key;
+    }
+    return *cache_[slot];
+  }
+  return decode(encoder_.encode(request)).key;
+}
+
+void hd_table::warm_slot_cache() const {
+  if (!config_.slot_cache || memory_.empty()) {
+    return;
+  }
+  for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
+    if (!cache_[slot].has_value()) {
+      cache_[slot] = decode(encoder_.at(slot)).key;
+    }
+  }
+}
+
+hdc::query_result hd_table::lookup_detailed(request_id request) const {
+  HDHASH_REQUIRE(!memory_.empty(), "lookup on an empty pool");
+  return decode(encoder_.encode(request));
+}
+
+bool hd_table::contains(server_id server) const {
+  return memory_.contains(server);
+}
+
+std::unique_ptr<dynamic_table> hd_table::clone() const {
+  return std::make_unique<hd_table>(*this);
+}
+
+std::vector<memory_region> hd_table::fault_regions() {
+  // Any fault-injection access may corrupt (or restore) the associative
+  // memory, so memoized slot results can no longer be trusted.
+  if (config_.slot_cache) {
+    cache_.assign(config_.capacity, std::nullopt);
+  }
+  std::vector<memory_region> regions;
+  for (std::span<std::uint64_t> row : memory_.storage()) {
+    regions.push_back(memory_region{std::as_writable_bytes(row),
+                                    "server-hypervectors"});
+  }
+  return regions;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,104 @@
+/// \file hd_table.hpp
+/// \brief Hyperdimensional hashing — the paper's primary contribution
+/// (Section 3).
+///
+/// Servers and requests are encoded onto a circle of hypervectors
+/// (Eq. 1); a request is routed to the server whose stored hypervector is
+/// most similar to the request's encoding (Eq. 2, an associative-memory
+/// query).  Robustness follows from the holographic representation: a
+/// handful of flipped bits moves a 10,000-bit vector only marginally, so
+/// the argmax — whose winner/runner-up margin is hundreds of bits — never
+/// changes under realistic memory-error rates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/encoder.hpp"
+#include "hdc/item_memory.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+/// Construction parameters for hd_table.
+struct hd_table_config {
+  /// Hypervector dimensionality d.  The paper uses 10,000.
+  std::size_t dimension = 10'000;
+  /// Circle size n (must stay strictly above the largest pool size; the
+  /// paper requires n > k).  Default 4096 = 2x the paper's largest pool.
+  std::size_t capacity = 4096;
+  /// Similarity metric δ of Eq. 2.  All binary metrics give the same
+  /// argmax; inverse Hamming is what accelerator adder trees compute.
+  hdc::metric metric = hdc::metric::inverse_hamming;
+  /// Algorithm 1 bit-flip policy (see hdc/basis.hpp).
+  hdc::flip_policy policy = hdc::flip_policy::fresh_bits;
+  /// Seed for the circle construction and h(·).
+  std::uint64_t seed = 0x9D0C'AB1E;
+  /// Slot-result cache modelling an O(1) HDC accelerator lookup
+  /// (Schmuck et al. 2019 do the query in one cycle; caching per circle
+  /// slot is the software analogue because Enc has only n distinct
+  /// outputs).  Off by default: robustness experiments must exercise the
+  /// real associative query.
+  bool slot_cache = false;
+  /// Maximum-likelihood lattice decoding (default on).  Pairwise
+  /// similarities of circular hypervectors are quantized in steps of
+  /// ⌊d/n⌋ bits by construction, so the decoder snaps each measured
+  /// Hamming distance to the nearest lattice level before comparing.  A
+  /// perturbation of any stored row by fewer than step/2 bit flips then
+  /// provably cannot change any assignment — the formal version of the
+  /// paper's "HD hashing remains unaffected" claim.  Requests exactly
+  /// equidistant between two servers resolve to the smaller server id,
+  /// both with and without faults.  Disable to get the raw Eq. 2 argmax.
+  bool lattice_decode = true;
+};
+
+/// The HD hashing dynamic hash table.
+class hd_table final : public dynamic_table {
+ public:
+  /// \param hash  borrowed hash function (must outlive the table).
+  explicit hd_table(const hash64& hash, hd_table_config config = {});
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return memory_.size(); }
+  std::vector<server_id> servers() const override { return memory_.keys(); }
+  std::string_view name() const noexcept override { return "hd"; }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  /// Fault surface: the stored server hypervectors — the (in hardware:
+  /// SRAM) rows of the associative memory.  The circle set C is not
+  /// exposed: accelerators rematerialize basis hypervectors on the fly
+  /// (Schmuck et al.), so C is not resident in error-prone memory.
+  std::vector<memory_region> fault_regions() override;
+
+  /// Resolves every circle slot into the slot cache so subsequent
+  /// lookups are O(1).  Models an HDC accelerator's steady state, where
+  /// the associative memory answers in one cycle from the first request.
+  /// No-op unless config().slot_cache is set.
+  void warm_slot_cache() const;
+
+  /// Full query detail for a request: winning server, best and runner-up
+  /// similarity.  `margin()/2` bounds the number of bit flips that can
+  /// possibly change this request's assignment.  \pre pool non-empty.
+  hdc::query_result lookup_detailed(request_id request) const;
+
+  const hd_table_config& config() const noexcept { return config_; }
+  const circle_encoder& encoder() const noexcept { return encoder_; }
+
+ private:
+  /// Decodes a probe to (winner, raw scores) under the configured rule.
+  hdc::query_result decode(const hdc::hypervector& probe) const;
+
+  const hash64* hash_;
+  hd_table_config config_;
+  circle_encoder encoder_;
+  hdc::item_memory memory_;
+  // Slot-result cache (accelerator model): slot -> resolved server.
+  // Mutable because it is a pure memoization of lookup().
+  mutable std::vector<std::optional<server_id>> cache_;
+};
+
+}  // namespace hdhash

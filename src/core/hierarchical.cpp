@@ -1,0 +1,92 @@
+#include "core/hierarchical.hpp"
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+hierarchical_hd_table::hierarchical_hd_table(const hash64& hash,
+                                             hierarchical_config config)
+    : hash_(&hash),
+      config_(config),
+      router_(hash,
+              [&config] {
+                hd_table_config r = config.router;
+                // The router only ever holds `groups` keys.
+                if (r.capacity <= config.groups) {
+                  r.capacity = 2 * config.groups;
+                }
+                return r;
+              }()) {
+  HDHASH_REQUIRE(config.groups >= 2, "hierarchy needs at least two groups");
+  shards_.reserve(config_.groups);
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    hd_table_config shard = config_.shard;
+    // Decorrelate shard circles from each other and from the router.
+    shard.seed = config_.shard.seed + 0x9e37 * (g + 1);
+    shards_.emplace_back(hash, shard);
+  }
+}
+
+hierarchical_hd_table::hierarchical_hd_table(const hierarchical_hd_table&) =
+    default;
+
+std::size_t hierarchical_hd_table::shard_of(server_id server) const {
+  return static_cast<std::size_t>(hash_->hash_u64(server, 0xC1A55) %
+                                  shards_.size());
+}
+
+void hierarchical_hd_table::join(server_id server) {
+  HDHASH_REQUIRE(!contains(server), "server already in the pool");
+  const std::size_t shard = shard_of(server);
+  shards_[shard].join(server);
+  if (shards_[shard].server_count() == 1) {
+    router_.join(static_cast<server_id>(shard));  // shard became routable
+  }
+  ++server_count_;
+}
+
+void hierarchical_hd_table::leave(server_id server) {
+  HDHASH_REQUIRE(contains(server), "server not in the pool");
+  const std::size_t shard = shard_of(server);
+  shards_[shard].leave(server);
+  if (shards_[shard].server_count() == 0) {
+    router_.leave(static_cast<server_id>(shard));  // shard went dark
+  }
+  --server_count_;
+}
+
+server_id hierarchical_hd_table::lookup(request_id request) const {
+  HDHASH_REQUIRE(server_count_ > 0, "lookup on an empty pool");
+  const auto shard = static_cast<std::size_t>(router_.lookup(request));
+  return shards_[shard].lookup(request);
+}
+
+bool hierarchical_hd_table::contains(server_id server) const {
+  return shards_[shard_of(server)].contains(server);
+}
+
+std::vector<server_id> hierarchical_hd_table::servers() const {
+  std::vector<server_id> result;
+  result.reserve(server_count_);
+  for (const hd_table& shard : shards_) {
+    for (const server_id s : shard.servers()) {
+      result.push_back(s);
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<dynamic_table> hierarchical_hd_table::clone() const {
+  return std::unique_ptr<dynamic_table>(new hierarchical_hd_table(*this));
+}
+
+std::vector<memory_region> hierarchical_hd_table::fault_regions() {
+  std::vector<memory_region> regions = router_.fault_regions();
+  for (hd_table& shard : shards_) {
+    const auto shard_regions = shard.fault_regions();
+    regions.insert(regions.end(), shard_regions.begin(), shard_regions.end());
+  }
+  return regions;
+}
+
+}  // namespace hdhash

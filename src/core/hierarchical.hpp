@@ -1,0 +1,67 @@
+/// \file hierarchical.hpp
+/// \brief Hierarchical HD hashing — the scaling scheme the paper sketches
+/// in Section 5.1: "HD hashing can scale to much larger clusters, and
+/// even be used hierarchically (standard way to scale such hashing
+/// systems)".
+///
+/// Servers are partitioned into `groups` shards by `h(s) mod groups`;
+/// each shard is an independent hd_table over its members, and a router
+/// hd_table maps each request to a (non-empty) shard.  A lookup costs
+/// O(groups + k/groups) row comparisons instead of O(k) — minimized at
+/// groups ~ sqrt(k) — while each shard's circle keeps a large lattice
+/// step, so the robustness guarantee *improves* with sharding for the
+/// same total pool.
+///
+/// Disruption: joins/leaves only perturb the affected shard, except when
+/// a shard becomes empty/non-empty (its slice of request space moves
+/// wholesale between shards — the classic hierarchical trade-off, which
+/// the tests quantify).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/hd_table.hpp"
+
+namespace hdhash {
+
+/// Configuration of a hierarchical HD table.
+struct hierarchical_config {
+  std::size_t groups = 16;          ///< number of shards
+  hd_table_config shard{};          ///< per-shard hd_table parameters
+  hd_table_config router{};         ///< router hd_table parameters
+};
+
+class hierarchical_hd_table final : public dynamic_table {
+ public:
+  explicit hierarchical_hd_table(const hash64& hash,
+                                 hierarchical_config config = {});
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return server_count_; }
+  std::vector<server_id> servers() const override;
+  std::string_view name() const noexcept override { return "hd-hierarchical"; }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  /// Fault surface: the router's rows plus every shard's rows.
+  std::vector<memory_region> fault_regions() override;
+
+  std::size_t groups() const noexcept { return shards_.size(); }
+
+  /// Shard a server id belongs to.
+  std::size_t shard_of(server_id server) const;
+
+ private:
+  hierarchical_hd_table(const hierarchical_hd_table& other);
+
+  const hash64* hash_;
+  hierarchical_config config_;
+  hd_table router_;                       // keys are shard indices
+  std::vector<hd_table> shards_;          // one hd_table per group
+  std::size_t server_count_ = 0;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,92 @@
+#include "emu/emulator.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+emulator::emulator(dynamic_table& table, std::size_t buffer_capacity)
+    : table_(table), buffer_(buffer_capacity) {}
+
+void emulator::enable_shadow() { shadow_ = table_.clone(); }
+
+void emulator::drain(run_stats& stats) {
+  using clock = std::chrono::steady_clock;
+
+  // Split the batch: membership events are applied unmeasured (the paper
+  // measures request handling), requests are timed as one batch.
+  std::vector<std::uint64_t> batch_requests;
+  while (const auto e = buffer_.pop()) {
+    switch (e->kind) {
+      case event_kind::join:
+        table_.join(e->id);
+        if (shadow_) {
+          shadow_->join(e->id);
+        }
+        ++stats.joins;
+        break;
+      case event_kind::leave:
+        table_.leave(e->id);
+        if (shadow_) {
+          shadow_->leave(e->id);
+        }
+        ++stats.leaves;
+        break;
+      case event_kind::request:
+        batch_requests.push_back(e->id);
+        break;
+    }
+  }
+  if (batch_requests.empty()) {
+    return;
+  }
+
+  std::vector<server_id> answers(batch_requests.size());
+  if (timing_) {
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < batch_requests.size(); ++i) {
+      answers[i] = table_.lookup(batch_requests[i]);
+    }
+    const auto stop = clock::now();
+    stats.total_request_ns +=
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                stop - start)
+                                .count());
+  } else {
+    for (std::size_t i = 0; i < batch_requests.size(); ++i) {
+      answers[i] = table_.lookup(batch_requests[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < batch_requests.size(); ++i) {
+    ++stats.requests;
+    ++stats.load[answers[i]];
+    if (shadow_) {
+      const server_id truth = shadow_->lookup(batch_requests[i]);
+      if (answers[i] != truth) {
+        ++stats.mismatches;
+        if (!shadow_->contains(answers[i])) {
+          ++stats.invalid_assignments;
+        }
+      }
+    }
+  }
+}
+
+run_stats emulator::run(std::span<const event> events) {
+  run_stats stats;
+  for (const event& e : events) {
+    if (!buffer_.push(e)) {
+      drain(stats);
+      const bool pushed = buffer_.push(e);
+      HDHASH_ASSERT(pushed);
+      (void)pushed;
+    }
+  }
+  drain(stats);
+  return stats;
+}
+
+}  // namespace hdhash

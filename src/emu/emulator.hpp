@@ -1,0 +1,82 @@
+/// \file emulator.hpp
+/// \brief The emulation framework tying generator → buffer → hash-table
+/// module together (paper Section 5.1), with optional shadow-oracle
+/// mismatch accounting and batch wall-time measurement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "emu/event.hpp"
+#include "emu/event_buffer.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+/// Aggregate statistics of one emulator run.
+struct run_stats {
+  std::size_t requests = 0;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  /// Requests whose answer differed from the pristine shadow table
+  /// (only counted when the shadow oracle is enabled).
+  std::size_t mismatches = 0;
+  /// Requests answered with an identifier not in the pool at all (a
+  /// corrupted id escaping the table) — a subset of mismatches.
+  std::size_t invalid_assignments = 0;
+  /// Wall time spent inside request lookups, measured per drained batch.
+  double total_request_ns = 0.0;
+  /// Requests per (possibly corrupted) returned server id.
+  std::unordered_map<server_id, std::uint64_t> load;
+
+  double avg_request_ns() const {
+    return requests == 0 ? 0.0
+                         : total_request_ns / static_cast<double>(requests);
+  }
+  double mismatch_rate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(mismatches) / static_cast<double>(requests);
+  }
+};
+
+/// Feeds an event stream through a bounded buffer into a dynamic table.
+///
+/// Mirrors the paper's emulator: events are staged into the buffer until
+/// it fills (batch of `buffer_capacity`), then the hash-table module
+/// drains it; request wall time is measured per drained batch so the
+/// clock overhead amortizes the way the paper's GPU batching did.
+class emulator {
+ public:
+  /// \param table            the table under test (borrowed).
+  /// \param buffer_capacity  batch size; the paper used 256.
+  explicit emulator(dynamic_table& table, std::size_t buffer_capacity = 256);
+
+  /// Clones the table's *current* state as a pristine oracle.  After this,
+  /// join/leave events are applied to both copies, and each request is
+  /// answered by both — differences count as mismatches.  Call after
+  /// populating and corrupting the table under test?  No: clone first,
+  /// then corrupt the original (the clone must stay pristine).
+  void enable_shadow();
+
+  /// Enables/disables batch wall-time measurement (on by default).
+  void set_timing(bool enabled) noexcept { timing_ = enabled; }
+
+  /// Runs the event stream to completion and returns the statistics.
+  run_stats run(std::span<const event> events);
+
+  dynamic_table& table() noexcept { return table_; }
+  const dynamic_table* shadow() const noexcept { return shadow_.get(); }
+
+ private:
+  void drain(run_stats& stats);
+
+  dynamic_table& table_;
+  std::unique_ptr<dynamic_table> shadow_;
+  event_buffer buffer_;
+  bool timing_ = true;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,28 @@
+/// \file event.hpp
+/// \brief Events flowing from the generator to the hash-table module.
+///
+/// The paper's emulator (Section 5.1): "Servers are added and removed
+/// using two special case requests, a join and leave request,
+/// respectively, with a unique identifier of the server."
+#pragma once
+
+#include <cstdint>
+
+namespace hdhash {
+
+enum class event_kind : std::uint8_t {
+  request,  ///< map this request id to a server
+  join,     ///< add server with this id to the pool
+  leave,    ///< remove server with this id from the pool
+};
+
+/// One generator event; `id` is a request id or a server id depending on
+/// `kind`.
+struct event {
+  event_kind kind = event_kind::request;
+  std::uint64_t id = 0;
+
+  friend bool operator==(const event&, const event&) = default;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,30 @@
+#include "emu/event_buffer.hpp"
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+event_buffer::event_buffer(std::size_t capacity) : storage_(capacity) {
+  HDHASH_REQUIRE(capacity > 0, "buffer capacity must be positive");
+}
+
+bool event_buffer::push(const event& e) {
+  if (full()) {
+    return false;
+  }
+  storage_[(head_ + size_) % storage_.size()] = e;
+  ++size_;
+  return true;
+}
+
+std::optional<event> event_buffer::pop() {
+  if (empty()) {
+    return std::nullopt;
+  }
+  const event e = storage_[head_];
+  head_ = (head_ + 1) % storage_.size();
+  --size_;
+  return e;
+}
+
+}  // namespace hdhash

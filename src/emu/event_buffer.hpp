@@ -1,0 +1,41 @@
+/// \file event_buffer.hpp
+/// \brief Bounded FIFO between the generator and the hash-table module.
+///
+/// The paper's hash-table module "reads incoming requests from a buffer";
+/// the default capacity of 256 is the batch size the paper used to
+/// amortize GPU transfer overhead, and here it delimits the batches whose
+/// wall time the efficiency experiment measures.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "emu/event.hpp"
+
+namespace hdhash {
+
+/// Fixed-capacity single-threaded ring buffer of events.
+class event_buffer {
+ public:
+  /// \pre capacity > 0.
+  explicit event_buffer(std::size_t capacity);
+
+  /// Enqueues an event; returns false when the buffer is full.
+  bool push(const event& e);
+
+  /// Dequeues the oldest event, or nullopt when empty.
+  std::optional<event> pop();
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return storage_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == storage_.size(); }
+
+ private:
+  std::vector<event> storage_;
+  std::size_t head_ = 0;  // index of the oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace hdhash

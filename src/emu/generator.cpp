@@ -1,0 +1,78 @@
+#include "emu/generator.hpp"
+
+#include "hashing/splitmix_hash.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+generator::generator(workload_config config) : config_(config) {
+  HDHASH_REQUIRE(config_.key_universe > 0, "key universe must be non-empty");
+  HDHASH_REQUIRE(config_.churn_rate >= 0.0 && config_.churn_rate <= 1.0,
+                 "churn rate must be a probability");
+}
+
+std::uint64_t generator::server_id_at(std::uint64_t seed, std::size_t index) {
+  // Server ids model unique endpoint identifiers; a mixed counter keeps
+  // them unique, deterministic and uncorrelated with request keys.
+  return splitmix_hash::mix(seed ^ (0x5e7fe7 + index * 0x9e3779b97f4a7c15ULL));
+}
+
+std::vector<std::uint64_t> generator::initial_server_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(config_.initial_servers);
+  for (std::size_t i = 0; i < config_.initial_servers; ++i) {
+    ids.push_back(server_id_at(config_.seed, i));
+  }
+  return ids;
+}
+
+std::vector<event> generator::generate() const {
+  xoshiro256 rng(config_.seed);
+  std::vector<event> events;
+  events.reserve(config_.initial_servers + config_.request_count);
+
+  std::vector<std::uint64_t> pool = initial_server_ids();
+  for (const std::uint64_t id : pool) {
+    events.push_back(event{event_kind::join, id});
+  }
+
+  // Optional Zipf sampler built once (CDF precomputation is O(universe)).
+  std::vector<zipf_sampler> sampler;  // 0 or 1 elements (no default ctor)
+  if (config_.distribution == request_distribution::zipf) {
+    sampler.emplace_back(config_.key_universe, config_.zipf_skew);
+  }
+
+  std::size_t next_server_index = config_.initial_servers;
+  bool next_churn_is_join = true;
+  for (std::size_t i = 0; i < config_.request_count; ++i) {
+    if (config_.churn_rate > 0.0 &&
+        uniform_unit(rng) < config_.churn_rate) {
+      if (next_churn_is_join || pool.empty()) {
+        const std::uint64_t id =
+            server_id_at(config_.seed, next_server_index++);
+        pool.push_back(id);
+        events.push_back(event{event_kind::join, id});
+      } else {
+        const std::size_t victim = static_cast<std::size_t>(
+            uniform_below(rng, pool.size()));
+        events.push_back(event{event_kind::leave, pool[victim]});
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      next_churn_is_join = !next_churn_is_join;
+    }
+
+    std::uint64_t key;
+    if (config_.distribution == request_distribution::uniform) {
+      key = uniform_below(rng, config_.key_universe);
+    } else {
+      key = sampler.front().sample(rng);
+    }
+    // Requests carry opaque identifiers in practice (URLs, user ids); mix
+    // the key rank so the id space is not the integers 0..universe.
+    events.push_back(
+        event{event_kind::request, splitmix_hash::mix(key + 0xfeed)});
+  }
+  return events;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,62 @@
+/// \file generator.hpp
+/// \brief The emulator's generator module: "emulates the requests from
+/// the outside world being sent to the hash table" (paper Section 5.1).
+///
+/// Produces a deterministic event stream: an initial burst of `join`
+/// events, then `request_count` requests drawn from a key universe
+/// (uniform, as in the paper's experiments, or Zipf for skewed traffic),
+/// optionally interleaved with join/leave churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/event.hpp"
+#include "stats/zipf.hpp"
+#include "util/rng.hpp"
+
+namespace hdhash {
+
+/// Request-id popularity distribution.
+enum class request_distribution {
+  uniform,  ///< every key in the universe equally likely (paper setup)
+  zipf,     ///< heavy-tailed popularity with configurable skew
+};
+
+/// Declarative workload description.
+struct workload_config {
+  std::size_t initial_servers = 16;   ///< join burst before any request
+  std::size_t request_count = 10'000; ///< paper: 10,000 requests per run
+  std::size_t key_universe = 1'000'000;  ///< distinct request identifiers
+  request_distribution distribution = request_distribution::uniform;
+  double zipf_skew = 0.99;            ///< used when distribution == zipf
+  /// Probability that any given request slot is preceded by a churn event
+  /// (alternating join of a fresh server / leave of a random member).
+  double churn_rate = 0.0;
+  std::uint64_t seed = 42;            ///< determinism root
+};
+
+/// Generates the event stream for a workload.
+class generator {
+ public:
+  explicit generator(workload_config config);
+
+  /// Produces the full event stream.  Repeated calls return identical
+  /// streams (the generator re-seeds internally per call).
+  std::vector<event> generate() const;
+
+  /// The server ids of the initial join burst, in join order; experiment
+  /// drivers use these to build the per-server load histogram.
+  std::vector<std::uint64_t> initial_server_ids() const;
+
+  const workload_config& config() const noexcept { return config_; }
+
+  /// Deterministic server id for join-burst position `index` under the
+  /// given seed (the same derivation generate() uses).
+  static std::uint64_t server_id_at(std::uint64_t seed, std::size_t index);
+
+ private:
+  workload_config config_;
+};
+
+}  // namespace hdhash

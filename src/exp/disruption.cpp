@@ -1,0 +1,95 @@
+#include "exp/disruption.hpp"
+
+#include <vector>
+
+#include "emu/generator.hpp"
+#include "hashing/splitmix_hash.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+disruption_result run_disruption(std::string_view algorithm,
+                                 const disruption_config& config,
+                                 const table_options& options) {
+  HDHASH_REQUIRE(config.servers >= 2, "need at least two servers");
+  table_options opts = options;
+  if (opts.hd.capacity <= config.servers + config.events) {  // keep n > k
+    opts.hd.capacity = 2 * (config.servers + config.events);
+  }
+  opts.hd.slot_cache = true;
+
+  auto table = make_table(algorithm, opts);
+  workload_config workload;
+  workload.initial_servers = config.servers;
+  workload.seed = config.seed;
+  const generator gen(workload);
+  std::vector<std::uint64_t> pool = gen.initial_server_ids();
+  for (const std::uint64_t id : pool) {
+    table->join(id);
+  }
+
+  std::vector<std::uint64_t> request_ids;
+  request_ids.reserve(config.requests);
+  xoshiro256 rng(config.seed ^ 0xd15ca7d);
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    request_ids.push_back(splitmix_hash::mix(rng()));
+  }
+  auto snapshot = [&] {
+    std::vector<server_id> result(request_ids.size());
+    for (std::size_t i = 0; i < request_ids.size(); ++i) {
+      result[i] = table->lookup(request_ids[i]);
+    }
+    return result;
+  };
+  auto changed_fraction = [&](const std::vector<server_id>& a,
+                              const std::vector<server_id>& b) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      changed += a[i] != b[i] ? 1 : 0;
+    }
+    return static_cast<double>(changed) / static_cast<double>(a.size());
+  };
+  auto owned_fraction = [&](const std::vector<server_id>& assignment,
+                            server_id owner) {
+    std::size_t owned = 0;
+    for (const server_id s : assignment) {
+      owned += s == owner ? 1 : 0;
+    }
+    return static_cast<double>(owned) / static_cast<double>(assignment.size());
+  };
+
+  disruption_result result;
+  std::size_t next_index = config.servers;
+  for (std::size_t e = 0; e < config.events; ++e) {
+    // Join a fresh server and measure the remap against the minimum (the
+    // share the new server ends up owning).
+    const auto before_join = snapshot();
+    const std::uint64_t newcomer =
+        generator::server_id_at(config.seed, next_index++);
+    table->join(newcomer);
+    pool.push_back(newcomer);
+    const auto after_join = snapshot();
+    result.join_remap += changed_fraction(before_join, after_join);
+    result.join_minimum += owned_fraction(after_join, newcomer);
+
+    // Leave a deterministic victim and measure against the minimum (the
+    // share the victim owned).
+    const std::size_t victim_index =
+        static_cast<std::size_t>(uniform_below(rng, pool.size()));
+    const std::uint64_t victim = pool[victim_index];
+    const auto before_leave = snapshot();
+    table->leave(victim);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(victim_index));
+    const auto after_leave = snapshot();
+    result.leave_remap += changed_fraction(before_leave, after_leave);
+    result.leave_minimum += owned_fraction(before_leave, victim);
+  }
+  const auto events = static_cast<double>(config.events);
+  result.join_remap /= events;
+  result.join_minimum /= events;
+  result.leave_remap /= events;
+  result.leave_minimum /= events;
+  return result;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,42 @@
+/// \file disruption.hpp
+/// \brief Minimal-disruption measurement: the defining property of
+/// consistent-style hashing (paper Section 1 — "minimize the number of
+/// redistributed requests when a resource joins or leaves").
+///
+/// Not a numbered figure in the paper, but the property its introduction
+/// motivates; the disruption bench quantifies it for every algorithm,
+/// including the modular baseline whose near-total remapping motivates
+/// the whole field.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "exp/factory.hpp"
+
+namespace hdhash {
+
+struct disruption_config {
+  std::size_t servers = 128;      ///< pool size before the membership change
+  std::size_t requests = 20'000;  ///< sampled request ids
+  std::size_t events = 8;         ///< joins (and leaves) averaged over
+  std::uint64_t seed = 3;
+};
+
+struct disruption_result {
+  /// Fraction of requests whose server changed when one server joined,
+  /// and the theoretical minimum (the share the new server must take).
+  double join_remap = 0.0;
+  double join_minimum = 0.0;
+  /// Fraction remapped when one server left, and the minimum (the share
+  /// the departed server owned).
+  double leave_remap = 0.0;
+  double leave_minimum = 0.0;
+};
+
+/// Measures average remap fractions for one algorithm.
+disruption_result run_disruption(std::string_view algorithm,
+                                 const disruption_config& config,
+                                 const table_options& options);
+
+}  // namespace hdhash

@@ -1,0 +1,38 @@
+#include "exp/efficiency.hpp"
+
+#include "emu/emulator.hpp"
+#include "emu/generator.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::vector<efficiency_point> run_efficiency(std::string_view algorithm,
+                                             const efficiency_config& config,
+                                             const table_options& options) {
+  std::vector<efficiency_point> series;
+  series.reserve(config.server_counts.size());
+  for (const std::size_t servers : config.server_counts) {
+    table_options opts = options;
+    // The circle must stay strictly larger than the pool (n > k).
+    if (opts.hd.capacity <= servers) {
+      opts.hd.capacity = 2 * servers;
+    }
+    auto table = make_table(algorithm, opts);
+
+    workload_config workload;
+    workload.initial_servers = servers;
+    workload.request_count = config.requests;
+    workload.seed = config.seed;
+    const generator gen(workload);
+    const auto events = gen.generate();
+
+    emulator emu(*table, config.batch);
+    const run_stats stats = emu.run(events);
+    HDHASH_REQUIRE(stats.requests == config.requests,
+                   "emulator dropped requests");
+    series.push_back(efficiency_point{servers, stats.avg_request_ns()});
+  }
+  return series;
+}
+
+}  // namespace hdhash

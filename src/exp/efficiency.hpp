@@ -1,0 +1,36 @@
+/// \file efficiency.hpp
+/// \brief Figure 4 driver: average request-handling duration as the
+/// server pool grows (2..2048 in powers of two, 10,000 requests, batch
+/// size 256).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "exp/factory.hpp"
+
+namespace hdhash {
+
+/// Sweep parameters (defaults reproduce the paper's setup).
+struct efficiency_config {
+  std::vector<std::size_t> server_counts = {2,   4,   8,   16,  32,  64,
+                                            128, 256, 512, 1024, 2048};
+  std::size_t requests = 10'000;  ///< requests timed per pool size
+  std::size_t batch = 256;        ///< emulator buffer capacity
+  std::uint64_t seed = 42;
+};
+
+/// One point of the Figure 4 series.
+struct efficiency_point {
+  std::size_t servers = 0;
+  double avg_request_ns = 0.0;
+};
+
+/// Runs the sweep for one algorithm.  Joins are excluded from the timing;
+/// only request handling is measured, as in the paper.
+std::vector<efficiency_point> run_efficiency(std::string_view algorithm,
+                                             const efficiency_config& config,
+                                             const table_options& options);
+
+}  // namespace hdhash

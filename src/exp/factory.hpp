@@ -1,0 +1,40 @@
+/// \file factory.hpp
+/// \brief Construction of any hdhash algorithm by name, with shared
+/// options — the entry point used by benches, examples and integration
+/// tests.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/hd_table.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+/// Options shared by all algorithms plus per-algorithm tuning knobs.
+struct table_options {
+  std::string_view hash_name = "xxhash64";  ///< registered hash for h(·)
+  std::uint64_t seed = 0;                   ///< hash seed (tables)
+  std::size_t consistent_vnodes = 1;        ///< ring points per server
+  std::size_t maglev_table_size = 65537;    ///< prime lookup-table size
+  double bounded_balance_factor = 1.25;     ///< bounded-loads c factor
+  std::size_t hierarchical_groups = 8;      ///< shards of hd-hierarchical
+  hd_table_config hd{};                     ///< HD hashing parameters
+};
+
+/// Creates a table by algorithm name: "modular", "consistent",
+/// "consistent-rank" (rank-resolved ring, see ring_lookup_mode),
+/// "rendezvous", "jump", "maglev" or "hd".
+/// \throws precondition_error for unknown names.
+std::unique_ptr<dynamic_table> make_table(std::string_view algorithm,
+                                          const table_options& options = {});
+
+/// The three algorithms the paper compares (Figures 4–6).
+std::vector<std::string_view> paper_algorithms();
+
+/// Every algorithm in the library (paper set + modular, jump, maglev).
+std::vector<std::string_view> all_algorithms();
+
+}  // namespace hdhash

@@ -1,0 +1,93 @@
+#include "exp/robustness.hpp"
+
+#include <algorithm>
+
+#include "emu/generator.hpp"
+#include "hashing/splitmix_hash.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::vector<mismatch_point> run_mismatch_sweep(std::string_view algorithm,
+                                               const robustness_config& config,
+                                               const table_options& options) {
+  table_options opts = options;
+  if (opts.hd.capacity <= config.servers) {  // keep n > k
+    opts.hd.capacity = 2 * config.servers;
+  }
+  // Memoizing per-slot results is exact for HD hashing (Enc has only n
+  // distinct outputs) and makes the sweep tractable on one CPU core; the
+  // cache is invalidated on every injection/restore via fault_regions().
+  opts.hd.slot_cache = true;
+
+  auto table = make_table(algorithm, opts);
+  workload_config workload;
+  workload.initial_servers = config.servers;
+  workload.seed = config.seed;
+  const generator gen(workload);
+  for (const std::uint64_t id : gen.initial_server_ids()) {
+    table->join(id);
+  }
+  const auto shadow = table->clone();
+
+  // Fixed request sample reused across flip counts and trials, so the
+  // sweep isolates the effect of the error process.
+  std::vector<std::uint64_t> request_ids;
+  request_ids.reserve(config.requests);
+  xoshiro256 req_rng(config.seed ^ 0xf1f1f1f1);
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    request_ids.push_back(splitmix_hash::mix(req_rng()));
+  }
+  std::vector<server_id> truth(request_ids.size());
+  for (std::size_t i = 0; i < request_ids.size(); ++i) {
+    truth[i] = shadow->lookup(request_ids[i]);
+  }
+
+  std::vector<mismatch_point> series;
+  series.reserve(config.max_bit_flips + 1);
+  for (std::size_t flips = 0; flips <= config.max_bit_flips; ++flips) {
+    mismatch_point point;
+    point.bit_flips = flips;
+    double sum_mismatch = 0.0;
+    double sum_invalid = 0.0;
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      bit_flip_injector injector(config.seed + 0x1000 * (trial + 1) + flips);
+      error_model model;
+      model.kind = config.kind;
+      if (config.kind == upset_kind::seu) {
+        model.events = flips;
+        model.burst_length = 1;
+      } else {
+        model.events = flips > 0 ? 1 : 0;
+        model.burst_length = std::max<std::size_t>(flips, 1);
+      }
+      const auto injected = apply_error_model(model, injector, *table);
+
+      std::size_t mismatches = 0;
+      std::size_t invalid = 0;
+      for (std::size_t i = 0; i < request_ids.size(); ++i) {
+        const server_id answer = table->lookup(request_ids[i]);
+        if (answer != truth[i]) {
+          ++mismatches;
+          if (!shadow->contains(answer)) {
+            ++invalid;
+          }
+        }
+      }
+      bit_flip_injector::undo(*table, injected);
+
+      const double rate = static_cast<double>(mismatches) /
+                          static_cast<double>(request_ids.size());
+      sum_mismatch += rate;
+      sum_invalid += static_cast<double>(invalid) /
+                     static_cast<double>(request_ids.size());
+      point.worst_trial = std::max(point.worst_trial, rate);
+    }
+    point.mismatch_rate = sum_mismatch / static_cast<double>(config.trials);
+    point.invalid_rate = sum_invalid / static_cast<double>(config.trials);
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace hdhash

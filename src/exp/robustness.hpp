@@ -1,0 +1,42 @@
+/// \file robustness.hpp
+/// \brief Figure 5 driver: percentage of mismatched requests as bits of
+/// the table's live memory are flipped (0..10 flips in the paper).
+///
+/// Protocol per (algorithm, pool size, flip count, trial):
+///  1. populate the table and clone it as the pristine shadow oracle;
+///  2. inject the error model into the table under test (not the shadow);
+///  3. answer `requests` lookups from both; count differences;
+///  4. restore the injected flips (XOR is involutive) for the next trial.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fault/error_model.hpp"
+#include "exp/factory.hpp"
+
+namespace hdhash {
+
+struct robustness_config {
+  std::size_t servers = 512;       ///< pool size (paper headline: 512)
+  std::size_t requests = 10'000;   ///< lookups compared per trial
+  std::size_t max_bit_flips = 10;  ///< sweep 0..max (paper: 10)
+  std::size_t trials = 5;          ///< injection seeds averaged per point
+  upset_kind kind = upset_kind::seu;  ///< seu sweep or one mcu burst
+  std::uint64_t seed = 7;
+};
+
+struct mismatch_point {
+  std::size_t bit_flips = 0;
+  double mismatch_rate = 0.0;  ///< mean over trials
+  double invalid_rate = 0.0;   ///< answered id not in the pool (subset)
+  double worst_trial = 0.0;    ///< max mismatch rate over trials
+};
+
+/// Runs the bit-flip sweep for one algorithm.
+std::vector<mismatch_point> run_mismatch_sweep(std::string_view algorithm,
+                                               const robustness_config& config,
+                                               const table_options& options);
+
+}  // namespace hdhash

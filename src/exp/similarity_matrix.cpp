@@ -1,0 +1,47 @@
+#include "exp/similarity_matrix.hpp"
+
+#include "core/circular.hpp"
+#include "hdc/similarity.hpp"
+
+namespace hdhash {
+
+std::vector<std::vector<double>> similarity_matrix(basis_kind kind,
+                                                   std::size_t count,
+                                                   std::size_t dim,
+                                                   std::uint64_t seed,
+                                                   hdc::flip_policy policy) {
+  xoshiro256 rng(seed);
+  std::vector<hdc::hypervector> set;
+  switch (kind) {
+    case basis_kind::random:
+      set = hdc::random_set(count, dim, rng);
+      break;
+    case basis_kind::level:
+      set = hdc::level_set(count, dim, rng, policy);
+      break;
+    case basis_kind::circular:
+      set = circular_set(count, dim, rng, policy);
+      break;
+  }
+  std::vector<std::vector<double>> matrix(count, std::vector<double>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      matrix[i][j] = hdc::cosine(set[i], set[j]);
+    }
+  }
+  return matrix;
+}
+
+std::string_view basis_kind_name(basis_kind kind) noexcept {
+  switch (kind) {
+    case basis_kind::random:
+      return "random";
+    case basis_kind::level:
+      return "level";
+    case basis_kind::circular:
+      return "circular";
+  }
+  return "unknown";
+}
+
+}  // namespace hdhash

@@ -1,0 +1,26 @@
+/// \file similarity_matrix.hpp
+/// \brief Figure 2 driver: pairwise cosine similarities within random,
+/// level and circular basis-hypervector sets.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hdc/basis.hpp"
+
+namespace hdhash {
+
+/// Which basis construction to profile.
+enum class basis_kind { random, level, circular };
+
+/// Returns the `count` × `count` pairwise cosine-similarity matrix of a
+/// freshly generated basis set (row-major).
+std::vector<std::vector<double>> similarity_matrix(
+    basis_kind kind, std::size_t count, std::size_t dim, std::uint64_t seed,
+    hdc::flip_policy policy = hdc::flip_policy::fresh_bits);
+
+/// Human-readable name of a basis kind.
+std::string_view basis_kind_name(basis_kind kind) noexcept;
+
+}  // namespace hdhash

@@ -1,0 +1,99 @@
+#include "exp/uniformity.hpp"
+
+#include <unordered_map>
+
+#include "emu/generator.hpp"
+#include "hashing/splitmix_hash.hpp"
+#include "stats/chi_squared.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::vector<uniformity_point> run_uniformity(std::string_view algorithm,
+                                             const uniformity_config& config,
+                                             const table_options& options) {
+  std::vector<uniformity_point> series;
+  for (const std::size_t servers : config.server_counts) {
+    table_options opts = options;
+    if (opts.hd.capacity <= servers) {  // keep n > k
+      opts.hd.capacity = 2 * servers;
+    }
+    opts.hd.slot_cache = true;  // exact memoization; see robustness.cpp
+
+    auto table = make_table(algorithm, opts);
+    workload_config workload;
+    workload.initial_servers = servers;
+    workload.seed = config.seed;
+    const generator gen(workload);
+    const auto server_ids = gen.initial_server_ids();
+    for (const std::uint64_t id : server_ids) {
+      table->join(id);
+    }
+    std::unordered_map<server_id, std::size_t> bin_of;
+    bin_of.reserve(server_ids.size());
+    for (std::size_t i = 0; i < server_ids.size(); ++i) {
+      bin_of.emplace(server_ids[i], i);
+    }
+
+    std::vector<std::uint64_t> request_ids;
+    request_ids.reserve(config.requests);
+    xoshiro256 req_rng(config.seed ^ 0xc0ffee);
+    for (std::size_t i = 0; i < config.requests; ++i) {
+      request_ids.push_back(splitmix_hash::mix(req_rng()));
+    }
+
+    for (const std::size_t flips : config.bit_flip_levels) {
+      const std::size_t trials = flips == 0 ? 1 : config.trials;
+      double sum_chi = 0.0;
+      double sum_invalid = 0.0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        bit_flip_injector injector(config.seed + 0x77 * (trial + 1) + flips);
+        std::vector<flip_record> injected;
+        if (flips > 0) {
+          injected = injector.inject_random(*table, flips);
+        }
+
+        std::vector<std::uint64_t> counts(servers, 0);
+        std::size_t invalid = 0;
+        for (const std::uint64_t request : request_ids) {
+          const server_id answer = table->lookup(request);
+          const auto it = bin_of.find(answer);
+          if (it == bin_of.end()) {
+            ++invalid;  // corrupted identifier escaped the pool
+          } else {
+            ++counts[it->second];
+          }
+        }
+        if (flips > 0) {
+          bit_flip_injector::undo(*table, injected);
+        }
+
+        // Paper formula: E = |R| / |S| with |R| the total request count;
+        // invalid answers therefore count against uniformity.
+        const double expected = static_cast<double>(config.requests) /
+                                static_cast<double>(servers);
+        double chi = 0.0;
+        for (const std::uint64_t c : counts) {
+          const double diff = static_cast<double>(c) - expected;
+          chi += diff * diff / expected;
+        }
+        sum_chi += chi;
+        sum_invalid += static_cast<double>(invalid) /
+                       static_cast<double>(config.requests);
+      }
+      uniformity_point point;
+      point.servers = servers;
+      point.bit_flips = flips;
+      point.chi_squared = sum_chi / static_cast<double>(trials);
+      point.chi_over_dof =
+          servers > 1
+              ? point.chi_squared / static_cast<double>(servers - 1)
+              : 0.0;
+      point.invalid_fraction = sum_invalid / static_cast<double>(trials);
+      series.push_back(point);
+    }
+  }
+  return series;
+}
+
+}  // namespace hdhash

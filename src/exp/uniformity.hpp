@@ -1,0 +1,41 @@
+/// \file uniformity.hpp
+/// \brief Figure 6 driver: Pearson χ² between the observed
+/// requests-per-server distribution and the uniform distribution, across
+/// pool sizes and bit-error counts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fault/error_model.hpp"
+#include "exp/factory.hpp"
+
+namespace hdhash {
+
+struct uniformity_config {
+  std::vector<std::size_t> server_counts = {2,   4,   8,   16,  32,  64,
+                                            128, 256, 512, 1024, 2048};
+  std::vector<std::size_t> bit_flip_levels = {0, 10};
+  std::size_t requests = 100'000;
+  std::size_t trials = 3;  ///< injection seeds averaged per noisy point
+  std::uint64_t seed = 11;
+};
+
+struct uniformity_point {
+  std::size_t servers = 0;
+  std::size_t bit_flips = 0;
+  double chi_squared = 0.0;      ///< Pearson statistic (mean over trials)
+  double chi_over_dof = 0.0;     ///< statistic / (servers − 1); ≈1 is ideal
+  double invalid_fraction = 0.0; ///< requests answered with a non-pool id
+};
+
+/// Runs the uniformity sweep for one algorithm.  χ² uses the paper's
+/// formula with E = |R| / |S| over the true server set; requests answered
+/// with a corrupted (non-pool) identifier are reported separately and
+/// depress the per-server counts.
+std::vector<uniformity_point> run_uniformity(std::string_view algorithm,
+                                             const uniformity_config& config,
+                                             const table_options& options);
+
+}  // namespace hdhash

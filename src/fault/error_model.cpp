@@ -1,0 +1,58 @@
+#include "fault/error_model.hpp"
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::string error_model::describe() const {
+  std::string text = kind == upset_kind::seu ? "seu" : "mcu";
+  text += " x" + std::to_string(events);
+  if (kind == upset_kind::mcu) {
+    text += " (burst " + std::to_string(burst_length) + ")";
+  }
+  return text;
+}
+
+std::vector<flip_record> apply_error_model(const error_model& model,
+                                           bit_flip_injector& injector,
+                                           fault_surface& surface) {
+  std::vector<flip_record> all;
+  if (model.kind == upset_kind::seu) {
+    if (model.events > 0) {
+      all = injector.inject_random(surface, model.events);
+    }
+    return all;
+  }
+  for (std::size_t event = 0; event < model.events; ++event) {
+    const auto flips = injector.inject_burst(surface, model.burst_length);
+    all.insert(all.end(), flips.begin(), flips.end());
+  }
+  return all;
+}
+
+std::vector<error_model> seu_sweep(std::size_t max_flips) {
+  std::vector<error_model> sweep;
+  sweep.reserve(max_flips + 1);
+  for (std::size_t flips = 0; flips <= max_flips; ++flips) {
+    sweep.push_back(error_model{upset_kind::seu, flips, 1});
+  }
+  return sweep;
+}
+
+std::vector<error_model> mcu_mix_events(std::size_t events) {
+  // 22 nm burst mix (Ibe et al.): ~10% 4-bit, ~1% 8-bit, rest single-bit.
+  std::vector<error_model> models;
+  models.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    std::size_t burst = 1;
+    if (i % 100 == 99) {
+      burst = 8;
+    } else if (i % 10 == 9) {
+      burst = 4;
+    }
+    models.push_back(error_model{upset_kind::mcu, 1, burst});
+  }
+  return models;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,54 @@
+/// \file error_model.hpp
+/// \brief Declarative description of a memory-error scenario.
+///
+/// Experiments describe *what* errors occur (how many upsets, single-bit
+/// or burst) separately from *where* they land (the injector decides,
+/// seeded).  The numbers referenced in the paper: 4-bit bursts occur ~10%
+/// and 8-bit bursts ~1% of the time at 22 nm (Ibe et al. 2010); the
+/// headline robustness result uses a 10-bit MCU against 512 servers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+
+namespace hdhash {
+
+/// Kind of upset event.
+enum class upset_kind {
+  seu,  ///< independent single-bit flips
+  mcu,  ///< one burst of adjacent bit flips
+};
+
+/// One error scenario: `events` upsets of the given kind; for MCU each
+/// event flips `burst_length` adjacent bits.
+struct error_model {
+  upset_kind kind = upset_kind::seu;
+  std::size_t events = 0;        ///< number of upset events
+  std::size_t burst_length = 1;  ///< bits per MCU event (ignored for SEU)
+
+  /// Total bits flipped by this scenario (upper bound for MCU, which may
+  /// clamp at a region boundary).
+  std::size_t total_bits() const noexcept {
+    return kind == upset_kind::seu ? events : events * burst_length;
+  }
+
+  /// Human-readable description, e.g. "mcu x1 (burst 10)".
+  std::string describe() const;
+};
+
+/// Applies the scenario to `surface` via `injector`; returns the flips.
+std::vector<flip_record> apply_error_model(const error_model& model,
+                                           bit_flip_injector& injector,
+                                           fault_surface& surface);
+
+/// The paper's Figure 5 sweep: 0..max_flips single-bit errors.
+std::vector<error_model> seu_sweep(std::size_t max_flips);
+
+/// Realistic 22 nm MCU mix: for a given number of events, 89% 1-bit,
+/// 10% 4-bit, 1% 8-bit bursts (deterministically interleaved).
+std::vector<error_model> mcu_mix_events(std::size_t events);
+
+}  // namespace hdhash

@@ -1,0 +1,102 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::size_t fault_surface::fault_bits() {
+  std::size_t total = 0;
+  for (const memory_region& region : fault_regions()) {
+    total += region.bytes.size() * 8;
+  }
+  return total;
+}
+
+bit_flip_injector::bit_flip_injector(std::uint64_t seed) : rng_(seed) {}
+
+namespace {
+
+/// Maps a flat bit offset over the whole surface to (region, bit).
+flip_record locate(const std::vector<memory_region>& regions,
+                   std::size_t flat_bit) {
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const std::size_t bits = regions[r].bytes.size() * 8;
+    if (flat_bit < bits) {
+      return flip_record{r, flat_bit};
+    }
+    flat_bit -= bits;
+  }
+  HDHASH_ASSERT(false && "flat bit offset out of surface");
+  return flip_record{0, 0};
+}
+
+}  // namespace
+
+std::vector<flip_record> bit_flip_injector::inject_random(
+    fault_surface& surface, std::size_t count) {
+  auto regions = surface.fault_regions();
+  std::size_t total_bits = 0;
+  for (const memory_region& region : regions) {
+    total_bits += region.bytes.size() * 8;
+  }
+  HDHASH_REQUIRE(count <= total_bits,
+                 "more flips requested than bits in the fault surface");
+  std::vector<flip_record> flips;
+  flips.reserve(count);
+  for (const std::size_t flat : sample_distinct(rng_, total_bits, count)) {
+    flips.push_back(locate(regions, flat));
+  }
+  apply(surface, flips);
+  return flips;
+}
+
+std::vector<flip_record> bit_flip_injector::inject_burst(
+    fault_surface& surface, std::size_t length) {
+  HDHASH_REQUIRE(length > 0, "burst length must be positive");
+  auto regions = surface.fault_regions();
+  std::size_t total_bits = 0;
+  for (const memory_region& region : regions) {
+    total_bits += region.bytes.size() * 8;
+  }
+  HDHASH_REQUIRE(total_bits > 0, "empty fault surface");
+  const flip_record start =
+      locate(regions, static_cast<std::size_t>(
+                          uniform_below(rng_, total_bits)));
+  const std::size_t region_bits = regions[start.region].bytes.size() * 8;
+  std::vector<flip_record> flips;
+  flips.reserve(length);
+  for (std::size_t i = 0; i < length && start.bit + i < region_bits; ++i) {
+    flips.push_back(flip_record{start.region, start.bit + i});
+  }
+  apply(surface, flips);
+  return flips;
+}
+
+void bit_flip_injector::apply(fault_surface& surface,
+                              std::span<const flip_record> flips) {
+  auto regions = surface.fault_regions();
+  for (const flip_record& flip : flips) {
+    HDHASH_REQUIRE(flip.region < regions.size(), "stale flip record: region");
+    HDHASH_REQUIRE(flip.bit < regions[flip.region].bytes.size() * 8,
+                   "stale flip record: bit offset");
+    flip_bit_in_bytes(regions[flip.region].bytes, flip.bit);
+  }
+}
+
+void bit_flip_injector::undo(fault_surface& surface,
+                             std::span<const flip_record> flips) {
+  apply(surface, flips);
+}
+
+scoped_injection::scoped_injection(bit_flip_injector& injector,
+                                   fault_surface& surface, std::size_t count)
+    : surface_(surface), flips_(injector.inject_random(surface, count)) {}
+
+scoped_injection::~scoped_injection() {
+  bit_flip_injector::undo(surface_, flips_);
+}
+
+}  // namespace hdhash

@@ -1,0 +1,81 @@
+/// \file injector.hpp
+/// \brief Deterministic bit-flip injection over a fault surface.
+///
+/// Models the memory-error processes motivating the paper:
+///  * SEU  — single event upsets: independent uniformly placed bit flips;
+///  * MCU  — multi-cell upsets: one event flips a *burst* of adjacent bits
+///           (Ibe et al. 2010 report 4- and 8-bit bursts at 22 nm; the
+///           paper quotes a 10-bit MCU for its headline result).
+///
+/// All flips are XORs, so undoing an injection is re-applying the same
+/// flips.  The injector records what it flipped to make restore exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/memory_region.hpp"
+#include "util/rng.hpp"
+
+namespace hdhash {
+
+/// Location of one injected flip: bit `bit` of region `region`.
+struct flip_record {
+  std::size_t region;
+  std::size_t bit;
+
+  friend bool operator==(const flip_record&, const flip_record&) = default;
+};
+
+/// Stateful, seeded injector.
+class bit_flip_injector {
+ public:
+  explicit bit_flip_injector(std::uint64_t seed);
+
+  /// Flips `count` distinct uniformly chosen bits across the surface
+  /// (SEU model).  Returns the applied flips for later undo.
+  /// \pre the surface has at least `count` bits.
+  std::vector<flip_record> inject_random(fault_surface& surface,
+                                         std::size_t count);
+
+  /// Flips one burst of `length` adjacent bits starting at a uniformly
+  /// chosen offset (MCU model).  The burst is contained in one region
+  /// (clamped at the region end, matching a physical word/row burst).
+  /// \pre the surface is non-empty; length > 0.
+  std::vector<flip_record> inject_burst(fault_surface& surface,
+                                        std::size_t length);
+
+  /// Re-applies `flips` (XOR is involutive, so this undoes them).
+  /// \pre the surface layout is unchanged since injection.
+  static void undo(fault_surface& surface,
+                   std::span<const flip_record> flips);
+
+  /// Applies explicit flips (used by undo and by tests).
+  static void apply(fault_surface& surface,
+                    std::span<const flip_record> flips);
+
+ private:
+  xoshiro256 rng_;
+};
+
+/// RAII guard: injects on construction, restores on destruction.  Keeps
+/// experiment loops exception-safe and makes "measure then restore" the
+/// default idiom.
+class scoped_injection {
+ public:
+  /// SEU-style injection of `count` random flips.
+  scoped_injection(bit_flip_injector& injector, fault_surface& surface,
+                   std::size_t count);
+  ~scoped_injection();
+
+  scoped_injection(const scoped_injection&) = delete;
+  scoped_injection& operator=(const scoped_injection&) = delete;
+
+  const std::vector<flip_record>& flips() const noexcept { return flips_; }
+
+ private:
+  fault_surface& surface_;
+  std::vector<flip_record> flips_;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,15 @@
+#include "hashing/fnv.hpp"
+
+namespace hdhash {
+
+std::uint64_t fnv1a64::operator()(std::span<const std::byte> bytes,
+                                  std::uint64_t seed) const {
+  std::uint64_t h = offset_basis ^ seed;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(b));
+    h *= prime;
+  }
+  return h;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,24 @@
+/// \file fnv.hpp
+/// \brief FNV-1a 64-bit hash (Fowler–Noll–Vo, variant 1a).
+///
+/// Small and byte-serial; weak avalanche for short keys but a useful
+/// worst-case baseline for the hash-function ablation.  The seed is folded
+/// into the offset basis, which preserves the unseeded FNV-1a reference
+/// values when seed == 0.
+#pragma once
+
+#include "hashing/hash64.hpp"
+
+namespace hdhash {
+
+class fnv1a64 final : public hash64 {
+ public:
+  std::uint64_t operator()(std::span<const std::byte> bytes,
+                           std::uint64_t seed) const override;
+  std::string_view name() const noexcept override { return "fnv1a64"; }
+
+  static constexpr std::uint64_t offset_basis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t prime = 0x00000100000001b3ULL;
+};
+
+}  // namespace hdhash

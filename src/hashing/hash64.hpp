@@ -1,0 +1,46 @@
+/// \file hash64.hpp
+/// \brief The 64-bit hash-function interface used by every hashing
+/// algorithm in hdhash.
+///
+/// The paper (Section 2) denotes the underlying hash function `h(·)` but
+/// does not fix a concrete choice; all dynamic-table algorithms in this
+/// library therefore take a `hash64` by reference (dependency injection)
+/// and the choice is ablated in `bench/ablation_hash`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hdhash {
+
+/// Abstract seeded 64-bit hash over byte strings.
+///
+/// Implementations must be stateless and thread-compatible: `operator()`
+/// is const and two calls with identical (bytes, seed) return identical
+/// results.
+class hash64 {
+ public:
+  virtual ~hash64() = default;
+
+  /// Hashes an arbitrary byte string with the given seed.
+  virtual std::uint64_t operator()(std::span<const std::byte> bytes,
+                                   std::uint64_t seed) const = 0;
+
+  /// Short stable identifier, e.g. "xxhash64".
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Convenience: hashes a single 64-bit value (little-endian bytes).
+  std::uint64_t hash_u64(std::uint64_t value, std::uint64_t seed = 0) const;
+
+  /// Convenience: hashes a pair of 64-bit values (16 little-endian bytes).
+  /// Rendezvous hashing uses this for its `h(server, request)`.
+  std::uint64_t hash_pair(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t seed = 0) const;
+
+  /// Convenience: hashes a string view.
+  std::uint64_t hash_string(std::string_view text, std::uint64_t seed = 0) const;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,27 @@
+/// \file murmur3.hpp
+/// \brief MurmurHash3 x64-128 (Austin Appleby, public domain algorithm),
+/// reimplemented from the reference specification; hdhash returns the low
+/// 64 bits of the 128-bit digest.
+#pragma once
+
+#include <array>
+
+#include "hashing/hash64.hpp"
+
+namespace hdhash {
+
+class murmur3_x64 final : public hash64 {
+ public:
+  std::uint64_t operator()(std::span<const std::byte> bytes,
+                           std::uint64_t seed) const override;
+  std::string_view name() const noexcept override { return "murmur3_x64_128"; }
+
+  /// Full 128-bit digest as {low, high}.  MurmurHash3's seed parameter is
+  /// 32 bits in the reference implementation; we pass the low 32 bits of
+  /// `seed` to stay byte-compatible with it and fold the high 32 bits into
+  /// the finalization only when they are non-zero.
+  static std::array<std::uint64_t, 2> hash128(std::span<const std::byte> bytes,
+                                              std::uint64_t seed);
+};
+
+}  // namespace hdhash

@@ -1,0 +1,77 @@
+#include "hashing/registry.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "hashing/fnv.hpp"
+#include "hashing/murmur3.hpp"
+#include "hashing/siphash.hpp"
+#include "hashing/splitmix_hash.hpp"
+#include "hashing/xxhash64.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+struct registry {
+  fnv1a64 fnv;
+  splitmix_hash splitmix;
+  murmur3_x64 murmur;
+  xxhash64 xxh;
+  siphash24 sip;
+
+  std::array<const hash64*, 5> all() const {
+    return {&fnv, &splitmix, &murmur, &xxh, &sip};
+  }
+};
+
+const registry& instance() {
+  static const registry r;
+  return r;
+}
+
+}  // namespace
+
+const hash64& hash_by_name(std::string_view name) {
+  for (const hash64* h : instance().all()) {
+    if (h->name() == name) {
+      return *h;
+    }
+  }
+  HDHASH_REQUIRE(false, "unknown hash function name: " + std::string(name));
+  // Unreachable; HDHASH_REQUIRE(false, ...) always throws.
+  throw precondition_error("unreachable");
+}
+
+const hash64& default_hash() noexcept { return instance().xxh; }
+
+std::vector<std::string_view> registered_hash_names() {
+  std::vector<std::string_view> names;
+  for (const hash64* h : instance().all()) {
+    names.push_back(h->name());
+  }
+  return names;
+}
+
+// --- hash64 convenience methods (defined here to keep hash64.hpp light) ---
+
+std::uint64_t hash64::hash_u64(std::uint64_t value, std::uint64_t seed) const {
+  std::array<std::byte, 8> buffer;
+  std::memcpy(buffer.data(), &value, 8);
+  return (*this)(buffer, seed);
+}
+
+std::uint64_t hash64::hash_pair(std::uint64_t a, std::uint64_t b,
+                                std::uint64_t seed) const {
+  std::array<std::byte, 16> buffer;
+  std::memcpy(buffer.data(), &a, 8);
+  std::memcpy(buffer.data() + 8, &b, 8);
+  return (*this)(buffer, seed);
+}
+
+std::uint64_t hash64::hash_string(std::string_view text,
+                                  std::uint64_t seed) const {
+  return (*this)(std::as_bytes(std::span(text.data(), text.size())), seed);
+}
+
+}  // namespace hdhash

@@ -1,0 +1,28 @@
+/// \file registry.hpp
+/// \brief Lookup of hash-function implementations by stable name.
+///
+/// The registry owns one immutable instance of each built-in hash; tables,
+/// benches and examples borrow them by const reference.  This keeps the
+/// algorithm objects trivially copyable (they store a non-owning pointer).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hashing/hash64.hpp"
+
+namespace hdhash {
+
+/// Returns the process-wide singleton hash named `name`
+/// ("fnv1a64", "splitmix64", "murmur3_x64_128", "xxhash64", "siphash24").
+/// \throws precondition_error for unknown names.
+const hash64& hash_by_name(std::string_view name);
+
+/// Returns hdhash's default hash function (xxhash64).
+const hash64& default_hash() noexcept;
+
+/// Names of all registered hash functions (ablation sweeps iterate this).
+std::vector<std::string_view> registered_hash_names();
+
+}  // namespace hdhash

@@ -1,0 +1,84 @@
+#include "hashing/siphash.hpp"
+
+#include <cstring>
+
+#include "hashing/splitmix_hash.hpp"
+
+namespace hdhash {
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+struct sip_state {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24::sip24(std::span<const std::byte> bytes,
+                               std::uint64_t k0, std::uint64_t k1) {
+  sip_state s{
+      k0 ^ 0x736f6d6570736575ULL,
+      k1 ^ 0x646f72616e646f6dULL,
+      k0 ^ 0x6c7967656e657261ULL,
+      k1 ^ 0x7465646279746573ULL,
+  };
+
+  const std::size_t len = bytes.size();
+  const std::byte* p = bytes.data();
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    std::uint64_t m;
+    std::memcpy(&m, p + i * 8, 8);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  const std::byte* tail = p + full_blocks * 8;
+  for (std::size_t i = 0; i < (len & 7); ++i) {
+    last |= static_cast<std::uint64_t>(static_cast<unsigned char>(tail[i]))
+            << (8 * i);
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24::operator()(std::span<const std::byte> bytes,
+                                    std::uint64_t seed) const {
+  const std::uint64_t k0 = splitmix_hash::mix(seed);
+  const std::uint64_t k1 = splitmix_hash::mix(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  return sip24(bytes, k0, k1);
+}
+
+}  // namespace hdhash

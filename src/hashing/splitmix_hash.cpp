@@ -1,0 +1,32 @@
+#include "hashing/splitmix_hash.hpp"
+
+#include <cstring>
+
+namespace hdhash {
+
+std::uint64_t splitmix_hash::mix(std::uint64_t value) noexcept {
+  std::uint64_t z = value + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t splitmix_hash::operator()(std::span<const std::byte> bytes,
+                                        std::uint64_t seed) const {
+  std::uint64_t h = mix(seed ^ (0x6a09e667f3bcc909ULL + bytes.size()));
+  std::size_t offset = 0;
+  while (offset + 8 <= bytes.size()) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes.data() + offset, 8);
+    h = mix(h ^ mix(word));
+    offset += 8;
+  }
+  if (offset < bytes.size()) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes.data() + offset, bytes.size() - offset);
+    h = mix(h ^ mix(word));
+  }
+  return h;
+}
+
+}  // namespace hdhash

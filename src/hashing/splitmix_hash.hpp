@@ -1,0 +1,25 @@
+/// \file splitmix_hash.hpp
+/// \brief SplitMix64-finalizer based hash.
+///
+/// Treats the input as a sequence of 64-bit words (zero-padded tail), mixes
+/// each word through the SplitMix64 finalizer and combines.  Extremely fast
+/// for the fixed-width integer keys that dominate this workload (server and
+/// request identifiers); statistically strong for that case.
+#pragma once
+
+#include "hashing/hash64.hpp"
+
+namespace hdhash {
+
+class splitmix_hash final : public hash64 {
+ public:
+  std::uint64_t operator()(std::span<const std::byte> bytes,
+                           std::uint64_t seed) const override;
+  std::string_view name() const noexcept override { return "splitmix64"; }
+
+  /// The raw finalizer on a single word; exposed for reuse (e.g. the HDC
+  /// encoder's slot hash) and direct testing.
+  static std::uint64_t mix(std::uint64_t value) noexcept;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,101 @@
+#include "hashing/xxhash64.hpp"
+
+#include <cstring>
+
+namespace hdhash {
+namespace {
+
+constexpr std::uint64_t kPrime1 = 11400714785074694791ULL;
+constexpr std::uint64_t kPrime2 = 14029467366897019727ULL;
+constexpr std::uint64_t kPrime3 = 1609587929392839161ULL;
+constexpr std::uint64_t kPrime4 = 9650029242287828579ULL;
+constexpr std::uint64_t kPrime5 = 2870177450012600261ULL;
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr std::uint64_t round_step(std::uint64_t acc,
+                                   std::uint64_t input) noexcept {
+  acc += input * kPrime2;
+  acc = rotl64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+constexpr std::uint64_t merge_round(std::uint64_t acc,
+                                    std::uint64_t val) noexcept {
+  val = round_step(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+std::uint64_t load_u64(const std::byte* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::uint32_t load_u32(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t xxhash64::operator()(std::span<const std::byte> bytes,
+                                   std::uint64_t seed) const {
+  const std::byte* p = bytes.data();
+  const std::byte* const end = p + bytes.size();
+  std::uint64_t h;
+
+  if (bytes.size() >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = round_step(v1, load_u64(p));
+      v2 = round_step(v2, load_u64(p + 8));
+      v3 = round_step(v3, load_u64(p + 16));
+      v4 = round_step(v4, load_u64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(bytes.size());
+
+  while (p + 8 <= end) {
+    h ^= round_step(0, load_u64(p));
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(load_u32(p)) * kPrime1;
+    h = rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*p)) * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace hdhash

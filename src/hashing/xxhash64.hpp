@@ -1,0 +1,18 @@
+/// \file xxhash64.hpp
+/// \brief xxHash64 (Yann Collet's XXH64 algorithm) reimplemented from the
+/// published specification.  This is hdhash's default `h(·)`: excellent
+/// avalanche and distribution at near-memcpy speed.
+#pragma once
+
+#include "hashing/hash64.hpp"
+
+namespace hdhash {
+
+class xxhash64 final : public hash64 {
+ public:
+  std::uint64_t operator()(std::span<const std::byte> bytes,
+                           std::uint64_t seed) const override;
+  std::string_view name() const noexcept override { return "xxhash64"; }
+};
+
+}  // namespace hdhash

@@ -1,0 +1,59 @@
+#include "hdc/basis.hpp"
+
+#include "hdc/ops.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+
+std::vector<hypervector> random_set(std::size_t count, std::size_t dim,
+                                    xoshiro256& rng) {
+  HDHASH_REQUIRE(count > 0, "basis set must be non-empty");
+  std::vector<hypervector> set;
+  set.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.push_back(hypervector::random(dim, rng));
+  }
+  return set;
+}
+
+std::vector<hypervector> level_set(std::size_t count, std::size_t dim,
+                                   xoshiro256& rng, flip_policy policy) {
+  HDHASH_REQUIRE(count >= 2, "a level set needs at least two members");
+  const std::size_t steps = count - 1;
+
+  std::vector<hypervector> set;
+  set.reserve(count);
+  set.push_back(hypervector::random(dim, rng));
+
+  if (policy == flip_policy::independent) {
+    // Literal construction from the paper's Section 4: flip d/m random
+    // bits at each interval, sampled independently per step.
+    const std::size_t per_step = std::max<std::size_t>(1, dim / count);
+    for (std::size_t s = 0; s < steps; ++s) {
+      set.push_back(flip_random_bits(set.back(), per_step, rng));
+    }
+    return set;
+  }
+
+  // fresh_bits: distribute dim/2 distinct positions over the steps so the
+  // similarity profile decays linearly from identical to quasi-orthogonal.
+  HDHASH_REQUIRE(dim / 2 >= steps,
+                 "dimension too small for this many distinct levels");
+  const std::vector<std::size_t> positions =
+      sample_distinct(rng, dim, dim / 2);
+  std::size_t next_position = 0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Chunk sizes differ by at most one so the decay stays linear.
+    const std::size_t chunk_end = (s + 1) * positions.size() / steps;
+    hypervector next = set.back();
+    while (next_position < chunk_end) {
+      next.flip(positions[next_position]);
+      ++next_position;
+    }
+    set.push_back(std::move(next));
+  }
+  HDHASH_ASSERT(next_position == positions.size());
+  return set;
+}
+
+}  // namespace hdhash::hdc

@@ -1,0 +1,53 @@
+/// \file basis.hpp
+/// \brief Basis-hypervector sets: random and level (Section 4 of the
+/// paper).  The circular sets — the paper's novel contribution — build on
+/// these and live in `core/circular.hpp`.
+///
+/// Basis sets encode atomic pieces of information.  Their defining
+/// property is the *similarity profile* between members:
+///  * random  — all pairs quasi-orthogonal (categorical data);
+///  * level   — similarity decays with index distance (scalar data);
+///  * circular— similarity decays with circular distance (periodic data).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace hdhash::hdc {
+
+/// How the per-step transformation bits of level/circular constructions
+/// are sampled.
+enum class flip_policy {
+  /// Every step flips bits never touched by a previous step of the same
+  /// construction.  Produces the exact piecewise-linear similarity profile
+  /// of the paper's Figure 2 (antipodal/terminal vectors quasi-orthogonal).
+  /// Default.
+  fresh_bits,
+  /// Every step flips an independently sampled set of bits, exactly as the
+  /// literal pseudo-code of Algorithm 1 reads.  Steps can collide, so the
+  /// profile saturates (antipodal cosine ≈ 0.37 rather than ≈ 0).  Kept
+  /// for fidelity and ablated in bench/ablation_flip_policy.
+  independent,
+};
+
+/// `count` i.i.d. uniformly random hypervectors of dimension `dim`.
+/// Any two members differ in ≈ dim/2 bits (quasi-orthogonal).
+/// \pre count > 0, dim > 0.
+std::vector<hypervector> random_set(std::size_t count, std::size_t dim,
+                                    xoshiro256& rng);
+
+/// `count` level-correlated hypervectors: member 0 is random; similarity
+/// decays monotonically with index distance; the last member is
+/// quasi-orthogonal to the first (fresh_bits) or saturates (independent).
+///
+/// With fresh_bits each of the count−1 steps flips
+/// floor(dim/2 / (count−1)) untouched bits; with independent each step
+/// flips floor(dim/count) independently sampled bits (the paper's d/m).
+/// \pre count >= 2, dim >= 2 * (count - 1) for fresh_bits.
+std::vector<hypervector> level_set(std::size_t count, std::size_t dim,
+                                   xoshiro256& rng,
+                                   flip_policy policy = flip_policy::fresh_bits);
+
+}  // namespace hdhash::hdc

@@ -1,0 +1,70 @@
+#include "hdc/hypervector.hpp"
+
+#include "util/bits.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+
+hypervector::hypervector(std::size_t dim)
+    : dim_(dim), words_(words_for_bits(dim), 0) {
+  HDHASH_REQUIRE(dim > 0, "hypervector dimension must be positive");
+}
+
+void hypervector::canonicalize_tail() noexcept {
+  words_.back() &= tail_mask(dim_);
+}
+
+bool hypervector::test(std::size_t index) const {
+  HDHASH_REQUIRE(index < dim_, "bit index out of range");
+  return test_bit(words_, index);
+}
+
+void hypervector::set(std::size_t index, bool value) {
+  HDHASH_REQUIRE(index < dim_, "bit index out of range");
+  set_bit(words_, index, value);
+}
+
+void hypervector::flip(std::size_t index) {
+  HDHASH_REQUIRE(index < dim_, "bit index out of range");
+  flip_bit(words_, index);
+}
+
+std::size_t hypervector::popcount() const noexcept {
+  return hdhash::popcount(words_);
+}
+
+hypervector& hypervector::operator^=(const hypervector& other) {
+  HDHASH_REQUIRE(other.dim_ == dim_, "dimension mismatch in binding");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return *this;
+}
+
+hypervector operator^(const hypervector& a, const hypervector& b) {
+  hypervector result = a;
+  result ^= b;
+  return result;
+}
+
+hypervector hypervector::random(std::size_t dim, xoshiro256& rng) {
+  hypervector hv(dim);
+  for (auto& word : hv.words_) {
+    word = rng();
+  }
+  hv.canonicalize_tail();
+  return hv;
+}
+
+hypervector hypervector::zeros(std::size_t dim) { return hypervector(dim); }
+
+hypervector hypervector::ones(std::size_t dim) {
+  hypervector hv(dim);
+  for (auto& word : hv.words_) {
+    word = ~std::uint64_t{0};
+  }
+  hv.canonicalize_tail();
+  return hv;
+}
+
+}  // namespace hdhash::hdc

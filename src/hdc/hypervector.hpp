@@ -1,0 +1,86 @@
+/// \file hypervector.hpp
+/// \brief Dense binary hypervector — the atomic data type of
+/// Hyperdimensional Computing (Kanerva 2009).
+///
+/// HDC computes with very wide random words (the paper uses d = 10,000
+/// bits) instead of 8–64-bit machine words.  We store a hypervector as `d`
+/// bits packed into 64-bit words.  The unused high bits of the tail word
+/// are kept at zero (the *canonical-tail invariant*), so whole-word XOR and
+/// popcount implement binding and Hamming distance with no per-bit
+/// branching — the scalar analogue of the wide adder trees in HDC
+/// accelerators (Schmuck et al. 2019).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hdhash::hdc {
+
+/// A d-dimensional dense binary hypervector.
+///
+/// Value type: copyable, movable, equality-comparable.  All mutating
+/// operations preserve the canonical-tail invariant.
+class hypervector {
+ public:
+  /// Creates the zero hypervector of the given dimensionality.
+  /// \pre dim > 0.
+  explicit hypervector(std::size_t dim);
+
+  /// Number of bits.
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Number of backing 64-bit words.
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+  /// Read-only view of the packed words (tail canonical).
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// Mutable view of the packed words.  Callers that write through this
+  /// view (the fault injector does) may break the canonical-tail
+  /// invariant; call canonicalize_tail() afterwards if `dim % 64 != 0`.
+  std::span<std::uint64_t> words_mut() noexcept { return words_; }
+
+  /// Re-zeroes the unused high bits of the tail word.
+  void canonicalize_tail() noexcept;
+
+  /// Tests bit `index`.  \pre index < dim().
+  bool test(std::size_t index) const;
+
+  /// Sets bit `index` to `value`.  \pre index < dim().
+  void set(std::size_t index, bool value);
+
+  /// Inverts bit `index`.  \pre index < dim().
+  void flip(std::size_t index);
+
+  /// Number of set bits.
+  std::size_t popcount() const noexcept;
+
+  /// XOR-accumulates `other` into this vector (in-place binding).
+  /// \pre other.dim() == dim().
+  hypervector& operator^=(const hypervector& other);
+
+  friend bool operator==(const hypervector&, const hypervector&) = default;
+
+  /// Uniformly random hypervector: every bit i.i.d. Bernoulli(1/2).  This
+  /// is `random_hypervector(d)` from the paper's Algorithm 1.
+  static hypervector random(std::size_t dim, xoshiro256& rng);
+
+  /// All-zeros / all-ones constructors, handy in tests.
+  static hypervector zeros(std::size_t dim);
+  static hypervector ones(std::size_t dim);
+
+ private:
+  std::size_t dim_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Binding (XOR, the paper's ⊕): componentwise exclusive-or.  Binding is
+/// its own inverse: (a ⊕ t) ⊕ t == a — the property Algorithm 1's backward
+/// transformations rely on.  \pre equal dimensions.
+hypervector operator^(const hypervector& a, const hypervector& b);
+
+}  // namespace hdhash::hdc

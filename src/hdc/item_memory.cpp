@@ -1,0 +1,85 @@
+#include "hdc/item_memory.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+
+item_memory::item_memory(std::size_t dim, metric m) : dim_(dim), metric_(m) {
+  HDHASH_REQUIRE(dim > 0, "item memory dimension must be positive");
+}
+
+std::size_t item_memory::find_index(std::uint64_t key) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].key == key) {
+      return i;
+    }
+  }
+  return entries_.size();
+}
+
+void item_memory::insert(std::uint64_t key, hypervector hv) {
+  HDHASH_REQUIRE(hv.dim() == dim_, "dimension mismatch on insert");
+  HDHASH_REQUIRE(find_index(key) == entries_.size(), "key already present");
+  entries_.push_back(entry{key, std::move(hv)});
+}
+
+void item_memory::erase(std::uint64_t key) {
+  const std::size_t index = find_index(key);
+  HDHASH_REQUIRE(index != entries_.size(), "key not present");
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+bool item_memory::contains(std::uint64_t key) const noexcept {
+  return find_index(key) != entries_.size();
+}
+
+const hypervector& item_memory::at(std::uint64_t key) const {
+  const std::size_t index = find_index(key);
+  HDHASH_REQUIRE(index != entries_.size(), "key not present");
+  return entries_[index].hv;
+}
+
+std::optional<query_result> item_memory::query(const hypervector& probe) const {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  HDHASH_REQUIRE(probe.dim() == dim_, "dimension mismatch on query");
+  query_result best;
+  best.best_score = -std::numeric_limits<double>::infinity();
+  best.runner_up = -std::numeric_limits<double>::infinity();
+  for (const entry& e : entries_) {
+    const double s = score(metric_, e.hv, probe);
+    const bool wins =
+        s > best.best_score || (s == best.best_score && e.key < best.key);
+    if (wins) {
+      best.runner_up = best.best_score;
+      best.best_score = s;
+      best.key = e.key;
+    } else if (s > best.runner_up) {
+      best.runner_up = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> item_memory::keys() const {
+  std::vector<std::uint64_t> result;
+  result.reserve(entries_.size());
+  for (const entry& e : entries_) {
+    result.push_back(e.key);
+  }
+  return result;
+}
+
+std::vector<std::span<std::uint64_t>> item_memory::storage() {
+  std::vector<std::span<std::uint64_t>> regions;
+  regions.reserve(entries_.size());
+  for (entry& e : entries_) {
+    regions.push_back(e.hv.words_mut());
+  }
+  return regions;
+}
+
+}  // namespace hdhash::hdc

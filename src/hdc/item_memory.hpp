@@ -1,0 +1,98 @@
+/// \file item_memory.hpp
+/// \brief Associative item memory — the HDC "inference" structure.
+///
+/// Stores (key, hypervector) pairs and answers nearest-neighbour queries
+/// under a similarity metric (Eq. 2 of the paper).  This models the
+/// combinational associative memory of HDC accelerators (Schmuck et al.
+/// 2019), which evaluates all stored rows in parallel; here the rows are
+/// scanned with word-packed popcounts.
+///
+/// The stored hypervectors are the natural *fault surface* of an HDC
+/// system — in hardware they sit in (potentially faulty) SRAM — so the
+/// class exposes its raw storage for the fault injector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "hdc/similarity.hpp"
+
+namespace hdhash::hdc {
+
+/// Result of an associative query.
+struct query_result {
+  std::uint64_t key = 0;     ///< Key of the most similar stored vector.
+  double best_score = 0.0;   ///< Similarity of the winner.
+  double runner_up = 0.0;    ///< Similarity of the second-best entry.
+
+  /// Noise margin: how much similarity the winner can lose before the
+  /// assignment changes.  For inverse-Hamming this is in bits; a burst of
+  /// fewer than margin/2 flips can never change the argmax.
+  double margin() const noexcept { return best_score - runner_up; }
+};
+
+/// Associative memory over keyed hypervectors.
+class item_memory {
+ public:
+  /// \param dim    dimensionality of all stored vectors.
+  /// \param m      similarity metric used by query().
+  explicit item_memory(std::size_t dim,
+                       metric m = metric::inverse_hamming);
+
+  /// Inserts a vector under `key`.
+  /// \pre hv.dim() == dim(); key not already present.
+  void insert(std::uint64_t key, hypervector hv);
+
+  /// Removes the entry with `key`.  \pre key present.
+  void erase(std::uint64_t key);
+
+  /// True when `key` is stored.
+  bool contains(std::uint64_t key) const noexcept;
+
+  /// Returns the stored vector for `key`.  \pre key present.
+  const hypervector& at(std::uint64_t key) const;
+
+  /// Nearest stored entry to `probe` (ties broken toward the smallest
+  /// key, deterministically).  Returns nullopt when empty.
+  std::optional<query_result> query(const hypervector& probe) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t dim() const noexcept { return dim_; }
+  metric similarity_metric() const noexcept { return metric_; }
+
+  /// Keys in storage order (deterministic given the insertion sequence).
+  std::vector<std::uint64_t> keys() const;
+
+  /// Visits every (key, hypervector) entry in storage order.  Used by
+  /// callers that implement custom decoding rules over the raw rows
+  /// (e.g. hd_table's lattice decoder).
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    for (const entry& e : entries_) {
+      fn(e.key, e.hv);
+    }
+  }
+
+  /// Mutable views of each stored hypervector's backing words, for fault
+  /// injection.  Invalidated by insert/erase.
+  std::vector<std::span<std::uint64_t>> storage();
+
+ private:
+  struct entry {
+    std::uint64_t key;
+    hypervector hv;
+  };
+
+  std::size_t find_index(std::uint64_t key) const noexcept;  // size() if absent
+
+  std::size_t dim_;
+  metric metric_;
+  std::vector<entry> entries_;
+};
+
+}  // namespace hdhash::hdc

@@ -1,0 +1,91 @@
+#include "hdc/ops.hpp"
+
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+
+hypervector bind(const hypervector& a, const hypervector& b) { return a ^ b; }
+
+namespace {
+
+hypervector bundle_with_ties(std::span<const hypervector> inputs,
+                             xoshiro256* tie_rng) {
+  HDHASH_REQUIRE(!inputs.empty(), "bundle of an empty set is undefined");
+  const std::size_t dim = inputs.front().dim();
+  for (const auto& hv : inputs) {
+    HDHASH_REQUIRE(hv.dim() == dim, "dimension mismatch in bundle");
+  }
+  // Majority vote per bit.  With thousands of bits a per-bit counter array
+  // is the clear, O(n·d) approach; this is not on any hot path.
+  std::vector<std::uint32_t> ones(dim, 0);
+  for (const auto& hv : inputs) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      ones[i] += hv.test(i) ? 1U : 0U;
+    }
+  }
+  hypervector result(dim);
+  const std::size_t n = inputs.size();
+  for (std::size_t i = 0; i < dim; ++i) {
+    const std::uint32_t zero_votes = static_cast<std::uint32_t>(n) - ones[i];
+    if (ones[i] > zero_votes) {
+      result.set(i, true);
+    } else if (ones[i] == zero_votes) {
+      HDHASH_ASSERT(tie_rng != nullptr);
+      result.set(i, ((*tie_rng)() & 1U) != 0);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+hypervector bundle(std::span<const hypervector> inputs, xoshiro256& rng) {
+  return bundle_with_ties(inputs, &rng);
+}
+
+hypervector bundle_odd(std::span<const hypervector> inputs) {
+  HDHASH_REQUIRE(inputs.size() % 2 == 1,
+                 "bundle_odd requires an odd number of inputs");
+  return bundle_with_ties(inputs, nullptr);
+}
+
+hypervector permute(const hypervector& input, std::size_t amount) {
+  const std::size_t dim = input.dim();
+  const std::size_t shift = amount % dim;
+  if (shift == 0) {
+    return input;
+  }
+  hypervector result(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (input.test(i)) {
+      result.set((i + shift) % dim, true);
+    }
+  }
+  return result;
+}
+
+hypervector invert(const hypervector& input) {
+  hypervector result = input;
+  for (auto& word : result.words_mut()) {
+    word = ~word;
+  }
+  result.canonicalize_tail();
+  return result;
+}
+
+hypervector random_flip_mask(std::size_t dim, std::size_t count,
+                             xoshiro256& rng) {
+  HDHASH_REQUIRE(count <= dim, "cannot flip more bits than the dimension");
+  hypervector mask(dim);
+  for (const std::size_t index : sample_distinct(rng, dim, count)) {
+    mask.set(index, true);
+  }
+  return mask;
+}
+
+hypervector flip_random_bits(const hypervector& input, std::size_t count,
+                             xoshiro256& rng) {
+  return input ^ random_flip_mask(input.dim(), count, rng);
+}
+
+}  // namespace hdhash::hdc

@@ -1,0 +1,48 @@
+/// \file ops.hpp
+/// \brief The HDC operator set: binding, bundling, permutation and bit
+/// flipping (the primitive of Algorithm 1's transformation hypervectors).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace hdhash::hdc {
+
+/// Binding — componentwise XOR (alias of operator^, named per HDC usage).
+hypervector bind(const hypervector& a, const hypervector& b);
+
+/// Bundling — bitwise majority vote of the inputs.  For binary HDC the
+/// bundle of a set is the vector maximally similar to all members.  Ties
+/// (possible when the input count is even) are broken by `tie_breaker`
+/// bits drawn from the caller's generator, following common practice.
+/// \pre inputs non-empty, equal dimensions.
+hypervector bundle(std::span<const hypervector> inputs, xoshiro256& rng);
+
+/// Bundling restricted to an odd number of inputs (no ties, fully
+/// deterministic).  \pre inputs non-empty with odd size, equal dimensions.
+hypervector bundle_odd(std::span<const hypervector> inputs);
+
+/// Permutation — circular bit rotation by `amount` positions (towards
+/// higher indices).  Permutation decorrelates a vector from itself:
+/// rho(x) is quasi-orthogonal to x for random x, while being exactly
+/// invertible: permute(permute(x, k), dim - k) == x.
+hypervector permute(const hypervector& input, std::size_t amount);
+
+/// Complement — inverts every bit.
+hypervector invert(const hypervector& input);
+
+/// Flips exactly `count` *distinct* uniformly chosen bits.  This is the
+/// "Flip d/m random bits of t" primitive from Algorithm 1.
+/// \pre count <= input.dim().
+hypervector flip_random_bits(const hypervector& input, std::size_t count,
+                             xoshiro256& rng);
+
+/// Transformation hypervector: a weight-`count` vector with `count`
+/// distinct random set bits (Algorithm 1 lines 4–5 build `t` this way:
+/// start from the zero vector and flip d/m random bits).
+hypervector random_flip_mask(std::size_t dim, std::size_t count,
+                             xoshiro256& rng);
+
+}  // namespace hdhash::hdc

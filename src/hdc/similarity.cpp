@@ -1,0 +1,44 @@
+#include "hdc/similarity.hpp"
+
+#include <bit>
+
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+
+std::size_t hamming_distance(const hypervector& a, const hypervector& b) {
+  HDHASH_REQUIRE(a.dim() == b.dim(), "dimension mismatch in similarity");
+  const auto wa = a.words();
+  const auto wb = b.words();
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    distance += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
+  }
+  return distance;
+}
+
+std::size_t inverse_hamming(const hypervector& a, const hypervector& b) {
+  return a.dim() - hamming_distance(a, b);
+}
+
+double normalized_hamming(const hypervector& a, const hypervector& b) {
+  return static_cast<double>(hamming_distance(a, b)) /
+         static_cast<double>(a.dim());
+}
+
+double cosine(const hypervector& a, const hypervector& b) {
+  return 1.0 - 2.0 * normalized_hamming(a, b);
+}
+
+double score(metric m, const hypervector& a, const hypervector& b) {
+  switch (m) {
+    case metric::inverse_hamming:
+      return static_cast<double>(inverse_hamming(a, b));
+    case metric::cosine:
+      return cosine(a, b);
+  }
+  HDHASH_REQUIRE(false, "unknown metric");
+  return 0.0;  // Unreachable.
+}
+
+}  // namespace hdhash::hdc

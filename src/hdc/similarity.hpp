@@ -1,0 +1,39 @@
+/// \file similarity.hpp
+/// \brief Similarity metrics δ between hypervectors (Eq. 2 of the paper).
+///
+/// For dense binary hypervectors the metrics are all monotone functions of
+/// the Hamming distance, so Eq. 2's argmax gives identical assignments for
+/// any of them; they differ only in scale.  `cosine` here is the cosine
+/// similarity of the bipolar (±1) view of a binary vector, the convention
+/// used by the paper's Figure 2: cos(a, b) = 1 − 2·hamming(a, b)/d.
+#pragma once
+
+#include <cstddef>
+
+#include "hdc/hypervector.hpp"
+
+namespace hdhash::hdc {
+
+/// Number of differing bits.  \pre equal dimensions.
+std::size_t hamming_distance(const hypervector& a, const hypervector& b);
+
+/// Inverse Hamming similarity d − hamming ∈ [0, d]; the integer metric the
+/// paper names for Eq. 2 and what HDC accelerators' adder trees compute.
+std::size_t inverse_hamming(const hypervector& a, const hypervector& b);
+
+/// Normalized Hamming distance ∈ [0, 1].
+double normalized_hamming(const hypervector& a, const hypervector& b);
+
+/// Cosine similarity of the bipolar view, ∈ [−1, 1].
+double cosine(const hypervector& a, const hypervector& b);
+
+/// Metric selector used by configurable components (ablation A-metric).
+enum class metric {
+  inverse_hamming,  ///< integer, accelerator-native (default)
+  cosine,           ///< bipolar cosine; same argmax, different scale
+};
+
+/// Evaluates the selected metric as a double score (higher = more similar).
+double score(metric m, const hypervector& a, const hypervector& b);
+
+}  // namespace hdhash::hdc

@@ -1,0 +1,59 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+double mean(std::span<const double> values) {
+  HDHASH_REQUIRE(!values.empty(), "mean of an empty sample is undefined");
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev_population(std::span<const double> values) {
+  HDHASH_REQUIRE(!values.empty(), "stddev of an empty sample is undefined");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double percentile(std::span<const double> values, double pct) {
+  HDHASH_REQUIRE(!values.empty(), "percentile of an empty sample is undefined");
+  HDHASH_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lower] + frac * (sorted[lower + 1] - sorted[lower]);
+}
+
+summary_stats summarize(std::span<const double> values) {
+  summary_stats s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = stddev_population(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.p50 = percentile(values, 50.0);
+  s.p95 = percentile(values, 95.0);
+  s.p99 = percentile(values, 99.0);
+  return s;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,37 @@
+/// \file descriptive.hpp
+/// \brief Descriptive statistics used when reporting benchmark series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hdhash {
+
+/// Summary of a sample: mean, population standard deviation, extrema and
+/// selected percentiles (linear interpolation between order statistics).
+struct summary_stats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes summary statistics of `values`.  \pre values is non-empty.
+summary_stats summarize(std::span<const double> values);
+
+/// Percentile in [0, 100] by linear interpolation; `values` need not be
+/// sorted (an internal copy is sorted).  \pre values non-empty.
+double percentile(std::span<const double> values, double pct);
+
+/// Mean of the sample.  \pre values non-empty.
+double mean(std::span<const double> values);
+
+/// Population standard deviation.  \pre values non-empty.
+double stddev_population(std::span<const double> values);
+
+}  // namespace hdhash

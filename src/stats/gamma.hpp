@@ -1,0 +1,25 @@
+/// \file gamma.hpp
+/// \brief Special functions needed for χ² p-values.
+///
+/// Self-contained implementations (series + continued-fraction, in the
+/// style of Numerical Recipes) of the log-gamma function and the
+/// regularized incomplete gamma functions.  Accurate to ~1e-12 over the
+/// parameter ranges exercised by the experiments (degrees of freedom up to
+/// a few thousand).
+#pragma once
+
+namespace hdhash {
+
+/// Natural log of the gamma function (Lanczos approximation).
+/// \pre x > 0.
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a).
+/// \pre a > 0, x >= 0.
+double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+/// \pre a > 0, x >= 0.
+double regularized_gamma_q(double a, double x);
+
+}  // namespace hdhash

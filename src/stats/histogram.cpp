@@ -1,0 +1,41 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+histogram::histogram(std::size_t bins) : counts_(bins, 0) {
+  HDHASH_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void histogram::add(std::size_t index, std::uint64_t weight) {
+  HDHASH_REQUIRE(index < counts_.size(), "bin index out of range");
+  counts_[index] += weight;
+  total_ += weight;
+}
+
+std::uint64_t histogram::count(std::size_t index) const {
+  HDHASH_REQUIRE(index < counts_.size(), "bin index out of range");
+  return counts_[index];
+}
+
+std::uint64_t histogram::max_count() const noexcept {
+  return counts_.empty() ? 0
+                         : *std::max_element(counts_.begin(), counts_.end());
+}
+
+double histogram::peak_to_mean() const {
+  HDHASH_REQUIRE(total_ > 0, "peak_to_mean of an empty histogram");
+  const double mean_count =
+      static_cast<double>(total_) / static_cast<double>(counts_.size());
+  return static_cast<double>(max_count()) / mean_count;
+}
+
+void histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,47 @@
+/// \file histogram.hpp
+/// \brief Fixed-bin counting histogram for per-server load accounting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hdhash {
+
+/// Counts occurrences over a fixed number of integer-identified bins.
+/// Used to accumulate the requests-per-server distribution that feeds the
+/// χ² uniformity test.
+class histogram {
+ public:
+  /// \param bins number of bins; must be positive.
+  explicit histogram(std::size_t bins);
+
+  /// Increments bin `index`.  \pre index < bins().
+  void add(std::size_t index, std::uint64_t weight = 1);
+
+  /// Count in one bin.  \pre index < bins().
+  std::uint64_t count(std::size_t index) const;
+
+  /// All counts, indexed by bin.
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Sum of all bin counts.
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Largest bin count (peak load).
+  std::uint64_t max_count() const noexcept;
+
+  /// max_count / (total / bins): 1.0 is perfectly balanced.  \pre total()>0.
+  double peak_to_mean() const;
+
+  /// Resets every bin to zero.
+  void reset() noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hdhash

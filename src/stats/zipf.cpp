@@ -1,0 +1,36 @@
+#include "stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+zipf_sampler::zipf_sampler(std::size_t n, double s) : skew_(s) {
+  HDHASH_REQUIRE(n > 0, "zipf universe must be non-empty");
+  HDHASH_REQUIRE(s >= 0.0, "zipf skew must be non-negative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) {
+    c /= acc;
+  }
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+std::size_t zipf_sampler::sample(xoshiro256& rng) const {
+  const double u = uniform_unit(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double zipf_sampler::pmf(std::size_t rank) const {
+  HDHASH_REQUIRE(rank < cdf_.size(), "rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace hdhash

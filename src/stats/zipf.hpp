@@ -1,0 +1,39 @@
+/// \file zipf.hpp
+/// \brief Zipf-distributed sampling for skewed request workloads.
+///
+/// Real request streams (web caching, P2P lookups) are heavy-tailed; the
+/// emulator's generator offers a Zipf mode alongside the uniform mode used
+/// by the paper's experiments.  Implemented by explicit inverse-CDF lookup
+/// (binary search over the precomputed CDF), exact for the bounded key
+/// universes used here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hdhash {
+
+/// Samples ranks in [0, n) with P(rank = k) ∝ 1 / (k+1)^s.
+class zipf_sampler {
+ public:
+  /// \param n    universe size; must be positive.
+  /// \param s    skew exponent; 0 degenerates to uniform, 1 is classic Zipf.
+  zipf_sampler(std::size_t n, double s);
+
+  /// Draws one rank using the caller's generator.
+  std::size_t sample(xoshiro256& rng) const;
+
+  /// Probability mass of a given rank.  \pre rank < size().
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double skew() const noexcept { return skew_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.0.
+  double skew_;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,140 @@
+#include "table/bounded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+bounded_consistent_table::bounded_consistent_table(const hash64& hash,
+                                                   double balance_factor,
+                                                   std::size_t virtual_nodes,
+                                                   std::uint64_t seed)
+    : hash_(&hash),
+      seed_(seed),
+      balance_factor_(balance_factor),
+      virtual_nodes_(virtual_nodes) {
+  HDHASH_REQUIRE(balance_factor > 1.0,
+                 "balance factor must exceed 1 (1 allows no slack at all)");
+  HDHASH_REQUIRE(virtual_nodes >= 1, "need at least one ring point");
+}
+
+void bounded_consistent_table::join(server_id server) {
+  HDHASH_REQUIRE(!contains(server), "server already in the pool");
+  for (std::size_t replica = 0; replica < virtual_nodes_; ++replica) {
+    const ring_point point{
+        hash_->hash_pair(server, static_cast<std::uint64_t>(replica), seed_),
+        server};
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), point,
+        [](const ring_point& a, const ring_point& b) {
+          return a.position < b.position ||
+                 (a.position == b.position && a.server < b.server);
+        });
+    ring_.insert(it, point);
+  }
+  loads_.emplace(server, 0);
+}
+
+void bounded_consistent_table::leave(server_id server) {
+  HDHASH_REQUIRE(contains(server), "server not in the pool");
+  std::erase_if(ring_,
+                [server](const ring_point& p) { return p.server == server; });
+  total_load_ -= loads_.at(server);
+  loads_.erase(server);
+}
+
+std::uint64_t bounded_consistent_table::current_cap() const {
+  HDHASH_REQUIRE(!loads_.empty(), "cap undefined for an empty pool");
+  return static_cast<std::uint64_t>(
+      std::ceil(balance_factor_ * static_cast<double>(total_load_ + 1) /
+                static_cast<double>(loads_.size())));
+}
+
+server_id bounded_consistent_table::resolve(request_id request, bool record) {
+  HDHASH_REQUIRE(!ring_.empty(), "lookup on an empty pool");
+  const std::uint64_t position = hash_->hash_u64(request, seed_);
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), position,
+      [](std::uint64_t pos, const ring_point& p) { return pos < p.position; });
+  const std::uint64_t cap = current_cap();
+  // Clockwise walk to the first server with spare capacity.  Bounded by
+  // ring size: the cap admits total_load_+1 assignments in aggregate, so
+  // a non-full server always exists.
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    // A bit-corrupted ring entry may carry an identifier that is not in
+    // the pool; return it as an observable mismatch (matching the other
+    // ring algorithms' failure mode) instead of faulting the service.
+    const auto found = loads_.find(it->server);
+    if (found == loads_.end()) {
+      return it->server;
+    }
+    if (found->second < cap) {
+      if (record) {
+        ++found->second;
+        ++total_load_;
+      }
+      return it->server;
+    }
+    ++it;
+  }
+  HDHASH_ASSERT(false && "cap invariant violated");
+  return ring_.front().server;
+}
+
+server_id bounded_consistent_table::lookup(request_id request) const {
+  // Peeking does not mutate; resolve() only writes when record == true.
+  return const_cast<bounded_consistent_table*>(this)->resolve(request, false);
+}
+
+server_id bounded_consistent_table::assign(request_id request) {
+  return resolve(request, true);
+}
+
+void bounded_consistent_table::reset_loads() noexcept {
+  for (auto& [server, load] : loads_) {
+    load = 0;
+  }
+  total_load_ = 0;
+}
+
+std::uint64_t bounded_consistent_table::load_of(server_id server) const {
+  const auto it = loads_.find(server);
+  return it == loads_.end() ? 0 : it->second;
+}
+
+bool bounded_consistent_table::contains(server_id server) const {
+  return loads_.contains(server);
+}
+
+std::vector<server_id> bounded_consistent_table::servers() const {
+  std::vector<server_id> result;
+  result.reserve(loads_.size());
+  for (const ring_point& p : ring_) {
+    if (std::find(result.begin(), result.end(), p.server) == result.end()) {
+      result.push_back(p.server);
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<dynamic_table> bounded_consistent_table::clone() const {
+  return std::make_unique<bounded_consistent_table>(*this);
+}
+
+std::vector<memory_region> bounded_consistent_table::fault_regions() {
+  if (ring_.empty()) {
+    return {};
+  }
+  // Only the ring is exposed: the load map is bookkeeping, not routing
+  // state a production implementation would keep in error-prone DRAM
+  // rows adjacent to the ring.
+  return {memory_region{
+      std::as_writable_bytes(std::span(ring_.data(), ring_.size())), "ring"}};
+}
+
+}  // namespace hdhash

@@ -1,0 +1,91 @@
+/// \file bounded.hpp
+/// \brief Consistent hashing with bounded loads (Mirrokni, Thorup &
+/// Zadimoghaddam, SODA 2018 — the paper's reference [13]).  Extension
+/// beyond the paper's baselines.
+///
+/// Plain consistent hashing with one ring point per server has high arc
+/// variance: the busiest server carries several times the mean load.
+/// The bounded-loads variant caps every server at
+/// ceil(c · assignments / servers) for a balance factor c > 1: an
+/// assignment that would overflow its successor walks clockwise to the
+/// next server with spare capacity.  This guarantees a peak-to-mean
+/// ratio of at most ~c while preserving consistent hashing's minimal-
+/// disruption behaviour in amortized terms.
+///
+/// Unlike the other tables, `assign` is *stateful* — the cap depends on
+/// the number of assignments made so far — so this class models an
+/// assignment stream (connections, jobs) rather than a stateless
+/// router.  `lookup` is provided for interface compatibility and
+/// answers "where would this request go right now" without recording
+/// the assignment.
+#pragma once
+
+#include <unordered_map>
+
+#include "hashing/hash64.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+class bounded_consistent_table final : public dynamic_table {
+ public:
+  /// \param hash            borrowed hash function (outlives the table).
+  /// \param balance_factor  c > 1; smaller is more balanced, at the cost
+  ///                        of longer clockwise walks (c = 1.25 is the
+  ///                        value popularized by the Vimeo deployment).
+  /// \param virtual_nodes   ring points per server.
+  explicit bounded_consistent_table(const hash64& hash,
+                                    double balance_factor = 1.25,
+                                    std::size_t virtual_nodes = 1,
+                                    std::uint64_t seed = 0);
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+
+  /// Where the next assignment of `request` would land, without
+  /// recording it.
+  server_id lookup(request_id request) const override;
+
+  /// Assigns `request`, recording one unit of load on the chosen
+  /// server.  \pre pool non-empty.
+  server_id assign(request_id request);
+
+  /// Forgets all recorded load (e.g. at an epoch boundary).
+  void reset_loads() noexcept;
+
+  /// Currently recorded load of a server (0 when absent).
+  std::uint64_t load_of(server_id server) const;
+
+  /// Total recorded assignments.
+  std::uint64_t total_load() const noexcept { return total_load_; }
+
+  /// The current per-server cap: ceil(c * (total_load + 1) / servers).
+  std::uint64_t current_cap() const;
+
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return loads_.size(); }
+  std::vector<server_id> servers() const override;
+  std::string_view name() const noexcept override { return "bounded"; }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  std::vector<memory_region> fault_regions() override;
+
+ private:
+  struct ring_point {
+    std::uint64_t position;
+    server_id server;
+  };
+
+  /// Successor walk honouring the cap; pure for would_assign == false.
+  server_id resolve(request_id request, bool record);
+
+  const hash64* hash_;
+  std::uint64_t seed_;
+  double balance_factor_;
+  std::size_t virtual_nodes_;
+  std::vector<ring_point> ring_;  // sorted by (position, server)
+  std::unordered_map<server_id, std::uint64_t> loads_;
+  std::uint64_t total_load_ = 0;
+};
+
+}  // namespace hdhash

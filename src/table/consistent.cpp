@@ -1,0 +1,95 @@
+#include "table/consistent.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+consistent_table::consistent_table(const hash64& hash,
+                                   std::size_t virtual_nodes,
+                                   std::uint64_t seed, ring_lookup_mode mode)
+    : hash_(&hash), seed_(seed), virtual_nodes_(virtual_nodes), mode_(mode) {
+  HDHASH_REQUIRE(virtual_nodes >= 1, "need at least one ring point per server");
+}
+
+std::uint64_t consistent_table::point_position(server_id server,
+                                               std::size_t replica) const {
+  return hash_->hash_pair(server, static_cast<std::uint64_t>(replica), seed_);
+}
+
+void consistent_table::join(server_id server) {
+  HDHASH_REQUIRE(!contains(server), "server already in the pool");
+  for (std::size_t replica = 0; replica < virtual_nodes_; ++replica) {
+    const ring_point point{point_position(server, replica), server};
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), point, [](const ring_point& a,
+                                              const ring_point& b) {
+          return a.position < b.position ||
+                 (a.position == b.position && a.server < b.server);
+        });
+    ring_.insert(it, point);
+  }
+  ++server_count_;
+}
+
+void consistent_table::leave(server_id server) {
+  HDHASH_REQUIRE(contains(server), "server not in the pool");
+  std::erase_if(ring_, [server](const ring_point& p) {
+    return p.server == server;
+  });
+  --server_count_;
+}
+
+server_id consistent_table::lookup(request_id request) const {
+  HDHASH_REQUIRE(!ring_.empty(), "lookup on an empty pool");
+  const std::uint64_t position = hash_->hash_u64(request, seed_);
+  // First ring point clockwise from the request, wrapping at the top.
+  // On an intact ring both modes return the same point; see
+  // ring_lookup_mode for how they diverge under memory corruption.
+  if (mode_ == ring_lookup_mode::rank) {
+    std::size_t rank = 0;
+    for (const ring_point& p : ring_) {
+      rank += p.position <= position ? 1 : 0;
+    }
+    return ring_[rank % ring_.size()].server;
+  }
+  // Note: after fault injection the ring may no longer be sorted; the
+  // bisection below still terminates and returns a deterministic (but
+  // possibly wrong) point — exactly the failure mode under study.
+  const auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), position,
+      [](std::uint64_t pos, const ring_point& p) { return pos < p.position; });
+  return it == ring_.end() ? ring_.front().server : it->server;
+}
+
+bool consistent_table::contains(server_id server) const {
+  return std::any_of(ring_.begin(), ring_.end(), [server](const ring_point& p) {
+    return p.server == server;
+  });
+}
+
+std::vector<server_id> consistent_table::servers() const {
+  std::vector<server_id> result;
+  result.reserve(server_count_);
+  for (const ring_point& p : ring_) {
+    if (std::find(result.begin(), result.end(), p.server) == result.end()) {
+      result.push_back(p.server);
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<dynamic_table> consistent_table::clone() const {
+  return std::make_unique<consistent_table>(*this);
+}
+
+std::vector<memory_region> consistent_table::fault_regions() {
+  if (ring_.empty()) {
+    return {};
+  }
+  return {memory_region{
+      std::as_writable_bytes(std::span(ring_.data(), ring_.size())), "ring"}};
+}
+
+}  // namespace hdhash

@@ -1,0 +1,85 @@
+/// \file consistent.hpp
+/// \brief Consistent hashing (Karger et al. 1997) — ring with binary
+/// search, the paper's primary baseline (Section 2.1).
+///
+/// Servers and requests hash onto a circular 64-bit key space; a request
+/// is served by the first server point clockwise from it (O(log n) binary
+/// search).  `virtual_nodes` points per server (default 1, matching the
+/// paper's basic description) can be raised to smooth the load
+/// distribution at the cost of a proportionally larger ring — an effect
+/// the uniformity ablation quantifies.
+///
+/// Fault surface: the ring itself — the sorted (position, server) array
+/// that lookups binary-search.  Bit errors both displace server points
+/// and break the sort order that binary search relies on, which is why
+/// consistent hashing degrades so visibly in the paper's Figure 5.
+#pragma once
+
+#include "hashing/hash64.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+/// How the clockwise successor is resolved on the stored ring.  Both are
+/// exactly equivalent on intact memory; they differ in how corruption
+/// propagates, which matters for the Figure 5 reproduction.
+enum class ring_lookup_mode {
+  /// std::upper_bound bisection — the production CPU implementation.
+  /// A displaced ring point mis-routes only lookups whose bisection path
+  /// crosses it (~log n entries), so it degrades mildly under bit errors.
+  bisect,
+  /// Rank resolution: index = |{positions <= t}| — the natural data-
+  /// parallel (GPU reduction) implementation and the one that matches
+  /// the paper's emulator scale of degradation: one displaced position
+  /// shifts the rank of *every* request between its old and new value,
+  /// an off-by-one across the whole displacement span.
+  rank,
+};
+
+class consistent_table final : public dynamic_table {
+ public:
+  /// \param hash           borrowed hash function (must outlive the table).
+  /// \param virtual_nodes  ring points per server; >= 1.
+  /// \param seed           seed mixed into every hash evaluation.
+  /// \param mode           successor resolution (see ring_lookup_mode).
+  explicit consistent_table(const hash64& hash, std::size_t virtual_nodes = 1,
+                            std::uint64_t seed = 0,
+                            ring_lookup_mode mode = ring_lookup_mode::bisect);
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return server_count_; }
+  std::vector<server_id> servers() const override;
+  std::string_view name() const noexcept override {
+    return mode_ == ring_lookup_mode::bisect ? "consistent"
+                                             : "consistent-rank";
+  }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  std::vector<memory_region> fault_regions() override;
+
+  std::size_t virtual_nodes() const noexcept { return virtual_nodes_; }
+  std::size_t ring_size() const noexcept { return ring_.size(); }
+  ring_lookup_mode lookup_mode() const noexcept { return mode_; }
+
+ private:
+  /// One point on the ring.  Kept as a plain 16-byte POD so the fault
+  /// injector sees exactly the memory a real implementation would keep.
+  struct ring_point {
+    std::uint64_t position;
+    server_id server;
+  };
+
+  std::uint64_t point_position(server_id server, std::size_t replica) const;
+
+  const hash64* hash_;
+  std::uint64_t seed_;
+  std::size_t virtual_nodes_;
+  ring_lookup_mode mode_;
+  std::size_t server_count_ = 0;
+  std::vector<ring_point> ring_;  // sorted by (position, server)
+};
+
+}  // namespace hdhash

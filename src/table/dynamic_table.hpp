@@ -1,0 +1,64 @@
+/// \file dynamic_table.hpp
+/// \brief The dynamic hash table interface shared by every algorithm in
+/// hdhash: modular, consistent, rendezvous, jump, Maglev and HD hashing.
+///
+/// "Dynamic hash table" is used in the paper's sense: a mapper from
+/// request identifiers to the currently available server pool, where
+/// servers join and leave at any time.  The two quality axes are
+///  * minimal disruption — how few requests remap when the pool changes;
+///  * uniformity — how evenly requests spread over servers.
+///
+/// Every implementation also exposes its live state for fault injection
+/// (see fault/memory_region.hpp), which is how the robustness experiments
+/// corrupt each algorithm's actual working memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "fault/memory_region.hpp"
+
+namespace hdhash {
+
+/// Unique identifier of a server (in practice: hash of an IP/endpoint).
+using server_id = std::uint64_t;
+/// Unique identifier of a request (in practice: hash of a key/URL/user).
+using request_id = std::uint64_t;
+
+/// Abstract request→server mapper over a dynamic server pool.
+class dynamic_table : public fault_surface {
+ public:
+  /// Adds a server to the pool.
+  /// \pre the server is not already present; pool below capacity (HD).
+  virtual void join(server_id server) = 0;
+
+  /// Removes a server from the pool.  \pre the server is present.
+  virtual void leave(server_id server) = 0;
+
+  /// Maps a request to a server.  \pre the pool is non-empty.
+  ///
+  /// Note: lookups on a fault-injected table may return identifiers that
+  /// are not in the pool (e.g. a corrupted stored id) — that is the
+  /// failure mode the robustness experiments measure.
+  virtual server_id lookup(request_id request) const = 0;
+
+  /// True when `server` is in the pool.
+  virtual bool contains(server_id server) const = 0;
+
+  /// Number of servers currently in the pool.
+  virtual std::size_t server_count() const = 0;
+
+  /// Servers currently in the pool (unspecified but deterministic order).
+  virtual std::vector<server_id> servers() const = 0;
+
+  /// Stable algorithm name, e.g. "consistent".
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Deep copy with identical mapping behaviour; the emulator uses clones
+  /// as pristine shadow oracles while the original is fault-injected.
+  virtual std::unique_ptr<dynamic_table> clone() const = 0;
+};
+
+}  // namespace hdhash

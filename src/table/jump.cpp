@@ -1,0 +1,66 @@
+#include "table/jump.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+jump_table::jump_table(const hash64& hash, std::uint64_t seed)
+    : hash_(&hash), seed_(seed) {}
+
+std::size_t jump_table::jump_bucket(std::uint64_t key, std::size_t buckets) {
+  HDHASH_REQUIRE(buckets > 0, "need at least one bucket");
+  // Lamping & Veach's linear-congruential jump walk.
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(std::int64_t{1} << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::size_t>(b);
+}
+
+void jump_table::join(server_id server) {
+  HDHASH_REQUIRE(!contains(server), "server already in the pool");
+  slots_.push_back(server);
+}
+
+void jump_table::leave(server_id server) {
+  const auto it = std::find(slots_.begin(), slots_.end(), server);
+  HDHASH_REQUIRE(it != slots_.end(), "server not in the pool");
+  // Backfill the vacated bucket with the tail bucket so the bucket space
+  // stays dense; only the moved slot's keys remap beyond the departed
+  // server's own.
+  *it = slots_.back();
+  slots_.pop_back();
+}
+
+server_id jump_table::lookup(request_id request) const {
+  HDHASH_REQUIRE(!slots_.empty(), "lookup on an empty pool");
+  const std::uint64_t key = hash_->hash_u64(request, seed_);
+  return slots_[jump_bucket(key, slots_.size())];
+}
+
+bool jump_table::contains(server_id server) const {
+  return std::find(slots_.begin(), slots_.end(), server) != slots_.end();
+}
+
+std::unique_ptr<dynamic_table> jump_table::clone() const {
+  return std::make_unique<jump_table>(*this);
+}
+
+std::vector<memory_region> jump_table::fault_regions() {
+  if (slots_.empty()) {
+    return {};
+  }
+  return {memory_region{
+      std::as_writable_bytes(std::span(slots_.data(), slots_.size())),
+      "bucket-slots"}};
+}
+
+}  // namespace hdhash

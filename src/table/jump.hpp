@@ -1,0 +1,46 @@
+/// \file jump.hpp
+/// \brief Jump consistent hash (Lamping & Veach 2014) — extension beyond
+/// the paper's baselines.
+///
+/// Maps a key to one of `n` dense buckets in O(log n) expected time with
+/// *no* per-server table state at lookup time — the entire mapping is
+/// arithmetic.  Bucket indices are translated to server identifiers
+/// through a slot array; a leaving server's slot is backfilled with the
+/// last slot (so `leave` disrupts the departed server's keys plus the
+/// moved slot's keys — the classic trade-off versus ring-based schemes,
+/// quantified in the disruption bench).
+///
+/// Fault surface: the slot array only; the jump walk itself is stateless.
+#pragma once
+
+#include "hashing/hash64.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+class jump_table final : public dynamic_table {
+ public:
+  explicit jump_table(const hash64& hash, std::uint64_t seed = 0);
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return slots_.size(); }
+  std::vector<server_id> servers() const override { return slots_; }
+  std::string_view name() const noexcept override { return "jump"; }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  std::vector<memory_region> fault_regions() override;
+
+  /// The raw jump walk: bucket of `key` among `buckets` buckets.
+  /// \pre buckets > 0.
+  static std::size_t jump_bucket(std::uint64_t key, std::size_t buckets);
+
+ private:
+  const hash64* hash_;
+  std::uint64_t seed_;
+  std::vector<server_id> slots_;  // bucket index -> server
+};
+
+}  // namespace hdhash

@@ -1,0 +1,116 @@
+#include "table/maglev.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+bool is_prime(std::size_t n) noexcept {
+  if (n < 2) {
+    return false;
+  }
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+maglev_table::maglev_table(const hash64& hash, std::size_t table_size,
+                           std::uint64_t seed)
+    : hash_(&hash), seed_(seed), table_size_(table_size) {
+  HDHASH_REQUIRE(is_prime(table_size),
+                 "maglev table size must be prime for full permutations");
+}
+
+void maglev_table::rebuild() {
+  lookup_.assign(servers_.empty() ? 0 : table_size_, 0);
+  if (servers_.empty()) {
+    return;
+  }
+  const std::size_t n = servers_.size();
+  const std::size_t m = table_size_;
+
+  // Per-server permutation parameters (offset, skip) as in the NSDI paper.
+  std::vector<std::size_t> offset(n);
+  std::vector<std::size_t> skip(n);
+  std::vector<std::size_t> next(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offset[i] = static_cast<std::size_t>(
+        hash_->hash_pair(servers_[i], 0xA11CE, seed_) % m);
+    skip[i] = static_cast<std::size_t>(
+        hash_->hash_pair(servers_[i], 0xB0B, seed_) % (m - 1)) + 1;
+  }
+
+  std::vector<bool> taken(m, false);
+  std::size_t filled = 0;
+  while (filled < m) {
+    for (std::size_t i = 0; i < n && filled < m; ++i) {
+      // Pop this server's next preferred slot that is still free.
+      std::size_t slot;
+      do {
+        slot = (offset[i] + next[i] * skip[i]) % m;
+        ++next[i];
+      } while (taken[slot]);
+      taken[slot] = true;
+      lookup_[slot] = static_cast<std::uint32_t>(i);
+      ++filled;
+    }
+  }
+}
+
+void maglev_table::join(server_id server) {
+  HDHASH_REQUIRE(!contains(server), "server already in the pool");
+  HDHASH_REQUIRE(servers_.size() < table_size_,
+                 "maglev pool cannot exceed its table size");
+  servers_.push_back(server);
+  rebuild();
+}
+
+void maglev_table::leave(server_id server) {
+  const auto it = std::find(servers_.begin(), servers_.end(), server);
+  HDHASH_REQUIRE(it != servers_.end(), "server not in the pool");
+  servers_.erase(it);
+  rebuild();
+}
+
+server_id maglev_table::lookup(request_id request) const {
+  HDHASH_REQUIRE(!servers_.empty(), "lookup on an empty pool");
+  const std::uint64_t h = hash_->hash_u64(request, seed_);
+  const std::uint32_t index = lookup_[static_cast<std::size_t>(h % table_size_)];
+  // A corrupted lookup entry may point past the server list; map it to a
+  // deterministic invalid identifier so the mismatch is observable rather
+  // than undefined behaviour.
+  if (index >= servers_.size()) {
+    return static_cast<server_id>(~std::uint64_t{0} - index);
+  }
+  return servers_[index];
+}
+
+bool maglev_table::contains(server_id server) const {
+  return std::find(servers_.begin(), servers_.end(), server) !=
+         servers_.end();
+}
+
+std::unique_ptr<dynamic_table> maglev_table::clone() const {
+  return std::make_unique<maglev_table>(*this);
+}
+
+std::vector<memory_region> maglev_table::fault_regions() {
+  std::vector<memory_region> regions;
+  if (!lookup_.empty()) {
+    regions.push_back(memory_region{
+        std::as_writable_bytes(std::span(lookup_.data(), lookup_.size())),
+        "lookup-table"});
+  }
+  if (!servers_.empty()) {
+    regions.push_back(memory_region{
+        std::as_writable_bytes(std::span(servers_.data(), servers_.size())),
+        "server-ids"});
+  }
+  return regions;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,58 @@
+/// \file maglev.hpp
+/// \brief Maglev hashing (Eisenbud et al., NSDI 2016) — extension beyond
+/// the paper's baselines; cited by the paper as Google Cloud's software
+/// load balancer.
+///
+/// Each server gets a pseudo-random preference permutation over a prime-
+/// sized lookup table; table slots are filled by round-robin popping each
+/// server's next preferred slot.  Lookup is a single O(1) index.  Any
+/// pool change rebuilds the table (O(M) amortized), remapping only a
+/// small fraction of slots in expectation.
+///
+/// Fault surface: the lookup table (slot → server index) plus the server
+/// list — by far the largest baseline surface, which makes Maglev an
+/// interesting extra point in the robustness study.
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/hash64.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+class maglev_table final : public dynamic_table {
+ public:
+  /// \param table_size  size M of the lookup table; must be a prime
+  ///                    larger than the expected server count (the NSDI
+  ///                    paper uses 65537 for ~hundreds of backends).
+  explicit maglev_table(const hash64& hash, std::size_t table_size = 65537,
+                        std::uint64_t seed = 0);
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return servers_.size(); }
+  std::vector<server_id> servers() const override { return servers_; }
+  std::string_view name() const noexcept override { return "maglev"; }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  std::vector<memory_region> fault_regions() override;
+
+  std::size_t table_size() const noexcept { return table_size_; }
+
+ private:
+  void rebuild();
+
+  const hash64* hash_;
+  std::uint64_t seed_;
+  std::size_t table_size_;
+  std::vector<server_id> servers_;
+  std::vector<std::uint32_t> lookup_;  // slot -> index into servers_
+};
+
+/// True when `n` is prime (trial division; table sizes are small).
+bool is_prime(std::size_t n) noexcept;
+
+}  // namespace hdhash

@@ -1,0 +1,47 @@
+#include "table/modular.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+modular_table::modular_table(const hash64& hash, std::uint64_t seed)
+    : hash_(&hash), seed_(seed) {}
+
+void modular_table::join(server_id server) {
+  HDHASH_REQUIRE(!contains(server), "server already in the pool");
+  servers_.push_back(server);
+}
+
+void modular_table::leave(server_id server) {
+  const auto it = std::find(servers_.begin(), servers_.end(), server);
+  HDHASH_REQUIRE(it != servers_.end(), "server not in the pool");
+  servers_.erase(it);
+}
+
+server_id modular_table::lookup(request_id request) const {
+  HDHASH_REQUIRE(!servers_.empty(), "lookup on an empty pool");
+  const std::uint64_t h = hash_->hash_u64(request, seed_);
+  return servers_[static_cast<std::size_t>(h % servers_.size())];
+}
+
+bool modular_table::contains(server_id server) const {
+  return std::find(servers_.begin(), servers_.end(), server) !=
+         servers_.end();
+}
+
+std::unique_ptr<dynamic_table> modular_table::clone() const {
+  return std::make_unique<modular_table>(*this);
+}
+
+std::vector<memory_region> modular_table::fault_regions() {
+  if (servers_.empty()) {
+    return {};
+  }
+  return {memory_region{
+      std::as_writable_bytes(std::span(servers_.data(), servers_.size())),
+      "server-slots"}};
+}
+
+}  // namespace hdhash

@@ -1,0 +1,38 @@
+/// \file modular.hpp
+/// \brief Modular hashing — the naive baseline (paper Section 1).
+///
+/// Maps request `r` to `servers[h(r) mod n]`.  O(1) lookups, but any
+/// change of `n` remaps virtually all requests; included to demonstrate
+/// that failure mode in the disruption benchmarks.
+#pragma once
+
+#include "hashing/hash64.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+class modular_table final : public dynamic_table {
+ public:
+  /// \param hash  borrowed hash function (must outlive the table).
+  /// \param seed  seed mixed into every hash evaluation.
+  explicit modular_table(const hash64& hash, std::uint64_t seed = 0);
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return servers_.size(); }
+  std::vector<server_id> servers() const override { return servers_; }
+  std::string_view name() const noexcept override { return "modular"; }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  /// Fault surface: the server slot array (the only live state).
+  std::vector<memory_region> fault_regions() override;
+
+ private:
+  const hash64* hash_;
+  std::uint64_t seed_;
+  std::vector<server_id> servers_;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,58 @@
+#include "table/rendezvous.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+rendezvous_table::rendezvous_table(const hash64& hash, std::uint64_t seed)
+    : hash_(&hash), seed_(seed) {}
+
+void rendezvous_table::join(server_id server) {
+  HDHASH_REQUIRE(!contains(server), "server already in the pool");
+  servers_.push_back(server);
+}
+
+void rendezvous_table::leave(server_id server) {
+  const auto it = std::find(servers_.begin(), servers_.end(), server);
+  HDHASH_REQUIRE(it != servers_.end(), "server not in the pool");
+  servers_.erase(it);
+}
+
+server_id rendezvous_table::lookup(request_id request) const {
+  HDHASH_REQUIRE(!servers_.empty(), "lookup on an empty pool");
+  server_id best = servers_.front();
+  std::uint64_t best_weight = hash_->hash_pair(best, request, seed_);
+  for (std::size_t i = 1; i < servers_.size(); ++i) {
+    const server_id candidate = servers_[i];
+    const std::uint64_t weight = hash_->hash_pair(candidate, request, seed_);
+    // Ties break toward the smaller identifier for determinism.
+    if (weight > best_weight ||
+        (weight == best_weight && candidate < best)) {
+      best = candidate;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+bool rendezvous_table::contains(server_id server) const {
+  return std::find(servers_.begin(), servers_.end(), server) !=
+         servers_.end();
+}
+
+std::unique_ptr<dynamic_table> rendezvous_table::clone() const {
+  return std::make_unique<rendezvous_table>(*this);
+}
+
+std::vector<memory_region> rendezvous_table::fault_regions() {
+  if (servers_.empty()) {
+    return {};
+  }
+  return {memory_region{
+      std::as_writable_bytes(std::span(servers_.data(), servers_.size())),
+      "server-ids"}};
+}
+
+}  // namespace hdhash

@@ -1,0 +1,41 @@
+/// \file rendezvous.hpp
+/// \brief Rendezvous / highest-random-weight hashing (Thaler &
+/// Ravishankar 1998) — the paper's second baseline (Section 2.2).
+///
+/// Request `r` goes to `argmax_s h(s, r)`.  Perfectly uniform assignment
+/// and minimal disruption, but every lookup is O(n) in the pool size —
+/// the scaling the paper's Figure 4 exhibits.
+///
+/// Fault surface: the stored server identifiers.  A corrupted identifier
+/// re-randomizes `h(s, r)` for every request, so a few flipped bits
+/// mismatch a few percent of requests (paper: ~4% at 10 flips, 512
+/// servers) — far less than consistent hashing, but not zero like HD.
+#pragma once
+
+#include "hashing/hash64.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+class rendezvous_table final : public dynamic_table {
+ public:
+  explicit rendezvous_table(const hash64& hash, std::uint64_t seed = 0);
+
+  void join(server_id server) override;
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return servers_.size(); }
+  std::vector<server_id> servers() const override { return servers_; }
+  std::string_view name() const noexcept override { return "rendezvous"; }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  std::vector<memory_region> fault_regions() override;
+
+ private:
+  const hash64* hash_;
+  std::uint64_t seed_;
+  std::vector<server_id> servers_;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,65 @@
+/// \file weighted_rendezvous.hpp
+/// \brief Weighted rendezvous hashing (HRW with heterogeneous server
+/// capacities).  Extension beyond the paper's baselines.
+///
+/// Real pools are heterogeneous: a server with twice the capacity should
+/// take twice the traffic.  Weighted HRW scores each server as
+///   score(s, r) = -w_s / ln(u)   with   u = h(s, r) mapped to (0, 1),
+/// which makes P[s wins] exactly proportional to w_s while retaining
+/// rendezvous hashing's minimal disruption (changing one server's weight
+/// only moves requests to/from that server).
+#pragma once
+
+#include <unordered_map>
+
+#include "hashing/hash64.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+class weighted_rendezvous_table final : public dynamic_table {
+ public:
+  explicit weighted_rendezvous_table(const hash64& hash,
+                                     std::uint64_t seed = 0);
+
+  /// join() admits the server with weight 1; use join_weighted for
+  /// heterogeneous capacities.
+  void join(server_id server) override;
+
+  /// \pre weight > 0, server not present.
+  void join_weighted(server_id server, double weight);
+
+  /// Updates a member's weight.  \pre server present, weight > 0.
+  void set_weight(server_id server, double weight);
+
+  /// \pre server present.
+  double weight_of(server_id server) const;
+
+  void leave(server_id server) override;
+  server_id lookup(request_id request) const override;
+  bool contains(server_id server) const override;
+  std::size_t server_count() const override { return entries_.size(); }
+  std::vector<server_id> servers() const override;
+  std::string_view name() const noexcept override {
+    return "weighted-rendezvous";
+  }
+  std::unique_ptr<dynamic_table> clone() const override;
+
+  /// Fault surface: the (id, weight) entries — both fields are live
+  /// routing state.
+  std::vector<memory_region> fault_regions() override;
+
+ private:
+  struct entry {
+    server_id server;
+    double weight;
+  };
+
+  std::size_t find_index(server_id server) const noexcept;
+
+  const hash64* hash_;
+  std::uint64_t seed_;
+  std::vector<entry> entries_;
+};
+
+}  // namespace hdhash

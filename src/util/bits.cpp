@@ -1,0 +1,15 @@
+#include "util/bits.hpp"
+
+namespace hdhash {
+
+void flip_bit_in_bytes(std::span<std::byte> bytes,
+                       std::size_t bit_index) noexcept {
+  bytes[bit_index / 8] ^= static_cast<std::byte>(1U << (bit_index % 8));
+}
+
+bool test_bit_in_bytes(std::span<const std::byte> bytes,
+                       std::size_t bit_index) noexcept {
+  return (static_cast<unsigned>(bytes[bit_index / 8]) >> (bit_index % 8)) & 1U;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,66 @@
+/// \file bits.hpp
+/// \brief Bit-level helpers shared by the HDC substrate and fault injector.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hdhash {
+
+/// Number of 64-bit words needed to store `bit_count` bits.
+constexpr std::size_t words_for_bits(std::size_t bit_count) noexcept {
+  return (bit_count + 63) / 64;
+}
+
+/// Mask with the low `bit_count % 64` bits set, or all ones when the count
+/// is a multiple of 64.  Used to keep the tail word of packed bit arrays
+/// canonical (unused high bits always zero).
+constexpr std::uint64_t tail_mask(std::size_t bit_count) noexcept {
+  const std::size_t rem = bit_count % 64;
+  return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+}
+
+/// Tests bit `index` of a packed word array.
+inline bool test_bit(std::span<const std::uint64_t> words,
+                     std::size_t index) noexcept {
+  return (words[index / 64] >> (index % 64)) & 1U;
+}
+
+/// Sets bit `index` of a packed word array to `value`.
+inline void set_bit(std::span<std::uint64_t> words, std::size_t index,
+                    bool value) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (index % 64);
+  if (value) {
+    words[index / 64] |= mask;
+  } else {
+    words[index / 64] &= ~mask;
+  }
+}
+
+/// Inverts bit `index` of a packed word array.
+inline void flip_bit(std::span<std::uint64_t> words,
+                     std::size_t index) noexcept {
+  words[index / 64] ^= std::uint64_t{1} << (index % 64);
+}
+
+/// Population count over a packed word array.
+inline std::size_t popcount(std::span<const std::uint64_t> words) noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+/// Inverts bit `bit_index` (0 = least-significant bit of byte 0) within an
+/// arbitrary byte buffer.  This is the primitive used by the fault
+/// injector, which operates on raw memory regions rather than typed words.
+void flip_bit_in_bytes(std::span<std::byte> bytes, std::size_t bit_index) noexcept;
+
+/// Tests bit `bit_index` within an arbitrary byte buffer.
+bool test_bit_in_bytes(std::span<const std::byte> bytes,
+                       std::size_t bit_index) noexcept;
+
+}  // namespace hdhash

@@ -1,0 +1,52 @@
+/// \file require.hpp
+/// \brief Lightweight contract checking used across the hdhash libraries.
+///
+/// Public API entry points validate their preconditions with
+/// HDHASH_REQUIRE, which throws (so misuse is reported even in release
+/// builds), while internal invariants use HDHASH_ASSERT, which aborts in
+/// debug builds and compiles away in release builds.  This follows the
+/// C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+/// preconditions").
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace hdhash {
+
+/// Exception thrown when a documented API precondition is violated.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* func,
+                                            const std::string& message) {
+  std::string what = "hdhash precondition violated in ";
+  what += func;
+  what += ": (";
+  what += expr;
+  what += ")";
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  throw precondition_error(what);
+}
+}  // namespace detail
+
+}  // namespace hdhash
+
+/// Validate a documented precondition; throws hdhash::precondition_error on
+/// failure.  Always active, including in release builds.
+#define HDHASH_REQUIRE(expr, message)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::hdhash::detail::throw_precondition(#expr, __func__, (message));   \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check; compiled out in release builds.
+#define HDHASH_ASSERT(expr) assert(expr)

@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+xoshiro256::xoshiro256(std::uint64_t seed) noexcept {
+  // Seed through SplitMix64 per the xoshiro authors' recommendation; this
+  // guarantees a non-zero state for every seed value.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64_next(sm);
+  }
+}
+
+xoshiro256::result_type xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void xoshiro256::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+  for (const std::uint64_t jump_word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (jump_word & (std::uint64_t{1} << bit)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i] ^= state_[i];
+        }
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t uniform_below(xoshiro256& rng, std::uint64_t bound) {
+  HDHASH_REQUIRE(bound > 0, "bound must be positive");
+  // Lemire's multiply-shift with rejection of the biased low range.
+  std::uint64_t x = rng();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = rng();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double uniform_unit(xoshiro256& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::size_t> sample_distinct(xoshiro256& rng, std::size_t universe,
+                                         std::size_t count) {
+  HDHASH_REQUIRE(count <= universe,
+                 "cannot sample more distinct indices than the universe size");
+  // Floyd's algorithm: iterate j over the last `count` slots of the
+  // universe; each draw is uniform over [0, j] and collides with an
+  // already-chosen value with probability < count/universe.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(count * 2);
+  std::vector<std::size_t> result;
+  result.reserve(count);
+  for (std::size_t j = universe - count; j < universe; ++j) {
+    const auto t = static_cast<std::size_t>(
+        uniform_below(rng, static_cast<std::uint64_t>(j) + 1));
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,76 @@
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation.
+///
+/// Every stochastic component in hdhash (hypervector sampling, workload
+/// generation, fault injection) draws from these generators so that
+/// experiments are reproducible bit-for-bit across platforms.  We implement
+/// the generators ourselves instead of using `std::mt19937` +
+/// `std::uniform_int_distribution` because the standard distributions are
+/// not guaranteed to produce identical streams across standard libraries.
+///
+/// The core generator is xoshiro256** (Blackman & Vigna), seeded through
+/// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hdhash {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used both as a standalone mixer and to seed xoshiro256**.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** — a small, fast, high-quality 64-bit PRNG.
+///
+/// Satisfies the C++ `uniform_random_bit_generator` concept so it can be
+/// plugged into standard algorithms, but all hdhash code uses the explicit
+/// helpers below for cross-platform determinism.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via SplitMix64).
+  explicit xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Returns the next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls to operator(); used to split streams.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Uniform integer in [0, bound) without modulo bias (Lemire's method
+/// with rejection).  \pre bound > 0.
+std::uint64_t uniform_below(xoshiro256& rng, std::uint64_t bound);
+
+/// Uniform double in [0, 1) with 53 bits of randomness.
+double uniform_unit(xoshiro256& rng) noexcept;
+
+/// Samples `count` *distinct* indices uniformly from [0, universe).
+/// Uses Floyd's algorithm, O(count) expected time, independent of
+/// `universe`.  The result is returned in sampling order (not sorted).
+/// \pre count <= universe.
+std::vector<std::size_t> sample_distinct(xoshiro256& rng, std::size_t universe,
+                                         std::size_t count);
+
+/// In-place Fisher–Yates shuffle driven by the deterministic generator.
+template <typename T>
+void shuffle(xoshiro256& rng, std::vector<T>& items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(uniform_below(rng, static_cast<std::uint64_t>(i)));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace hdhash

@@ -1,0 +1,98 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+table_printer::table_printer(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  HDHASH_REQUIRE(!columns_.empty(), "a table needs at least one column");
+}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+  HDHASH_REQUIRE(cells.size() == columns_.size(),
+                 "row arity must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void table_printer::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Right-align within the column width.
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  for (std::size_t i = 0; i < total; ++i) {
+    os << '-';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void table_printer::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_duration_ns(double nanoseconds) {
+  const char* unit = "ns";
+  double value = nanoseconds;
+  if (value >= 1e9) {
+    value /= 1e9;
+    unit = "s";
+  } else if (value >= 1e6) {
+    value /= 1e6;
+    unit = "ms";
+  } else if (value >= 1e3) {
+    value /= 1e3;
+    unit = "us";
+  }
+  return format_double(value, 2) + " " + unit;
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace hdhash

@@ -1,0 +1,49 @@
+/// \file table_printer.hpp
+/// \brief ASCII table / CSV emission for the benchmark harness.
+///
+/// Every figure-reproduction binary prints its results both as a
+/// human-readable aligned table and (optionally) as CSV, so plots can be
+/// regenerated from the captured output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdhash {
+
+/// Collects rows of string cells and renders them right-aligned under a
+/// header.  Numeric formatting is the caller's responsibility (see
+/// format_double / format_si below).
+class table_printer {
+ public:
+  /// \param columns header labels; every row must have the same arity.
+  explicit table_printer(std::vector<std::string> columns);
+
+  /// Appends one row.  \pre cells.size() == column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders the same data as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_double(double value, int precision = 3);
+
+/// Formats a duration given in nanoseconds with an adaptive unit
+/// (ns / us / ms / s), e.g. "12.34 us".
+std::string format_duration_ns(double nanoseconds);
+
+/// Formats a percentage (0.0–1.0 input) as e.g. "12.3%".
+std::string format_percent(double fraction, int precision = 2);
+
+}  // namespace hdhash

@@ -1,0 +1,69 @@
+#include "core/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hashing/registry.hpp"
+#include "support/scripted_hash.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(CircleEncoderTest, SlotIsHashModCircleSize) {
+  testing::scripted_hash hash;
+  hash.pin_u64(1234, 7);
+  hash.pin_u64(5678, 7 + 64);  // same slot modulo 64
+  const circle_encoder encoder(64, 1024, hash, /*seed=*/0);
+  EXPECT_EQ(encoder.slot_of(1234), 7u);
+  EXPECT_EQ(encoder.slot_of(5678), 7u);
+  EXPECT_EQ(&encoder.encode(1234), &encoder.encode(5678));
+}
+
+TEST(CircleEncoderTest, EncodeReturnsCircleMember) {
+  const circle_encoder encoder(32, 2048, default_hash(), 1);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    const auto slot = encoder.slot_of(x);
+    EXPECT_LT(slot, 32u);
+    EXPECT_EQ(&encoder.encode(x), &encoder.at(slot));
+  }
+}
+
+TEST(CircleEncoderTest, SameParametersSameCircle) {
+  const circle_encoder a(16, 1024, default_hash(), 99);
+  const circle_encoder b(16, 1024, default_hash(), 99);
+  for (std::size_t slot = 0; slot < 16; ++slot) {
+    EXPECT_EQ(a.at(slot), b.at(slot));
+  }
+}
+
+TEST(CircleEncoderTest, DifferentSeedsDifferentCircle) {
+  const circle_encoder a(16, 1024, default_hash(), 1);
+  const circle_encoder b(16, 1024, default_hash(), 2);
+  EXPECT_NE(a.at(0), b.at(0));
+}
+
+TEST(CircleEncoderTest, SlotOutOfRangeThrows) {
+  const circle_encoder encoder(8, 512, default_hash(), 0);
+  EXPECT_THROW(encoder.at(8), precondition_error);
+}
+
+TEST(CircleEncoderTest, SizeAndDim) {
+  const circle_encoder encoder(8, 512, default_hash(), 0);
+  EXPECT_EQ(encoder.size(), 8u);
+  EXPECT_EQ(encoder.dim(), 512u);
+}
+
+TEST(CircleEncoderTest, SlotsCoverCircleUniformly) {
+  const circle_encoder encoder(16, 512, default_hash(), 5);
+  std::vector<int> hits(16, 0);
+  for (std::uint64_t x = 0; x < 16'000; ++x) {
+    ++hits[encoder.slot_of(x)];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 700);
+    EXPECT_LT(h, 1300);
+  }
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,172 @@
+#include "core/hierarchical.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "emu/generator.hpp"
+#include "fault/injector.hpp"
+#include "hashing/registry.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+hierarchical_config small_config() {
+  hierarchical_config config;
+  config.groups = 4;
+  config.shard.dimension = 2048;
+  config.shard.capacity = 64;
+  config.router.dimension = 2048;
+  config.router.capacity = 16;
+  return config;
+}
+
+TEST(HierarchicalTest, RequiresAtLeastTwoGroups) {
+  hierarchical_config config = small_config();
+  config.groups = 1;
+  EXPECT_THROW(hierarchical_hd_table(default_hash(), config),
+               precondition_error);
+}
+
+TEST(HierarchicalTest, BasicMembership) {
+  hierarchical_hd_table table(default_hash(), small_config());
+  EXPECT_THROW(table.lookup(1), precondition_error);
+  table.join(100);
+  table.join(200);
+  EXPECT_TRUE(table.contains(100));
+  EXPECT_FALSE(table.contains(300));
+  EXPECT_EQ(table.server_count(), 2u);
+  EXPECT_THROW(table.join(100), precondition_error);
+  table.leave(100);
+  EXPECT_THROW(table.leave(100), precondition_error);
+  EXPECT_EQ(table.server_count(), 1u);
+}
+
+TEST(HierarchicalTest, LookupReturnsAPoolMember) {
+  hierarchical_hd_table table(default_hash(), small_config());
+  std::set<server_id> pool;
+  for (server_id s = 1; s <= 40; ++s) {
+    table.join(s * 173);
+    pool.insert(s * 173);
+  }
+  for (request_id r = 0; r < 2000; ++r) {
+    EXPECT_TRUE(pool.count(table.lookup(r)));
+  }
+}
+
+TEST(HierarchicalTest, LookupLandsInTheRoutedShard) {
+  hierarchical_hd_table table(default_hash(), small_config());
+  for (server_id s = 1; s <= 40; ++s) {
+    table.join(s * 173);
+  }
+  for (request_id r = 0; r < 500; ++r) {
+    const server_id answer = table.lookup(r);
+    // The answering server's shard must contain it by construction.
+    EXPECT_TRUE(table.contains(answer));
+    EXPECT_LT(table.shard_of(answer), table.groups());
+  }
+}
+
+TEST(HierarchicalTest, EmptyShardsReceiveNoTraffic) {
+  // Join servers that all land in one shard; the router must still send
+  // every request to a live server.
+  hierarchical_hd_table table(default_hash(), small_config());
+  std::vector<server_id> one_shard;
+  for (server_id candidate = 1; one_shard.size() < 5; ++candidate) {
+    if (table.shard_of(candidate) == 2) {
+      one_shard.push_back(candidate);
+    }
+  }
+  for (const server_id s : one_shard) {
+    table.join(s);
+  }
+  for (request_id r = 0; r < 500; ++r) {
+    EXPECT_TRUE(table.contains(table.lookup(r)));
+  }
+}
+
+TEST(HierarchicalTest, JoinOnlyPerturbsOneShard) {
+  hierarchical_hd_table table(default_hash(), small_config());
+  for (server_id s = 1; s <= 60; ++s) {
+    table.join(s * 311);
+  }
+  std::vector<server_id> before;
+  for (request_id r = 0; r < 4000; ++r) {
+    before.push_back(table.lookup(r));
+  }
+  // A newcomer whose circle slot collides with an incumbent of smaller
+  // id is legitimately starved (tie-break), so probe a few candidates:
+  // the invariants must hold for each, and at least one takes load.
+  std::size_t total_moved = 0;
+  for (const server_id newcomer : {777'777u, 888'888u, 999'999u}) {
+    table.join(newcomer);
+    const std::size_t shard = table.shard_of(newcomer);
+    std::size_t moved = 0;
+    for (request_id r = 0; r < 4000; ++r) {
+      const server_id now = table.lookup(r);
+      if (now != before[r]) {
+        // Every remapped request moves to the newcomer, and the request
+        // was previously served by the same shard (no cross-shard churn).
+        EXPECT_EQ(now, newcomer);
+        EXPECT_EQ(table.shard_of(before[r]), shard);
+        ++moved;
+      }
+    }
+    EXPECT_LT(moved, 1000u);
+    total_moved += moved;
+    table.leave(newcomer);
+  }
+  EXPECT_GT(total_moved, 0u);
+}
+
+TEST(HierarchicalTest, CloneAnswersIdentically) {
+  hierarchical_hd_table table(default_hash(), small_config());
+  for (server_id s = 1; s <= 25; ++s) {
+    table.join(s * 37);
+  }
+  const auto copy = table.clone();
+  for (request_id r = 0; r < 800; ++r) {
+    EXPECT_EQ(copy->lookup(r), table.lookup(r));
+  }
+  EXPECT_EQ(copy->name(), "hd-hierarchical");
+}
+
+TEST(HierarchicalTest, FaultSurfaceSpansRouterAndShards) {
+  hierarchical_hd_table table(default_hash(), small_config());
+  for (server_id s = 1; s <= 12; ++s) {
+    table.join(s * 97);
+  }
+  // 12 shard rows + one router row per non-empty shard.
+  std::size_t live_shards = 0;
+  std::set<std::size_t> seen;
+  for (server_id s = 1; s <= 12; ++s) {
+    if (seen.insert(table.shard_of(s * 97)).second) {
+      ++live_shards;
+    }
+  }
+  EXPECT_EQ(table.fault_regions().size(), 12u + live_shards);
+}
+
+TEST(HierarchicalTest, RobustToScatteredBitFlips) {
+  // The hierarchy preserves HD hashing's robustness: shards keep large
+  // lattice steps, and the router's rows are hypervectors too.
+  hierarchical_config config = small_config();
+  config.shard.dimension = 10'000;
+  config.router.dimension = 10'000;
+  hierarchical_hd_table table(default_hash(), config);
+  for (server_id s = 1; s <= 48; ++s) {
+    table.join(s * 211);
+  }
+  const auto oracle = table.clone();
+  bit_flip_injector injector(5);
+  for (int trial = 0; trial < 3; ++trial) {
+    scoped_injection injection(injector, table, 10);
+    for (request_id r = 0; r < 1000; ++r) {
+      EXPECT_EQ(table.lookup(r), oracle->lookup(r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,77 @@
+#include "emu/event_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(EventBufferTest, StartsEmpty) {
+  event_buffer buffer(4);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer.full());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_FALSE(buffer.pop().has_value());
+}
+
+TEST(EventBufferTest, ZeroCapacityThrows) {
+  EXPECT_THROW(event_buffer(0), precondition_error);
+}
+
+TEST(EventBufferTest, FifoOrder) {
+  event_buffer buffer(3);
+  EXPECT_TRUE(buffer.push(event{event_kind::request, 1}));
+  EXPECT_TRUE(buffer.push(event{event_kind::join, 2}));
+  EXPECT_TRUE(buffer.push(event{event_kind::leave, 3}));
+  EXPECT_EQ(buffer.pop()->id, 1u);
+  EXPECT_EQ(buffer.pop()->id, 2u);
+  EXPECT_EQ(buffer.pop()->id, 3u);
+  EXPECT_FALSE(buffer.pop().has_value());
+}
+
+TEST(EventBufferTest, RejectsWhenFull) {
+  event_buffer buffer(2);
+  EXPECT_TRUE(buffer.push(event{event_kind::request, 1}));
+  EXPECT_TRUE(buffer.push(event{event_kind::request, 2}));
+  EXPECT_TRUE(buffer.full());
+  EXPECT_FALSE(buffer.push(event{event_kind::request, 3}));
+  EXPECT_EQ(buffer.size(), 2u);
+}
+
+TEST(EventBufferTest, WrapsAroundRing) {
+  event_buffer buffer(2);
+  for (std::uint64_t round = 0; round < 10; ++round) {
+    EXPECT_TRUE(buffer.push(event{event_kind::request, round}));
+    EXPECT_TRUE(buffer.push(event{event_kind::request, round + 100}));
+    EXPECT_EQ(buffer.pop()->id, round);
+    EXPECT_EQ(buffer.pop()->id, round + 100);
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(EventBufferTest, InterleavedPushPop) {
+  event_buffer buffer(3);
+  buffer.push(event{event_kind::request, 1});
+  buffer.push(event{event_kind::request, 2});
+  EXPECT_EQ(buffer.pop()->id, 1u);
+  buffer.push(event{event_kind::request, 3});
+  buffer.push(event{event_kind::request, 4});
+  EXPECT_TRUE(buffer.full());
+  EXPECT_EQ(buffer.pop()->id, 2u);
+  EXPECT_EQ(buffer.pop()->id, 3u);
+  EXPECT_EQ(buffer.pop()->id, 4u);
+}
+
+TEST(EventBufferTest, PreservesEventKind) {
+  event_buffer buffer(1);
+  buffer.push(event{event_kind::leave, 9});
+  const auto e = buffer.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->kind, event_kind::leave);
+  EXPECT_EQ(e->id, 9u);
+}
+
+}  // namespace
+}  // namespace hdhash

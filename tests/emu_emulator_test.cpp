@@ -1,0 +1,134 @@
+#include "emu/emulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emu/generator.hpp"
+#include "exp/factory.hpp"
+#include "fault/injector.hpp"
+
+namespace hdhash {
+namespace {
+
+table_options fast_options() {
+  table_options options;
+  options.hd.dimension = 1024;
+  options.hd.capacity = 128;
+  return options;
+}
+
+workload_config small_workload() {
+  workload_config config;
+  config.initial_servers = 8;
+  config.request_count = 1000;
+  config.seed = 3;
+  return config;
+}
+
+TEST(EmulatorTest, CountsEventKinds) {
+  auto table = make_table("consistent", fast_options());
+  const generator gen(small_workload());
+  emulator emu(*table, 64);
+  const auto stats = emu.run(gen.generate());
+  EXPECT_EQ(stats.joins, 8u);
+  EXPECT_EQ(stats.leaves, 0u);
+  EXPECT_EQ(stats.requests, 1000u);
+  EXPECT_EQ(table->server_count(), 8u);
+}
+
+TEST(EmulatorTest, LoadAccountingSumsToRequests) {
+  auto table = make_table("rendezvous", fast_options());
+  const generator gen(small_workload());
+  emulator emu(*table);
+  const auto stats = emu.run(gen.generate());
+  std::uint64_t total = 0;
+  for (const auto& [server, count] : stats.load) {
+    total += count;
+  }
+  EXPECT_EQ(total, stats.requests);
+}
+
+TEST(EmulatorTest, TimingAccumulatesWhenEnabled) {
+  auto table = make_table("modular", fast_options());
+  const generator gen(small_workload());
+  emulator emu(*table);
+  const auto stats = emu.run(gen.generate());
+  EXPECT_GT(stats.total_request_ns, 0.0);
+  EXPECT_GT(stats.avg_request_ns(), 0.0);
+}
+
+TEST(EmulatorTest, TimingZeroWhenDisabled) {
+  auto table = make_table("modular", fast_options());
+  const generator gen(small_workload());
+  emulator emu(*table);
+  emu.set_timing(false);
+  const auto stats = emu.run(gen.generate());
+  EXPECT_EQ(stats.total_request_ns, 0.0);
+}
+
+TEST(EmulatorTest, ShadowSeesNoMismatchWithoutFaults) {
+  for (const auto algorithm : all_algorithms()) {
+    auto table = make_table(algorithm, fast_options());
+    workload_config config = small_workload();
+    config.churn_rate = 0.02;  // exercise join/leave mirroring too
+    const generator gen(config);
+    const auto events = gen.generate();
+    // Populate nothing yet: shadow starts empty alongside the table.
+    emulator emu(*table, 32);
+    emu.enable_shadow();
+    const auto stats = emu.run(events);
+    EXPECT_EQ(stats.mismatches, 0u) << algorithm;
+    EXPECT_EQ(stats.invalid_assignments, 0u) << algorithm;
+  }
+}
+
+TEST(EmulatorTest, ShadowDetectsInjectedCorruption) {
+  auto table = make_table("consistent", fast_options());
+  // Populate first so the corruption has a surface to hit.
+  const generator gen(small_workload());
+  for (const auto id : gen.initial_server_ids()) {
+    table->join(id);
+  }
+  emulator emu(*table);
+  emu.enable_shadow();  // pristine snapshot
+
+  bit_flip_injector injector(123);
+  injector.inject_random(*table, 24);  // heavy corruption of the ring
+
+  workload_config requests_only = small_workload();
+  requests_only.initial_servers = 0;
+  requests_only.request_count = 4000;
+  const generator req_gen(requests_only);
+  const auto stats = emu.run(req_gen.generate());
+  EXPECT_GT(stats.mismatches, 0u);
+  EXPECT_GE(stats.mismatches, stats.invalid_assignments);
+}
+
+TEST(EmulatorTest, ChurnEventsReachTheTable) {
+  auto table = make_table("hd", fast_options());
+  workload_config config = small_workload();
+  config.churn_rate = 0.05;
+  const generator gen(config);
+  const auto events = gen.generate();
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  for (const auto& e : events) {
+    joins += e.kind == event_kind::join ? 1 : 0;
+    leaves += e.kind == event_kind::leave ? 1 : 0;
+  }
+  emulator emu(*table, 16);
+  const auto stats = emu.run(events);
+  EXPECT_EQ(stats.joins, joins);
+  EXPECT_EQ(stats.leaves, leaves);
+  EXPECT_EQ(table->server_count(), joins - leaves);
+}
+
+TEST(EmulatorTest, SmallBufferStillProcessesEverything) {
+  auto table = make_table("jump", fast_options());
+  const generator gen(small_workload());
+  emulator emu(*table, 1);  // degenerate batch size
+  const auto stats = emu.run(gen.generate());
+  EXPECT_EQ(stats.requests, 1000u);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,151 @@
+#include "emu/generator.hpp"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(GeneratorTest, JoinBurstPrecedesRequests) {
+  workload_config config;
+  config.initial_servers = 5;
+  config.request_count = 20;
+  const generator gen(config);
+  const auto events = gen.generate();
+  ASSERT_EQ(events.size(), 25u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].kind, event_kind::join);
+  }
+  for (std::size_t i = 5; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, event_kind::request);
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossCalls) {
+  workload_config config;
+  config.seed = 77;
+  config.request_count = 100;
+  const generator gen(config);
+  EXPECT_EQ(gen.generate(), gen.generate());
+}
+
+TEST(GeneratorTest, SeedChangesStream) {
+  workload_config a;
+  a.seed = 1;
+  workload_config b;
+  b.seed = 2;
+  EXPECT_NE(generator(a).generate(), generator(b).generate());
+}
+
+TEST(GeneratorTest, InitialServerIdsMatchJoinEvents) {
+  workload_config config;
+  config.initial_servers = 8;
+  const generator gen(config);
+  const auto ids = gen.initial_server_ids();
+  const auto events = gen.generate();
+  ASSERT_EQ(ids.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].id, ids[i]);
+  }
+}
+
+TEST(GeneratorTest, ServerIdsAreUnique) {
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    ids.insert(generator::server_id_at(42, i));
+  }
+  EXPECT_EQ(ids.size(), 5000u);
+}
+
+TEST(GeneratorTest, ChurnInterleavesJoinsAndLeaves) {
+  workload_config config;
+  config.initial_servers = 10;
+  config.request_count = 2000;
+  config.churn_rate = 0.05;
+  const generator gen(config);
+  const auto events = gen.generate();
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  for (std::size_t i = 10; i < events.size(); ++i) {
+    joins += events[i].kind == event_kind::join ? 1 : 0;
+    leaves += events[i].kind == event_kind::leave ? 1 : 0;
+  }
+  EXPECT_GT(joins, 20u);
+  EXPECT_GT(leaves, 20u);
+  // Alternation keeps the two counts within one of each other.
+  EXPECT_NEAR(static_cast<double>(joins), static_cast<double>(leaves), 1.0);
+}
+
+TEST(GeneratorTest, ChurnLeavesReferToLivePool) {
+  // Replaying the stream against a set must never remove a non-member.
+  workload_config config;
+  config.initial_servers = 4;
+  config.request_count = 3000;
+  config.churn_rate = 0.1;
+  config.seed = 5;
+  const generator gen(config);
+  std::set<std::uint64_t> pool;
+  for (const auto& e : gen.generate()) {
+    switch (e.kind) {
+      case event_kind::join:
+        EXPECT_TRUE(pool.insert(e.id).second);
+        break;
+      case event_kind::leave:
+        EXPECT_EQ(pool.erase(e.id), 1u);
+        break;
+      case event_kind::request:
+        break;
+    }
+  }
+}
+
+TEST(GeneratorTest, UniformKeysSpreadOverUniverse) {
+  workload_config config;
+  config.request_count = 20'000;
+  config.key_universe = 100;  // collisions expected: ids repeat
+  const generator gen(config);
+  std::set<std::uint64_t> distinct;
+  for (const auto& e : gen.generate()) {
+    if (e.kind == event_kind::request) {
+      distinct.insert(e.id);
+    }
+  }
+  EXPECT_EQ(distinct.size(), 100u);  // all keys hit with high probability
+}
+
+TEST(GeneratorTest, ZipfModeSkewsPopularity) {
+  workload_config config;
+  config.request_count = 30'000;
+  config.key_universe = 1000;
+  config.distribution = request_distribution::zipf;
+  config.zipf_skew = 1.2;
+  const generator gen(config);
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const auto& e : gen.generate()) {
+    if (e.kind == event_kind::request) {
+      ++counts[e.id];
+    }
+  }
+  std::size_t max_count = 0;
+  for (const auto& [id, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // The hottest key dominates far beyond the uniform expectation (~30).
+  EXPECT_GT(max_count, 2000u);
+}
+
+TEST(GeneratorTest, InvalidConfigThrows) {
+  workload_config bad_universe;
+  bad_universe.key_universe = 0;
+  EXPECT_THROW(generator{bad_universe}, precondition_error);
+  workload_config bad_churn;
+  bad_churn.churn_rate = 1.5;
+  EXPECT_THROW(generator{bad_churn}, precondition_error);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,203 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "exp/disruption.hpp"
+#include "exp/efficiency.hpp"
+#include "exp/factory.hpp"
+#include "exp/robustness.hpp"
+#include "exp/similarity_matrix.hpp"
+#include "exp/uniformity.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+table_options fast_options() {
+  table_options options;
+  options.hd.dimension = 1024;
+  options.hd.capacity = 256;
+  options.maglev_table_size = 4099;
+  return options;
+}
+
+TEST(FactoryTest, CreatesEveryRegisteredAlgorithm) {
+  for (const auto name : all_algorithms()) {
+    auto table = make_table(name, fast_options());
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table->name(), name);
+  }
+}
+
+TEST(FactoryTest, UnknownAlgorithmThrows) {
+  EXPECT_THROW(make_table("quantum"), precondition_error);
+}
+
+TEST(FactoryTest, PaperAlgorithmsAreSubsetOfAll) {
+  const auto paper = paper_algorithms();
+  const auto all = all_algorithms();
+  for (const auto name : paper) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end());
+  }
+  EXPECT_EQ(paper.size(), 3u);
+}
+
+TEST(EfficiencyDriverTest, ProducesOnePointPerPoolSize) {
+  efficiency_config config;
+  config.server_counts = {2, 8, 32};
+  config.requests = 500;
+  const auto series = run_efficiency("consistent", config, fast_options());
+  ASSERT_EQ(series.size(), 3u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].servers, config.server_counts[i]);
+    EXPECT_GT(series[i].avg_request_ns, 0.0);
+  }
+}
+
+TEST(EfficiencyDriverTest, RendezvousScalesWorseThanConsistent) {
+  efficiency_config config;
+  config.server_counts = {512};
+  config.requests = 2000;
+  const auto consistent =
+      run_efficiency("consistent", config, fast_options());
+  const auto rendezvous =
+      run_efficiency("rendezvous", config, fast_options());
+  // At 512 servers the O(n) scan must be clearly slower than the
+  // O(log n) binary search.
+  EXPECT_GT(rendezvous[0].avg_request_ns, 2.0 * consistent[0].avg_request_ns);
+}
+
+TEST(RobustnessDriverTest, ZeroFlipsMeansZeroMismatch) {
+  robustness_config config;
+  config.servers = 32;
+  config.requests = 500;
+  config.max_bit_flips = 0;
+  config.trials = 2;
+  for (const auto algorithm : all_algorithms()) {
+    const auto series = run_mismatch_sweep(algorithm, config, fast_options());
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_EQ(series[0].mismatch_rate, 0.0) << algorithm;
+    EXPECT_EQ(series[0].invalid_rate, 0.0) << algorithm;
+  }
+}
+
+TEST(RobustnessDriverTest, SweepIsWellFormed) {
+  robustness_config config;
+  config.servers = 32;
+  config.requests = 400;
+  config.max_bit_flips = 4;
+  config.trials = 2;
+  const auto series = run_mismatch_sweep("consistent", config, fast_options());
+  ASSERT_EQ(series.size(), 5u);
+  for (std::size_t e = 0; e < series.size(); ++e) {
+    EXPECT_EQ(series[e].bit_flips, e);
+    EXPECT_GE(series[e].mismatch_rate, 0.0);
+    EXPECT_LE(series[e].mismatch_rate, 1.0);
+    EXPECT_LE(series[e].invalid_rate, series[e].mismatch_rate + 1e-12);
+    EXPECT_GE(series[e].worst_trial, series[e].mismatch_rate);
+  }
+}
+
+TEST(RobustnessDriverTest, TrialsLeaveTableRestored) {
+  // Two identical sweeps must agree exactly: undo restores all state.
+  robustness_config config;
+  config.servers = 16;
+  config.requests = 300;
+  config.max_bit_flips = 3;
+  config.trials = 2;
+  const auto a = run_mismatch_sweep("rendezvous", config, fast_options());
+  const auto b = run_mismatch_sweep("rendezvous", config, fast_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mismatch_rate, b[i].mismatch_rate);
+  }
+}
+
+TEST(UniformityDriverTest, CleanRendezvousIsNearIdealChiSquared) {
+  uniformity_config config;
+  config.server_counts = {64};
+  config.bit_flip_levels = {0};
+  config.requests = 30'000;
+  const auto series = run_uniformity("rendezvous", config, fast_options());
+  ASSERT_EQ(series.size(), 1u);
+  // chi2/dof concentrates around 1 for a perfectly uniform hash
+  // assignment; allow wide slack for sampling noise.
+  EXPECT_GT(series[0].chi_over_dof, 0.5);
+  EXPECT_LT(series[0].chi_over_dof, 1.7);
+  EXPECT_EQ(series[0].invalid_fraction, 0.0);
+}
+
+TEST(UniformityDriverTest, GridShapeMatchesConfig) {
+  uniformity_config config;
+  config.server_counts = {8, 32};
+  config.bit_flip_levels = {0, 4};
+  config.requests = 4000;
+  config.trials = 2;
+  const auto series = run_uniformity("hd", config, fast_options());
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0].servers, 8u);
+  EXPECT_EQ(series[0].bit_flips, 0u);
+  EXPECT_EQ(series[3].servers, 32u);
+  EXPECT_EQ(series[3].bit_flips, 4u);
+}
+
+TEST(DisruptionDriverTest, ModularRemapsAlmostEverything) {
+  disruption_config config;
+  config.servers = 32;
+  config.requests = 4000;
+  config.events = 3;
+  const auto result = run_disruption("modular", config, fast_options());
+  EXPECT_GT(result.join_remap, 0.8);
+  EXPECT_GT(result.leave_remap, 0.8);
+}
+
+TEST(DisruptionDriverTest, ConsistentStyleAlgorithmsAreNearMinimal) {
+  disruption_config config;
+  config.servers = 32;
+  config.requests = 4000;
+  config.events = 3;
+  for (const auto algorithm : {"consistent", "rendezvous", "hd"}) {
+    const auto result = run_disruption(algorithm, config, fast_options());
+    // Joins move exactly the newcomer's share for these algorithms.
+    EXPECT_NEAR(result.join_remap, result.join_minimum, 1e-9) << algorithm;
+    EXPECT_NEAR(result.leave_remap, result.leave_minimum, 1e-9) << algorithm;
+    EXPECT_LT(result.join_remap, 0.35) << algorithm;
+  }
+}
+
+TEST(SimilarityMatrixTest, ShapeDiagonalAndSymmetry) {
+  for (const auto kind :
+       {basis_kind::random, basis_kind::level, basis_kind::circular}) {
+    const auto matrix = similarity_matrix(kind, 12, 4096, 5);
+    ASSERT_EQ(matrix.size(), 12u);
+    for (std::size_t i = 0; i < 12; ++i) {
+      ASSERT_EQ(matrix[i].size(), 12u);
+      EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+      for (std::size_t j = 0; j < 12; ++j) {
+        EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+      }
+    }
+  }
+}
+
+TEST(SimilarityMatrixTest, KindsHaveDistinctProfiles) {
+  // Random: off-diagonal ~0; level: ends dissimilar; circular: wraps.
+  const auto random = similarity_matrix(basis_kind::random, 12, 10'000, 1);
+  const auto level = similarity_matrix(basis_kind::level, 12, 10'000, 1);
+  const auto circular =
+      similarity_matrix(basis_kind::circular, 12, 10'000, 1);
+  EXPECT_NEAR(random[0][11], 0.0, 0.1);
+  EXPECT_NEAR(level[0][11], 0.0, 0.1);        // endpoints orthogonal
+  EXPECT_GT(circular[0][11], 0.7);            // wrap-around adjacency
+  EXPECT_NEAR(circular[0][6], 0.0, 0.1);      // antipode orthogonal
+  EXPECT_GT(level[0][1], 0.8);                // adjacent levels similar
+}
+
+TEST(BasisKindNameTest, NamesAreStable) {
+  EXPECT_EQ(basis_kind_name(basis_kind::random), "random");
+  EXPECT_EQ(basis_kind_name(basis_kind::level), "level");
+  EXPECT_EQ(basis_kind_name(basis_kind::circular), "circular");
+}
+
+}  // namespace
+}  // namespace hdhash

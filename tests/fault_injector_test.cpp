@@ -1,0 +1,199 @@
+#include "fault/injector.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/error_model.hpp"
+#include "util/bits.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+/// Minimal fault surface over caller-owned buffers.
+class test_surface final : public fault_surface {
+ public:
+  explicit test_surface(std::vector<std::size_t> region_sizes) {
+    for (const std::size_t size : region_sizes) {
+      buffers_.emplace_back(size, std::byte{0});
+    }
+  }
+
+  std::vector<memory_region> fault_regions() override {
+    std::vector<memory_region> regions;
+    for (auto& buffer : buffers_) {
+      regions.push_back(
+          memory_region{std::span(buffer.data(), buffer.size()), "test"});
+    }
+    return regions;
+  }
+
+  std::size_t set_bits() const {
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) {
+      for (std::size_t bit = 0; bit < buffer.size() * 8; ++bit) {
+        total += test_bit_in_bytes(buffer, bit) ? 1 : 0;
+      }
+    }
+    return total;
+  }
+
+  std::vector<std::vector<std::byte>> buffers_;
+};
+
+TEST(FaultSurfaceTest, FaultBitsSumsRegions) {
+  test_surface surface({4, 8});
+  EXPECT_EQ(surface.fault_bits(), 96u);
+}
+
+TEST(InjectorTest, InjectsExactDistinctCount) {
+  test_surface surface({16, 16});
+  bit_flip_injector injector(1);
+  const auto flips = injector.inject_random(surface, 20);
+  EXPECT_EQ(flips.size(), 20u);
+  EXPECT_EQ(surface.set_bits(), 20u);  // all distinct, all applied
+}
+
+TEST(InjectorTest, ZeroFlipsIsNoop) {
+  test_surface surface({8});
+  bit_flip_injector injector(2);
+  EXPECT_TRUE(injector.inject_random(surface, 0).empty());
+  EXPECT_EQ(surface.set_bits(), 0u);
+}
+
+TEST(InjectorTest, OverdrawThrows) {
+  test_surface surface({1});  // 8 bits
+  bit_flip_injector injector(3);
+  EXPECT_THROW(injector.inject_random(surface, 9), precondition_error);
+}
+
+TEST(InjectorTest, DeterministicPerSeed) {
+  test_surface a({32});
+  test_surface b({32});
+  bit_flip_injector ia(7);
+  bit_flip_injector ib(7);
+  EXPECT_EQ(ia.inject_random(a, 10), ib.inject_random(b, 10));
+  EXPECT_EQ(a.buffers_, b.buffers_);
+}
+
+TEST(InjectorTest, UndoRestoresExactly) {
+  test_surface surface({16, 8});
+  // Pre-existing content.
+  surface.buffers_[0][3] = std::byte{0xa5};
+  surface.buffers_[1][7] = std::byte{0x5a};
+  const auto original = surface.buffers_;
+  bit_flip_injector injector(9);
+  const auto flips = injector.inject_random(surface, 30);
+  EXPECT_NE(surface.buffers_, original);
+  bit_flip_injector::undo(surface, flips);
+  EXPECT_EQ(surface.buffers_, original);
+}
+
+TEST(InjectorTest, FlipsSpreadAcrossRegions) {
+  test_surface surface({64, 64});
+  bit_flip_injector injector(11);
+  const auto flips = injector.inject_random(surface, 200);
+  bool saw_first = false;
+  bool saw_second = false;
+  for (const auto& flip : flips) {
+    saw_first |= flip.region == 0;
+    saw_second |= flip.region == 1;
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(InjectorTest, BurstBitsAreAdjacentWithinOneRegion) {
+  test_surface surface({32, 32});
+  bit_flip_injector injector(13);
+  const auto flips = injector.inject_burst(surface, 10);
+  ASSERT_FALSE(flips.empty());
+  ASSERT_LE(flips.size(), 10u);
+  for (std::size_t i = 1; i < flips.size(); ++i) {
+    EXPECT_EQ(flips[i].region, flips[0].region);
+    EXPECT_EQ(flips[i].bit, flips[0].bit + i);
+  }
+  EXPECT_EQ(surface.set_bits(), flips.size());
+}
+
+TEST(InjectorTest, BurstClampsAtRegionEnd) {
+  test_surface surface({1});  // 8 bits only
+  bit_flip_injector injector(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    test_surface fresh({1});
+    bit_flip_injector i(static_cast<std::uint64_t>(trial));
+    const auto flips = i.inject_burst(fresh, 6);
+    EXPECT_GE(flips.size(), 1u);
+    EXPECT_LE(flips.size(), 6u);
+    for (const auto& flip : flips) {
+      EXPECT_LT(flip.bit, 8u);
+    }
+  }
+}
+
+TEST(InjectorTest, BurstLengthZeroThrows) {
+  test_surface surface({4});
+  bit_flip_injector injector(19);
+  EXPECT_THROW(injector.inject_burst(surface, 0), precondition_error);
+}
+
+TEST(ScopedInjectionTest, RestoresOnScopeExit) {
+  test_surface surface({16});
+  const auto original = surface.buffers_;
+  bit_flip_injector injector(23);
+  {
+    scoped_injection injection(injector, surface, 12);
+    EXPECT_EQ(injection.flips().size(), 12u);
+    EXPECT_NE(surface.buffers_, original);
+  }
+  EXPECT_EQ(surface.buffers_, original);
+}
+
+TEST(ErrorModelTest, DescribeIsHumanReadable) {
+  EXPECT_EQ((error_model{upset_kind::seu, 3, 1}).describe(), "seu x3");
+  EXPECT_EQ((error_model{upset_kind::mcu, 1, 10}).describe(),
+            "mcu x1 (burst 10)");
+}
+
+TEST(ErrorModelTest, TotalBitsAccounting) {
+  EXPECT_EQ((error_model{upset_kind::seu, 5, 1}).total_bits(), 5u);
+  EXPECT_EQ((error_model{upset_kind::mcu, 3, 4}).total_bits(), 12u);
+}
+
+TEST(ErrorModelTest, SeuSweepCoversRange) {
+  const auto sweep = seu_sweep(10);
+  ASSERT_EQ(sweep.size(), 11u);
+  EXPECT_EQ(sweep.front().events, 0u);
+  EXPECT_EQ(sweep.back().events, 10u);
+  for (const auto& model : sweep) {
+    EXPECT_EQ(model.kind, upset_kind::seu);
+  }
+}
+
+TEST(ErrorModelTest, McuMixRespectsIbeRatios) {
+  const auto mix = mcu_mix_events(100);
+  ASSERT_EQ(mix.size(), 100u);
+  std::size_t four_bit = 0;
+  std::size_t eight_bit = 0;
+  for (const auto& model : mix) {
+    four_bit += model.burst_length == 4 ? 1 : 0;
+    eight_bit += model.burst_length == 8 ? 1 : 0;
+  }
+  EXPECT_EQ(four_bit, 9u);   // every 10th except the 100th
+  EXPECT_EQ(eight_bit, 1u);  // every 100th
+}
+
+TEST(ErrorModelTest, ApplyModelInjectsAndReturnsFlips) {
+  test_surface surface({64});
+  bit_flip_injector injector(29);
+  const error_model model{upset_kind::mcu, 2, 4};
+  const auto flips = apply_error_model(model, injector, surface);
+  EXPECT_GE(flips.size(), 2u);
+  EXPECT_LE(flips.size(), 8u);
+  bit_flip_injector::undo(surface, flips);
+  EXPECT_EQ(surface.set_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,143 @@
+/// Fault-surface contract, verified for every algorithm in the library:
+/// injections are undoable, clones are isolated from corruption of the
+/// original, and the declared regions really are the table's live
+/// routing state (corrupting them heavily must perturb behaviour for
+/// every non-trivial algorithm).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "emu/generator.hpp"
+#include "exp/factory.hpp"
+#include "fault/injector.hpp"
+
+namespace hdhash {
+namespace {
+
+table_options fast_options() {
+  table_options options;
+  options.hd.dimension = 1024;
+  options.hd.capacity = 128;
+  options.maglev_table_size = 4099;
+  return options;
+}
+
+class FaultSurfaceConformanceTest
+    : public ::testing::TestWithParam<std::string_view> {
+ protected:
+  std::unique_ptr<dynamic_table> populated_table() const {
+    auto table = make_table(GetParam(), fast_options());
+    workload_config workload;
+    workload.initial_servers = 24;
+    workload.seed = 17;
+    const generator gen(workload);
+    for (const auto id : gen.initial_server_ids()) {
+      table->join(id);
+    }
+    return table;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FaultSurfaceConformanceTest,
+                         ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           std::string name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(FaultSurfaceConformanceTest, SurfaceIsNonEmptyOncePopulated) {
+  auto table = populated_table();
+  EXPECT_GT(table->fault_bits(), 0u);
+  for (const auto& region : table->fault_regions()) {
+    EXPECT_FALSE(region.bytes.empty());
+    EXPECT_FALSE(region.label.empty());
+  }
+}
+
+TEST_P(FaultSurfaceConformanceTest, InjectUndoRoundTripsBehaviour) {
+  auto table = populated_table();
+  std::vector<server_id> before;
+  for (request_id r = 0; r < 500; ++r) {
+    before.push_back(table->lookup(r));
+  }
+  bit_flip_injector injector(23);
+  const auto flips = injector.inject_random(*table, 16);
+  bit_flip_injector::undo(*table, flips);
+  for (request_id r = 0; r < 500; ++r) {
+    EXPECT_EQ(table->lookup(r), before[r]) << "request " << r;
+  }
+}
+
+TEST_P(FaultSurfaceConformanceTest, ScopedInjectionRestoresOnThrow) {
+  auto table = populated_table();
+  std::vector<server_id> before;
+  for (request_id r = 0; r < 200; ++r) {
+    before.push_back(table->lookup(r));
+  }
+  bit_flip_injector injector(29);
+  try {
+    scoped_injection injection(injector, *table, 8);
+    throw std::runtime_error("experiment aborted mid-trial");
+  } catch (const std::runtime_error&) {
+    // The guard must have restored the table on unwind.
+  }
+  for (request_id r = 0; r < 200; ++r) {
+    EXPECT_EQ(table->lookup(r), before[r]);
+  }
+}
+
+TEST_P(FaultSurfaceConformanceTest, CloneIsIsolatedFromCorruption) {
+  auto table = populated_table();
+  const auto pristine = table->clone();
+  std::vector<server_id> expected;
+  for (request_id r = 0; r < 300; ++r) {
+    expected.push_back(pristine->lookup(r));
+  }
+  bit_flip_injector injector(31);
+  // Heavy corruption of the original only.
+  injector.inject_random(*table, std::min<std::size_t>(
+                                     256, table->fault_bits() / 2));
+  for (request_id r = 0; r < 300; ++r) {
+    EXPECT_EQ(pristine->lookup(r), expected[r]) << "request " << r;
+  }
+}
+
+TEST_P(FaultSurfaceConformanceTest, MembershipOpsInvalidateOldRegions) {
+  // Regions fetched before a mutation must not be reused; re-fetching
+  // after join/leave must reflect the new state size.
+  auto table = populated_table();
+  const std::size_t bits_before = table->fault_bits();
+  table->leave(generator::server_id_at(17, 0));
+  const std::size_t bits_after = table->fault_bits();
+  if (GetParam() == "hd") {
+    // Exactly one hypervector row disappears.
+    EXPECT_EQ(bits_before - bits_after, 1024u);
+  } else {
+    // hd-hierarchical may additionally drop a router row when a shard
+    // empties; maglev's lookup table is fixed-size but the id array
+    // shrinks.  In every case the surface must get strictly smaller.
+    EXPECT_LT(bits_after, bits_before);
+  }
+}
+
+TEST_P(FaultSurfaceConformanceTest, HeavyCorruptionPerturbsRouting) {
+  // The declared surface must actually be load-bearing: flipping half
+  // of the live state changes at least one routing decision.  (This is
+  // what distinguishes a real fault surface from decorative metadata.)
+  auto table = populated_table();
+  const auto pristine = table->clone();
+  bit_flip_injector injector(37);
+  injector.inject_random(*table, table->fault_bits() / 2);
+  std::size_t changed = 0;
+  for (request_id r = 0; r < 2000; ++r) {
+    changed += table->lookup(r) != pristine->lookup(r) ? 1 : 0;
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+}  // namespace
+}  // namespace hdhash

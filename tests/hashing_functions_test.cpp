@@ -1,0 +1,193 @@
+#include <array>
+#include <cstring>
+#include <set>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hashing/fnv.hpp"
+#include "hashing/murmur3.hpp"
+#include "hashing/registry.hpp"
+#include "hashing/siphash.hpp"
+#include "hashing/splitmix_hash.hpp"
+#include "hashing/xxhash64.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+std::span<const std::byte> as_bytes(std::string_view text) {
+  return std::as_bytes(std::span(text.data(), text.size()));
+}
+
+// ---------------------------------------------------------------- FNV-1a
+
+TEST(Fnv1aTest, MatchesPublishedVectors) {
+  const fnv1a64 h;
+  // Reference values from the FNV specification (landon curt noll).
+  EXPECT_EQ(h(as_bytes(""), 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(h(as_bytes("a"), 0), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(h(as_bytes("foobar"), 0), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, SeedChangesOutput) {
+  const fnv1a64 h;
+  EXPECT_NE(h(as_bytes("key"), 0), h(as_bytes("key"), 1));
+}
+
+// ------------------------------------------------------------- SplitMix64
+
+TEST(SplitmixHashTest, MixMatchesSplitmixStream) {
+  // mix(v) equals splitmix64_next with state v (the function adds the
+  // golden-gamma increment then finalizes).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix_hash::mix(0), splitmix64_next(state));
+}
+
+TEST(SplitmixHashTest, LengthSensitive) {
+  const splitmix_hash h;
+  // Same 8-byte prefix, one extra zero byte: must differ (length is mixed).
+  std::array<std::byte, 9> buffer{};
+  EXPECT_NE(h(std::span(buffer.data(), 8), 0), h(std::span(buffer.data(), 9), 0));
+}
+
+TEST(SplitmixHashTest, TailBytesMatter) {
+  const splitmix_hash h;
+  std::array<std::byte, 3> a{std::byte{1}, std::byte{2}, std::byte{3}};
+  std::array<std::byte, 3> b{std::byte{1}, std::byte{2}, std::byte{4}};
+  EXPECT_NE(h(a, 0), h(b, 0));
+}
+
+// -------------------------------------------------------------- MurmurHash3
+
+TEST(Murmur3Test, EmptyInputSeedZeroIsZero) {
+  // Well-known property of the reference implementation.
+  const auto digest = murmur3_x64::hash128({}, 0);
+  EXPECT_EQ(digest[0], 0u);
+  EXPECT_EQ(digest[1], 0u);
+}
+
+TEST(Murmur3Test, SeedZeroVsNonZeroDiffer) {
+  const murmur3_x64 h;
+  EXPECT_NE(h(as_bytes("hello"), 0), h(as_bytes("hello"), 1));
+}
+
+TEST(Murmur3Test, AllTailLengthsDistinct) {
+  // Exercises every branch of the 15-way tail switch.
+  const murmur3_x64 h;
+  std::array<std::byte, 48> buffer{};
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<std::byte>(i * 7 + 1);
+  }
+  std::set<std::uint64_t> outputs;
+  for (std::size_t len = 0; len <= buffer.size(); ++len) {
+    outputs.insert(h(std::span(buffer.data(), len), 0));
+  }
+  EXPECT_EQ(outputs.size(), buffer.size() + 1);
+}
+
+TEST(Murmur3Test, HighSeedBitsAreNotIgnored) {
+  const murmur3_x64 h;
+  EXPECT_NE(h(as_bytes("x"), 1ULL << 40), h(as_bytes("x"), 0));
+}
+
+// ---------------------------------------------------------------- xxHash64
+
+TEST(Xxhash64Test, MatchesPublishedEmptyVector) {
+  const xxhash64 h;
+  // XXH64("", seed=0) from the xxHash specification.
+  EXPECT_EQ(h({}, 0), 0xEF46DB3751D8E999ULL);
+}
+
+TEST(Xxhash64Test, AllLengthBranchesDistinct) {
+  // < 4, < 8, < 32 and >= 32 byte paths all execute.
+  const xxhash64 h;
+  std::array<std::byte, 80> buffer{};
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<std::byte>(i + 3);
+  }
+  std::set<std::uint64_t> outputs;
+  for (const std::size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u,
+                                63u, 64u, 79u, 80u}) {
+    outputs.insert(h(std::span(buffer.data(), len), 0));
+  }
+  EXPECT_EQ(outputs.size(), 14u);
+}
+
+TEST(Xxhash64Test, SeedSensitivity) {
+  const xxhash64 h;
+  std::array<std::byte, 40> buffer{};
+  EXPECT_NE(h(buffer, 0), h(buffer, 1));
+  EXPECT_NE(h(buffer, 0), h(buffer, ~std::uint64_t{0}));
+}
+
+// ---------------------------------------------------------------- SipHash
+
+TEST(SiphashTest, MatchesReferenceVectors) {
+  // First entries of the official SipHash-2-4 test vector table:
+  // key = 00 01 02 ... 0f, input = first n bytes of 00 01 02 ...
+  constexpr std::uint64_t k0 = 0x0706050403020100ULL;
+  constexpr std::uint64_t k1 = 0x0f0e0d0c0b0a0908ULL;
+  std::array<std::byte, 8> input{};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::byte>(i);
+  }
+  EXPECT_EQ(siphash24::sip24(std::span(input.data(), 0u), k0, k1),
+            0x726fdb47dd0e0e31ULL);
+  EXPECT_EQ(siphash24::sip24(std::span(input.data(), 1u), k0, k1),
+            0x74f839c593dc67fdULL);
+  EXPECT_EQ(siphash24::sip24(std::span(input.data(), 8u), k0, k1),
+            0x93f5f5799a932462ULL);
+}
+
+TEST(SiphashTest, HasherInterfaceIsDeterministic) {
+  const siphash24 h;
+  EXPECT_EQ(h(as_bytes("abc"), 5), h(as_bytes("abc"), 5));
+  EXPECT_NE(h(as_bytes("abc"), 5), h(as_bytes("abc"), 6));
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, FindsAllBuiltins) {
+  for (const auto name : registered_hash_names()) {
+    EXPECT_EQ(hash_by_name(name).name(), name);
+  }
+  EXPECT_EQ(registered_hash_names().size(), 5u);
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(hash_by_name("md5"), precondition_error);
+}
+
+TEST(RegistryTest, DefaultIsXxhash) {
+  EXPECT_EQ(default_hash().name(), "xxhash64");
+}
+
+TEST(RegistryTest, SingletonsAreStable) {
+  EXPECT_EQ(&hash_by_name("fnv1a64"), &hash_by_name("fnv1a64"));
+}
+
+// ------------------------------------------------------- hash64 conveniences
+
+TEST(Hash64ConvenienceTest, HashU64MatchesByteHash) {
+  const hash64& h = default_hash();
+  const std::uint64_t value = 0x1122334455667788ULL;
+  std::array<std::byte, 8> bytes;
+  std::memcpy(bytes.data(), &value, 8);
+  EXPECT_EQ(h.hash_u64(value, 3), h(bytes, 3));
+}
+
+TEST(Hash64ConvenienceTest, HashPairOrderMatters) {
+  const hash64& h = default_hash();
+  EXPECT_NE(h.hash_pair(1, 2), h.hash_pair(2, 1));
+}
+
+TEST(Hash64ConvenienceTest, HashStringMatchesBytes) {
+  const hash64& h = default_hash();
+  EXPECT_EQ(h.hash_string("hello"), h(as_bytes("hello"), 0));
+}
+
+}  // namespace
+}  // namespace hdhash

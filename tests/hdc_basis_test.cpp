@@ -1,0 +1,137 @@
+#include "hdc/basis.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "hdc/similarity.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+namespace {
+
+TEST(RandomSetTest, SizeAndDimension) {
+  xoshiro256 rng(1);
+  const auto set = random_set(12, 10'000, rng);
+  ASSERT_EQ(set.size(), 12u);
+  for (const auto& hv : set) {
+    EXPECT_EQ(hv.dim(), 10'000u);
+  }
+}
+
+TEST(RandomSetTest, PairwiseQuasiOrthogonal) {
+  // Figure 2, left panel: all off-diagonal cosine similarities ≈ 0.
+  xoshiro256 rng(2);
+  const auto set = random_set(12, 10'000, rng);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      EXPECT_NEAR(cosine(set[i], set[j]), 0.0, 0.06)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(RandomSetTest, EmptyThrows) {
+  xoshiro256 rng(3);
+  EXPECT_THROW(random_set(0, 100, rng), precondition_error);
+}
+
+struct level_case {
+  std::size_t count;
+  std::size_t dim;
+};
+
+class LevelSetFreshTest : public ::testing::TestWithParam<level_case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LevelSetFreshTest,
+    ::testing::Values(level_case{2, 1000}, level_case{5, 1000},
+                      level_case{12, 10'000}, level_case{16, 4096},
+                      level_case{33, 10'000}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.count) + "_d" +
+             std::to_string(info.param.dim);
+    });
+
+TEST_P(LevelSetFreshTest, SimilarityDecaysMonotonically) {
+  // Figure 2, middle panel: the first row of the similarity matrix
+  // decreases with index distance.
+  const auto [count, dim] = GetParam();
+  xoshiro256 rng(4);
+  const auto set = level_set(count, dim, rng, flip_policy::fresh_bits);
+  ASSERT_EQ(set.size(), count);
+  std::size_t previous = 0;
+  for (std::size_t j = 1; j < count; ++j) {
+    const std::size_t d = hamming_distance(set[0], set[j]);
+    EXPECT_GT(d, previous) << "level " << j;
+    previous = d;
+  }
+}
+
+TEST_P(LevelSetFreshTest, ProfileIsExactlyLinear) {
+  // fresh_bits flips disjoint chunks, so distances are exact chunk sums:
+  // hamming(c_0, c_j) == floor(j * (d/2) / (count-1)) within rounding.
+  const auto [count, dim] = GetParam();
+  xoshiro256 rng(5);
+  const auto set = level_set(count, dim, rng, flip_policy::fresh_bits);
+  const auto total = static_cast<double>(dim / 2);
+  for (std::size_t j = 1; j < count; ++j) {
+    const double expected =
+        total * static_cast<double>(j) / static_cast<double>(count - 1);
+    EXPECT_NEAR(static_cast<double>(hamming_distance(set[0], set[j])),
+                expected, 1.0)
+        << "level " << j;
+  }
+}
+
+TEST_P(LevelSetFreshTest, EndpointsQuasiOrthogonal) {
+  const auto [count, dim] = GetParam();
+  xoshiro256 rng(6);
+  const auto set = level_set(count, dim, rng, flip_policy::fresh_bits);
+  EXPECT_NEAR(cosine(set.front(), set.back()), 0.0, 2.0 / dim + 1e-9);
+}
+
+TEST(LevelSetIndependentTest, LiteralPolicyStillMonotoneInExpectation) {
+  // Independent flips can collide, so we only assert a decreasing trend
+  // with slack, plus the saturation effect near the end of the chain.
+  xoshiro256 rng(7);
+  const auto set = level_set(20, 10'000, rng, flip_policy::independent);
+  const auto first_step = hamming_distance(set[0], set[1]);
+  const auto total = hamming_distance(set.front(), set.back());
+  EXPECT_EQ(first_step, 10'000u / 20u);  // first step has no collisions
+  // 19 steps of 500 independent flips saturate near
+  // d * (1 - (1 - 2*500/d)^19) / 2 ~ 4324 differing bits — growth far
+  // beyond one step, but strictly below the fresh-bits value of d/2.
+  EXPECT_GT(total, 3800u);
+  EXPECT_LT(total, 4800u);
+}
+
+TEST(LevelSetTest, SingleLevelThrows) {
+  xoshiro256 rng(8);
+  EXPECT_THROW(level_set(1, 100, rng), precondition_error);
+}
+
+TEST(LevelSetTest, DimensionTooSmallForFreshThrows) {
+  xoshiro256 rng(9);
+  // dim/2 = 5 distinct flip positions cannot cover 10 steps.
+  EXPECT_THROW(level_set(11, 10, rng, flip_policy::fresh_bits),
+               precondition_error);
+}
+
+TEST(LevelSetTest, DeterministicPerSeed) {
+  xoshiro256 a(10);
+  xoshiro256 b(10);
+  EXPECT_EQ(level_set(8, 512, a), level_set(8, 512, b));
+}
+
+TEST(LevelSetTest, AdjacentLevelsMostSimilar) {
+  xoshiro256 rng(11);
+  const auto set = level_set(10, 10'000, rng);
+  for (std::size_t i = 0; i + 2 < set.size(); ++i) {
+    EXPECT_LT(hamming_distance(set[i], set[i + 1]),
+              hamming_distance(set[i], set[i + 2]));
+  }
+}
+
+}  // namespace
+}  // namespace hdhash::hdc

@@ -1,0 +1,107 @@
+#include "hdc/hypervector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+namespace {
+
+TEST(HypervectorTest, ConstructionZeroed) {
+  const hypervector hv(100);
+  EXPECT_EQ(hv.dim(), 100u);
+  EXPECT_EQ(hv.word_count(), 2u);
+  EXPECT_EQ(hv.popcount(), 0u);
+}
+
+TEST(HypervectorTest, ZeroDimensionThrows) {
+  EXPECT_THROW(hypervector(0), precondition_error);
+}
+
+TEST(HypervectorTest, SetTestFlip) {
+  hypervector hv(70);
+  hv.set(0, true);
+  hv.set(69, true);
+  EXPECT_TRUE(hv.test(0));
+  EXPECT_TRUE(hv.test(69));
+  EXPECT_FALSE(hv.test(1));
+  EXPECT_EQ(hv.popcount(), 2u);
+  hv.flip(69);
+  EXPECT_FALSE(hv.test(69));
+  EXPECT_EQ(hv.popcount(), 1u);
+}
+
+TEST(HypervectorTest, OutOfRangeAccessThrows) {
+  hypervector hv(10);
+  EXPECT_THROW(hv.test(10), precondition_error);
+  EXPECT_THROW(hv.set(10, true), precondition_error);
+  EXPECT_THROW(hv.flip(11), precondition_error);
+}
+
+TEST(HypervectorTest, OnesRespectsCanonicalTail) {
+  const auto hv = hypervector::ones(70);
+  EXPECT_EQ(hv.popcount(), 70u);
+  // The tail word's unused 58 bits must be zero.
+  EXPECT_EQ(hv.words()[1] & ~tail_mask(70), 0u);
+}
+
+TEST(HypervectorTest, RandomHasCanonicalTail) {
+  xoshiro256 rng(3);
+  for (const std::size_t dim : {1u, 63u, 64u, 65u, 1000u, 10'000u}) {
+    const auto hv = hypervector::random(dim, rng);
+    EXPECT_EQ(hv.words().back() & ~tail_mask(dim), 0u) << "dim " << dim;
+  }
+}
+
+TEST(HypervectorTest, RandomIsBalanced) {
+  xoshiro256 rng(4);
+  const auto hv = hypervector::random(10'000, rng);
+  // Each bit Bernoulli(1/2): popcount within 5 sigma of d/2.
+  EXPECT_NEAR(static_cast<double>(hv.popcount()), 5000.0, 5.0 * 50.0);
+}
+
+TEST(HypervectorTest, RandomDeterministicPerSeed) {
+  xoshiro256 a(9);
+  xoshiro256 b(9);
+  EXPECT_EQ(hypervector::random(256, a), hypervector::random(256, b));
+}
+
+TEST(HypervectorTest, XorSelfIsZero) {
+  xoshiro256 rng(5);
+  const auto hv = hypervector::random(500, rng);
+  EXPECT_EQ((hv ^ hv).popcount(), 0u);
+}
+
+TEST(HypervectorTest, XorDimensionMismatchThrows) {
+  hypervector a(64);
+  hypervector b(65);
+  EXPECT_THROW(a ^= b, precondition_error);
+}
+
+TEST(HypervectorTest, XorIsInvolutive) {
+  xoshiro256 rng(6);
+  const auto a = hypervector::random(300, rng);
+  const auto b = hypervector::random(300, rng);
+  EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+TEST(HypervectorTest, EqualityIsValueBased) {
+  hypervector a(64);
+  hypervector b(64);
+  EXPECT_EQ(a, b);
+  a.set(3, true);
+  EXPECT_NE(a, b);
+  b.set(3, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HypervectorTest, CanonicalizeTailRepairsRawWrites) {
+  hypervector hv(10);
+  hv.words_mut()[0] = ~std::uint64_t{0};  // raw write breaks the invariant
+  hv.canonicalize_tail();
+  EXPECT_EQ(hv.popcount(), 10u);
+}
+
+}  // namespace
+}  // namespace hdhash::hdc

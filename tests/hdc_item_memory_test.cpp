@@ -1,0 +1,147 @@
+#include "hdc/item_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdc/ops.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+namespace {
+
+TEST(ItemMemoryTest, StartsEmpty) {
+  item_memory memory(64);
+  EXPECT_TRUE(memory.empty());
+  EXPECT_EQ(memory.size(), 0u);
+  EXPECT_FALSE(memory.query(hypervector(64)).has_value());
+}
+
+TEST(ItemMemoryTest, ZeroDimensionThrows) {
+  EXPECT_THROW(item_memory(0), precondition_error);
+}
+
+TEST(ItemMemoryTest, InsertContainsAt) {
+  item_memory memory(128);
+  xoshiro256 rng(1);
+  const auto hv = hypervector::random(128, rng);
+  memory.insert(7, hv);
+  EXPECT_TRUE(memory.contains(7));
+  EXPECT_FALSE(memory.contains(8));
+  EXPECT_EQ(memory.at(7), hv);
+  EXPECT_EQ(memory.size(), 1u);
+}
+
+TEST(ItemMemoryTest, DuplicateInsertThrows) {
+  item_memory memory(64);
+  memory.insert(1, hypervector(64));
+  EXPECT_THROW(memory.insert(1, hypervector(64)), precondition_error);
+}
+
+TEST(ItemMemoryTest, DimensionMismatchThrows) {
+  item_memory memory(64);
+  EXPECT_THROW(memory.insert(1, hypervector(65)), precondition_error);
+  memory.insert(1, hypervector(64));
+  EXPECT_THROW(memory.query(hypervector(63)), precondition_error);
+}
+
+TEST(ItemMemoryTest, EraseRemoves) {
+  item_memory memory(64);
+  memory.insert(1, hypervector(64));
+  memory.insert(2, hypervector::ones(64));
+  memory.erase(1);
+  EXPECT_FALSE(memory.contains(1));
+  EXPECT_TRUE(memory.contains(2));
+  EXPECT_THROW(memory.erase(1), precondition_error);
+  EXPECT_THROW(memory.at(1), precondition_error);
+}
+
+TEST(ItemMemoryTest, QueryFindsNearestNeighbour) {
+  item_memory memory(10'000);
+  xoshiro256 rng(2);
+  const auto anchor = hypervector::random(10'000, rng);
+  memory.insert(10, anchor);
+  memory.insert(20, flip_random_bits(anchor, 3000, rng));
+  memory.insert(30, hypervector::random(10'000, rng));
+
+  const auto probe = flip_random_bits(anchor, 100, rng);
+  const auto result = memory.query(probe);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->key, 10u);
+  EXPECT_DOUBLE_EQ(result->best_score, 10'000.0 - 100.0);
+  EXPECT_GT(result->margin(), 0.0);
+}
+
+TEST(ItemMemoryTest, RunnerUpTracksSecondBest) {
+  item_memory memory(1000);
+  xoshiro256 rng(3);
+  const auto anchor = hypervector::random(1000, rng);
+  memory.insert(1, anchor);
+  memory.insert(2, flip_random_bits(anchor, 10, rng));
+  const auto result = memory.query(anchor);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->key, 1u);
+  EXPECT_DOUBLE_EQ(result->best_score, 1000.0);
+  EXPECT_DOUBLE_EQ(result->runner_up, 990.0);
+  EXPECT_DOUBLE_EQ(result->margin(), 10.0);
+}
+
+TEST(ItemMemoryTest, TieBreaksTowardSmallestKey) {
+  item_memory memory(64);
+  const hypervector same(64);
+  memory.insert(42, same);
+  memory.insert(7, same);
+  memory.insert(99, same);
+  const auto result = memory.query(same);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->key, 7u);
+  // All tie: runner-up score equals the best score.
+  EXPECT_DOUBLE_EQ(result->runner_up, result->best_score);
+}
+
+TEST(ItemMemoryTest, CosineMetricSameArgmax) {
+  item_memory hamming_memory(4096, metric::inverse_hamming);
+  item_memory cosine_memory(4096, metric::cosine);
+  xoshiro256 rng(4);
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    const auto hv = hypervector::random(4096, rng);
+    hamming_memory.insert(key, hv);
+    cosine_memory.insert(key, hv);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto probe = hypervector::random(4096, rng);
+    EXPECT_EQ(hamming_memory.query(probe)->key, cosine_memory.query(probe)->key);
+  }
+}
+
+TEST(ItemMemoryTest, KeysInInsertionOrder) {
+  item_memory memory(64);
+  memory.insert(5, hypervector(64));
+  memory.insert(3, hypervector(64));
+  memory.insert(9, hypervector(64));
+  EXPECT_EQ(memory.keys(), (std::vector<std::uint64_t>{5, 3, 9}));
+}
+
+TEST(ItemMemoryTest, StorageExposesOneRegionPerEntry) {
+  item_memory memory(130);
+  memory.insert(1, hypervector(130));
+  memory.insert(2, hypervector(130));
+  const auto regions = memory.storage();
+  ASSERT_EQ(regions.size(), 2u);
+  for (const auto& region : regions) {
+    EXPECT_EQ(region.size(), 3u);  // 130 bits -> 3 words
+  }
+}
+
+TEST(ItemMemoryTest, StorageWritesAffectQueries) {
+  item_memory memory(64);
+  memory.insert(1, hypervector(64));             // all zeros
+  memory.insert(2, hypervector::ones(64));       // all ones
+  // Probe of all ones resolves to key 2...
+  EXPECT_EQ(memory.query(hypervector::ones(64))->key, 2u);
+  // ...until we overwrite entry 2's storage with zeros.
+  auto regions = memory.storage();
+  regions[1][0] = 0;
+  EXPECT_EQ(memory.query(hypervector::ones(64))->key, 1u);
+}
+
+}  // namespace
+}  // namespace hdhash::hdc

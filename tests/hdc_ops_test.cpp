@@ -1,0 +1,181 @@
+#include "hdc/ops.hpp"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hdc/similarity.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+namespace {
+
+TEST(BindTest, SelfInverse) {
+  xoshiro256 rng(1);
+  const auto a = hypervector::random(1000, rng);
+  const auto t = hypervector::random(1000, rng);
+  EXPECT_EQ(bind(bind(a, t), t), a);
+}
+
+TEST(BindTest, CommutativeAndAssociative) {
+  xoshiro256 rng(2);
+  const auto a = hypervector::random(512, rng);
+  const auto b = hypervector::random(512, rng);
+  const auto c = hypervector::random(512, rng);
+  EXPECT_EQ(bind(a, b), bind(b, a));
+  EXPECT_EQ(bind(bind(a, b), c), bind(a, bind(b, c)));
+}
+
+TEST(BindTest, PreservesDistances) {
+  // Binding with the same vector is an isometry of Hamming space.
+  xoshiro256 rng(3);
+  const auto a = hypervector::random(2048, rng);
+  const auto b = hypervector::random(2048, rng);
+  const auto t = hypervector::random(2048, rng);
+  EXPECT_EQ(hamming_distance(a, b), hamming_distance(bind(a, t), bind(b, t)));
+}
+
+TEST(BindTest, RandomizesSimilarity) {
+  // bind(a, t) is quasi-orthogonal to a for random t.
+  xoshiro256 rng(4);
+  const auto a = hypervector::random(10'000, rng);
+  const auto t = hypervector::random(10'000, rng);
+  EXPECT_NEAR(normalized_hamming(a, bind(a, t)), 0.5, 0.05);
+}
+
+TEST(BundleOddTest, MajorityOfThree) {
+  hypervector a(4);
+  hypervector b(4);
+  hypervector c(4);
+  a.set(0, true);  // bit 0: 1 vote -> 0
+  a.set(1, true);
+  b.set(1, true);  // bit 1: 2 votes -> 1
+  a.set(2, true);
+  b.set(2, true);
+  c.set(2, true);  // bit 2: 3 votes -> 1
+  const auto m = bundle_odd(std::vector<hypervector>{a, b, c});
+  EXPECT_FALSE(m.test(0));
+  EXPECT_TRUE(m.test(1));
+  EXPECT_TRUE(m.test(2));
+  EXPECT_FALSE(m.test(3));
+}
+
+TEST(BundleOddTest, EvenCountThrows) {
+  const std::vector<hypervector> two(2, hypervector(8));
+  EXPECT_THROW(bundle_odd(two), precondition_error);
+}
+
+TEST(BundleOddTest, SingletonIsIdentity) {
+  xoshiro256 rng(5);
+  const auto a = hypervector::random(128, rng);
+  EXPECT_EQ(bundle_odd(std::vector<hypervector>{a}), a);
+}
+
+TEST(BundleTest, EmptyThrows) {
+  xoshiro256 rng(6);
+  EXPECT_THROW(bundle({}, rng), precondition_error);
+}
+
+TEST(BundleTest, DimensionMismatchThrows) {
+  xoshiro256 rng(7);
+  const std::vector<hypervector> mixed{hypervector(8), hypervector(16)};
+  EXPECT_THROW(bundle(mixed, rng), precondition_error);
+}
+
+TEST(BundleTest, BundleIsCloserToMembersThanRandom) {
+  // The defining property: the bundle of a set is similar to every member.
+  xoshiro256 rng(8);
+  std::vector<hypervector> members;
+  for (int i = 0; i < 5; ++i) {
+    members.push_back(hypervector::random(10'000, rng));
+  }
+  const auto m = bundle_odd(members);
+  const auto unrelated = hypervector::random(10'000, rng);
+  for (const auto& member : members) {
+    EXPECT_LT(normalized_hamming(m, member), 0.40);
+  }
+  EXPECT_NEAR(normalized_hamming(m, unrelated), 0.5, 0.05);
+}
+
+TEST(BundleTest, EvenTieBreakDeterministicPerSeed) {
+  hypervector a(64);
+  const auto b = invert(a);  // every bit ties
+  xoshiro256 rng_1(9);
+  xoshiro256 rng_2(9);
+  const auto m1 = bundle(std::vector<hypervector>{a, b}, rng_1);
+  const auto m2 = bundle(std::vector<hypervector>{a, b}, rng_2);
+  EXPECT_EQ(m1, m2);
+  // Tie bits are random: about half set.
+  EXPECT_NEAR(static_cast<double>(m1.popcount()), 32.0, 20.0);
+}
+
+TEST(PermuteTest, ZeroShiftIsIdentity) {
+  xoshiro256 rng(10);
+  const auto a = hypervector::random(100, rng);
+  EXPECT_EQ(permute(a, 0), a);
+  EXPECT_EQ(permute(a, 100), a);  // full rotation
+}
+
+TEST(PermuteTest, PreservesPopcount) {
+  xoshiro256 rng(11);
+  const auto a = hypervector::random(333, rng);
+  EXPECT_EQ(permute(a, 17).popcount(), a.popcount());
+}
+
+TEST(PermuteTest, InverseRotationRestores) {
+  xoshiro256 rng(12);
+  const auto a = hypervector::random(200, rng);
+  EXPECT_EQ(permute(permute(a, 77), 200 - 77), a);
+}
+
+TEST(PermuteTest, ShiftsIndividualBits) {
+  hypervector a(10);
+  a.set(9, true);
+  const auto shifted = permute(a, 1);
+  EXPECT_TRUE(shifted.test(0));  // wraps around
+  EXPECT_EQ(shifted.popcount(), 1u);
+}
+
+TEST(PermuteTest, DecorrelatesFromSelf) {
+  xoshiro256 rng(13);
+  const auto a = hypervector::random(10'000, rng);
+  EXPECT_NEAR(normalized_hamming(a, permute(a, 1)), 0.5, 0.05);
+}
+
+TEST(InvertTest, ComplementsEveryBit) {
+  xoshiro256 rng(14);
+  const auto a = hypervector::random(130, rng);
+  const auto inv = invert(a);
+  EXPECT_EQ(inv.popcount(), 130 - a.popcount());
+  EXPECT_EQ(hamming_distance(a, inv), 130u);
+  EXPECT_EQ(invert(inv), a);
+}
+
+TEST(FlipMaskTest, ExactWeight) {
+  xoshiro256 rng(15);
+  for (const std::size_t count : {0u, 1u, 10u, 64u, 500u}) {
+    EXPECT_EQ(random_flip_mask(500, count, rng).popcount(), count);
+  }
+}
+
+TEST(FlipMaskTest, OverweightThrows) {
+  xoshiro256 rng(16);
+  EXPECT_THROW(random_flip_mask(10, 11, rng), precondition_error);
+}
+
+TEST(FlipRandomBitsTest, ChangesExactlyCountBits) {
+  xoshiro256 rng(17);
+  const auto a = hypervector::random(1000, rng);
+  const auto b = flip_random_bits(a, 25, rng);
+  EXPECT_EQ(hamming_distance(a, b), 25u);
+}
+
+TEST(FlipRandomBitsTest, ZeroFlipsIsIdentity) {
+  xoshiro256 rng(18);
+  const auto a = hypervector::random(64, rng);
+  EXPECT_EQ(flip_random_bits(a, 0, rng), a);
+}
+
+}  // namespace
+}  // namespace hdhash::hdc

@@ -1,0 +1,121 @@
+#include "hdc/similarity.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "hdc/ops.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::hdc {
+namespace {
+
+TEST(HammingTest, IdenticalVectorsAreZero) {
+  xoshiro256 rng(1);
+  const auto a = hypervector::random(777, rng);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+}
+
+TEST(HammingTest, ComplementIsFullDistance) {
+  xoshiro256 rng(2);
+  const auto a = hypervector::random(777, rng);
+  EXPECT_EQ(hamming_distance(a, invert(a)), 777u);
+}
+
+TEST(HammingTest, Symmetric) {
+  xoshiro256 rng(3);
+  const auto a = hypervector::random(512, rng);
+  const auto b = hypervector::random(512, rng);
+  EXPECT_EQ(hamming_distance(a, b), hamming_distance(b, a));
+}
+
+TEST(HammingTest, DimensionMismatchThrows) {
+  hypervector a(8);
+  hypervector b(9);
+  EXPECT_THROW(hamming_distance(a, b), precondition_error);
+}
+
+TEST(HammingTest, TriangleInequalityOnRandomTriples) {
+  xoshiro256 rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto a = hypervector::random(256, rng);
+    const auto b = hypervector::random(256, rng);
+    const auto c = hypervector::random(256, rng);
+    EXPECT_LE(hamming_distance(a, c),
+              hamming_distance(a, b) + hamming_distance(b, c));
+  }
+}
+
+TEST(HammingTest, KnownSmallCase) {
+  hypervector a(8);
+  hypervector b(8);
+  a.set(0, true);
+  a.set(3, true);
+  b.set(3, true);
+  b.set(7, true);
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+}
+
+TEST(InverseHammingTest, ComplementsDistance) {
+  xoshiro256 rng(5);
+  const auto a = hypervector::random(1000, rng);
+  const auto b = hypervector::random(1000, rng);
+  EXPECT_EQ(inverse_hamming(a, b) + hamming_distance(a, b), 1000u);
+  EXPECT_EQ(inverse_hamming(a, a), 1000u);
+}
+
+TEST(NormalizedHammingTest, UnitRange) {
+  xoshiro256 rng(6);
+  const auto a = hypervector::random(100, rng);
+  const auto b = hypervector::random(100, rng);
+  const double h = normalized_hamming(a, b);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, 1.0);
+  EXPECT_DOUBLE_EQ(normalized_hamming(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_hamming(a, invert(a)), 1.0);
+}
+
+TEST(CosineTest, BipolarIdentities) {
+  xoshiro256 rng(7);
+  const auto a = hypervector::random(2000, rng);
+  EXPECT_DOUBLE_EQ(cosine(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(cosine(a, invert(a)), -1.0);
+}
+
+TEST(CosineTest, RandomPairsQuasiOrthogonal) {
+  xoshiro256 rng(8);
+  const auto a = hypervector::random(10'000, rng);
+  const auto b = hypervector::random(10'000, rng);
+  EXPECT_NEAR(cosine(a, b), 0.0, 0.1);
+}
+
+TEST(CosineTest, LinearInHamming) {
+  xoshiro256 rng(9);
+  const auto a = hypervector::random(1000, rng);
+  const auto b = flip_random_bits(a, 250, rng);  // hamming = d/4
+  EXPECT_DOUBLE_EQ(cosine(a, b), 0.5);
+}
+
+TEST(ScoreTest, MetricsAgreeOnArgmaxOrdering) {
+  // Both metrics are monotone decreasing in Hamming distance, so their
+  // pairwise order comparisons must agree.
+  xoshiro256 rng(10);
+  const auto probe = hypervector::random(4096, rng);
+  const auto near = flip_random_bits(probe, 100, rng);
+  const auto far = flip_random_bits(probe, 1000, rng);
+  EXPECT_GT(score(metric::inverse_hamming, probe, near),
+            score(metric::inverse_hamming, probe, far));
+  EXPECT_GT(score(metric::cosine, probe, near),
+            score(metric::cosine, probe, far));
+}
+
+TEST(ScoreTest, InverseHammingScoreValue) {
+  xoshiro256 rng(11);
+  const auto a = hypervector::random(640, rng);
+  const auto b = flip_random_bits(a, 40, rng);
+  EXPECT_DOUBLE_EQ(score(metric::inverse_hamming, a, b), 600.0);
+  EXPECT_DOUBLE_EQ(score(metric::cosine, a, b), 1.0 - 2.0 * 40.0 / 640.0);
+}
+
+}  // namespace
+}  // namespace hdhash::hdc

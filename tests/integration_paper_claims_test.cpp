@@ -1,0 +1,182 @@
+/// End-to-end reproduction of the paper's qualitative claims at reduced
+/// scale (full scale runs in bench/).  Each test states the claim it
+/// checks, with the paper section in parentheses.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/efficiency.hpp"
+#include "exp/factory.hpp"
+#include "exp/robustness.hpp"
+#include "exp/uniformity.hpp"
+
+namespace hdhash {
+namespace {
+
+table_options integration_options() {
+  table_options options;
+  // Paper dimensionality; a 320-node circle over 128 servers gives a
+  // lattice step of 10000/320 = 31 bits, so any error pattern of up to
+  // 15 total bit flips provably cannot remap a single request (see
+  // hd_table_config::lattice_decode) — the exact-zero regime the paper
+  // reports.
+  options.hd.dimension = 10'000;
+  options.hd.capacity = 320;
+  return options;
+}
+
+TEST(PaperClaimsTest, HdHashingIsUnaffectedByTenBitErrors) {
+  // Claim (abstract, Section 5.3): "a realistic level of memory errors
+  // causes more than 20% mismatches for consistent hashing while HD
+  // hashing remains unaffected"; at 10 flips HD has zero mismatches.
+  robustness_config config;
+  config.servers = 128;
+  config.requests = 2000;
+  config.max_bit_flips = 10;
+  config.trials = 3;
+  const auto hd = run_mismatch_sweep("hd", config, integration_options());
+  for (const auto& point : hd) {
+    EXPECT_EQ(point.mismatch_rate, 0.0)
+        << "HD mismatched at " << point.bit_flips << " flips";
+    EXPECT_EQ(point.worst_trial, 0.0);
+  }
+}
+
+TEST(PaperClaimsTest, ConsistentHashingDegradesWithBitErrors) {
+  // Claim (Figure 5): consistent hashing's mismatch rate grows with the
+  // number of bit errors and is the worst of the three algorithms.
+  robustness_config config;
+  config.servers = 128;
+  config.requests = 2000;
+  config.max_bit_flips = 10;
+  config.trials = 3;
+  const auto series =
+      run_mismatch_sweep("consistent", config, integration_options());
+  EXPECT_EQ(series.front().mismatch_rate, 0.0);
+  EXPECT_GT(series.back().mismatch_rate, 0.01);
+  // Growing trend: the second half of the sweep is worse than the first.
+  double first_half = 0.0;
+  double second_half = 0.0;
+  for (std::size_t i = 1; i <= 5; ++i) {
+    first_half += series[i].mismatch_rate;
+    second_half += series[i + 5].mismatch_rate;
+  }
+  EXPECT_GT(second_half, first_half);
+}
+
+TEST(PaperClaimsTest, RendezvousMismatchesLessThanConsistentAt512Servers) {
+  // Claim (Section 1): "With 512 servers and a 10-bit MCU ... rendezvous
+  // and consistent hashing mismatch 4% and 12% of requests" — rendezvous
+  // sits between HD (zero) and consistent.  The ordering is
+  // scale-dependent: rendezvous mismatch scales like flips/k (corrupted
+  // identifiers own a 1/k share each), so the paper's pool size matters.
+  robustness_config config;
+  config.servers = 512;
+  config.requests = 2000;
+  config.max_bit_flips = 10;
+  config.trials = 25;  // consistent's loss distribution is heavy-tailed
+  const auto rendezvous =
+      run_mismatch_sweep("rendezvous", config, integration_options());
+  const auto consistent =
+      run_mismatch_sweep("consistent-rank", config, integration_options());
+  EXPECT_GT(rendezvous.back().mismatch_rate, 0.0);
+  EXPECT_LT(rendezvous.back().mismatch_rate,
+            consistent.back().mismatch_rate);
+  // Paper headline magnitudes: rendezvous ~4%, consistent ~12% (here the
+  // trial mean sits above 5% with worst trials far higher).
+  EXPECT_NEAR(rendezvous.back().mismatch_rate, 0.04, 0.03);
+  EXPECT_GT(consistent.back().mismatch_rate, 0.05);
+  EXPECT_GT(consistent.back().worst_trial, 0.10);
+}
+
+TEST(PaperClaimsTest, McuBurstLeavesHdUnaffected) {
+  // Claim (Section 1): a 10-bit MCU (one burst) leaves HD unaffected.
+  robustness_config config;
+  config.servers = 128;
+  config.requests = 1500;
+  config.max_bit_flips = 10;
+  config.trials = 3;
+  config.kind = upset_kind::mcu;
+  const auto hd = run_mismatch_sweep("hd", config, integration_options());
+  for (const auto& point : hd) {
+    EXPECT_EQ(point.mismatch_rate, 0.0);
+  }
+}
+
+TEST(PaperClaimsTest, EfficiencyOrderingMatchesFigure4) {
+  // Claim (Figure 4): rendezvous is O(n) and clearly slowest at scale;
+  // HD hashing scales "similarly to consistent hashing" in shape — on a
+  // CPU its absolute time is higher (no accelerator), so the assertable
+  // ordering is rendezvous-dominates and consistent-grows-slowly.
+  efficiency_config config;
+  config.server_counts = {16, 256};
+  config.requests = 2000;
+  const auto consistent =
+      run_efficiency("consistent", config, integration_options());
+  const auto rendezvous =
+      run_efficiency("rendezvous", config, integration_options());
+  // Rendezvous at 256 servers is much slower than consistent.
+  EXPECT_GT(rendezvous[1].avg_request_ns,
+            4.0 * consistent[1].avg_request_ns);
+  // Rendezvous grows ~linearly: 16 -> 256 servers costs >4x.
+  EXPECT_GT(rendezvous[1].avg_request_ns,
+            4.0 * rendezvous[0].avg_request_ns);
+  // Consistent hashing's O(log n) growth is modest by comparison.
+  EXPECT_LT(consistent[1].avg_request_ns,
+            8.0 * consistent[0].avg_request_ns);
+}
+
+TEST(PaperClaimsTest, HdDistributesMoreUniformlyThanConsistent) {
+  // Claim (Figure 6): "HD hashing distribute[s] requests more uniformly
+  // than consistent hashing in an ideal scenario".
+  uniformity_config config;
+  config.server_counts = {128};
+  config.bit_flip_levels = {0};
+  config.requests = 50'000;
+  const auto hd = run_uniformity("hd", config, integration_options());
+  const auto consistent =
+      run_uniformity("consistent", config, integration_options());
+  EXPECT_LT(hd[0].chi_squared, consistent[0].chi_squared);
+}
+
+TEST(PaperClaimsTest, BitErrorsWorsenConsistentUniformityButNotHd) {
+  // Claim (Figure 6): "the presence of bit errors worsens the uniformity
+  // of consistent hashing even more, while that of HD hashing remains
+  // intact".
+  uniformity_config config;
+  config.server_counts = {64};
+  config.bit_flip_levels = {0, 10};
+  config.requests = 30'000;
+  config.trials = 3;
+  const auto hd = run_uniformity("hd", config, integration_options());
+  const auto consistent =
+      run_uniformity("consistent", config, integration_options());
+  ASSERT_EQ(hd.size(), 2u);
+  // HD: statistically indistinguishable with and without errors.
+  EXPECT_NEAR(hd[1].chi_squared, hd[0].chi_squared,
+              0.05 * hd[0].chi_squared + 1.0);
+  // Consistent: errors add a visible penalty.
+  EXPECT_GT(consistent[1].chi_squared, consistent[0].chi_squared);
+}
+
+TEST(PaperClaimsTest, ModularHashingMotivation) {
+  // Claim (Section 1): modular hashing remaps "virtually all" requests
+  // when the pool grows — the motivation for the whole problem.
+  auto table = make_table("modular", integration_options());
+  for (server_id s = 1; s <= 100; ++s) {
+    table->join(s * 17);
+  }
+  std::vector<server_id> before;
+  for (request_id r = 0; r < 3000; ++r) {
+    before.push_back(table->lookup(r));
+  }
+  table->join(101 * 17);
+  std::size_t moved = 0;
+  for (request_id r = 0; r < 3000; ++r) {
+    moved += table->lookup(r) != before[r] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(moved) / 3000.0, 0.9);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,77 @@
+#include "stats/descriptive.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(MeanTest, SimpleAverage) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+}
+
+TEST(MeanTest, SingletonIsItself) {
+  const std::vector<double> values{7.5};
+  EXPECT_DOUBLE_EQ(mean(values), 7.5);
+}
+
+TEST(MeanTest, EmptyThrows) {
+  EXPECT_THROW(mean({}), precondition_error);
+}
+
+TEST(StddevTest, ConstantSampleIsZero) {
+  const std::vector<double> values{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stddev_population(values), 0.0);
+}
+
+TEST(StddevTest, KnownValue) {
+  // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+  const std::vector<double> values{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev_population(values), 2.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  const std::vector<double> values{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 3.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> values{4.0, 2.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 9.0);
+}
+
+TEST(PercentileTest, OutOfRangeThrows) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(percentile(values, -1.0), precondition_error);
+  EXPECT_THROW(percentile(values, 101.0), precondition_error);
+}
+
+TEST(SummarizeTest, AllFieldsConsistent) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  const auto s = summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace hdhash

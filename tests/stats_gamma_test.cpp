@@ -1,0 +1,85 @@
+#include "stats/gamma.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(LogGammaTest, IntegerFactorials) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3'628'800.0), 1e-9);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Γ(1/2) = √π, Γ(3/2) = √π/2.
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(log_gamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogGammaTest, ReflectionRegionBelowHalf) {
+  // Γ(0.25) ≈ 3.62561 (known constant).
+  EXPECT_NEAR(std::exp(log_gamma(0.25)), 3.6256099082219083, 1e-8);
+}
+
+TEST(LogGammaTest, LargeArgumentsStirlingRange) {
+  // ln Γ(1001) = ln(1000!) ≈ 5912.128178 (Stirling cross-check).
+  EXPECT_NEAR(log_gamma(1001.0), 5912.128178488163, 1e-6);
+}
+
+TEST(LogGammaTest, NonPositiveThrows) {
+  EXPECT_THROW(log_gamma(0.0), precondition_error);
+  EXPECT_THROW(log_gamma(-1.0), precondition_error);
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGammaTest, ComplementarityHolds) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaTest, ErfSpecialCase) {
+  // P(1/2, x) = erf(√x).
+  for (const double x : {0.25, 1.0, 2.25}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(RegularizedGammaTest, MonotoneInX) {
+  double previous = -1.0;
+  for (double x = 0.0; x <= 30.0; x += 0.5) {
+    const double p = regularized_gamma_p(4.0, x);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(RegularizedGammaTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), precondition_error);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), precondition_error);
+  EXPECT_THROW(regularized_gamma_q(-2.0, 1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,80 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(HistogramTest, StartsEmpty) {
+  histogram h(4);
+  EXPECT_EQ(h.bins(), 4u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_count(), 0u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.count(i), 0u);
+  }
+}
+
+TEST(HistogramTest, ZeroBinsThrows) {
+  EXPECT_THROW(histogram(0), precondition_error);
+}
+
+TEST(HistogramTest, AddAccumulates) {
+  histogram h(3);
+  h.add(0);
+  h.add(1, 5);
+  h.add(1);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 6u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.max_count(), 6u);
+}
+
+TEST(HistogramTest, OutOfRangeThrows) {
+  histogram h(2);
+  EXPECT_THROW(h.add(2), precondition_error);
+  EXPECT_THROW(h.count(5), precondition_error);
+}
+
+TEST(HistogramTest, PeakToMeanBalanced) {
+  histogram h(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    h.add(i, 25);
+  }
+  EXPECT_DOUBLE_EQ(h.peak_to_mean(), 1.0);
+}
+
+TEST(HistogramTest, PeakToMeanSkewed) {
+  histogram h(2);
+  h.add(0, 30);
+  h.add(1, 10);
+  // mean = 20, peak = 30.
+  EXPECT_DOUBLE_EQ(h.peak_to_mean(), 1.5);
+}
+
+TEST(HistogramTest, PeakToMeanEmptyThrows) {
+  histogram h(2);
+  EXPECT_THROW(h.peak_to_mean(), precondition_error);
+}
+
+TEST(HistogramTest, ResetClears) {
+  histogram h(2);
+  h.add(0, 3);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(HistogramTest, CountsSpanMatchesState) {
+  histogram h(3);
+  h.add(2, 9);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[2], 9u);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,77 @@
+#include "stats/zipf.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const zipf_sampler z(100, 1.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    total += z.pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  const zipf_sampler z(50, 0.8);
+  for (std::size_t k = 1; k < z.size(); ++k) {
+    EXPECT_GE(z.pmf(k - 1), z.pmf(k) - 1e-15);
+  }
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  const zipf_sampler z(10, 0.0);
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ClassicZipfHeadMass) {
+  // With s = 1 and n = 2: p(0) = (1)/(1 + 1/2) = 2/3.
+  const zipf_sampler z(2, 1.0);
+  EXPECT_NEAR(z.pmf(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(z.pmf(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  const zipf_sampler z(37, 1.2);
+  xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(z.sample(rng), 37u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackPmf) {
+  const zipf_sampler z(8, 1.0);
+  xoshiro256 rng(6);
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[z.sample(rng)];
+  }
+  for (std::size_t k = 0; k < 8; ++k) {
+    const double expected = z.pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 10.0)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, InvalidParametersThrow) {
+  EXPECT_THROW(zipf_sampler(0, 1.0), precondition_error);
+  EXPECT_THROW(zipf_sampler(10, -0.5), precondition_error);
+}
+
+TEST(ZipfTest, RankOutOfRangeThrows) {
+  const zipf_sampler z(3, 1.0);
+  EXPECT_THROW(z.pmf(3), precondition_error);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,49 @@
+/// \file scripted_hash.hpp
+/// \brief Test double: a hash64 whose outputs can be pinned per input,
+/// falling back to a real hash otherwise.  Lets geometry tests place
+/// servers and requests at exact ring/circle positions.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "hashing/hash64.hpp"
+#include "hashing/registry.hpp"
+
+namespace hdhash::testing {
+
+class scripted_hash final : public hash64 {
+ public:
+  /// Pins the hash of the single-u64 input `key` (any seed) to `value`.
+  void pin_u64(std::uint64_t key, std::uint64_t value) {
+    std::vector<std::byte> bytes(8);
+    std::memcpy(bytes.data(), &key, 8);
+    pinned_[bytes] = value;
+  }
+
+  /// Pins the hash of the pair input (a, b) (any seed) to `value`.
+  void pin_pair(std::uint64_t a, std::uint64_t b, std::uint64_t value) {
+    std::vector<std::byte> bytes(16);
+    std::memcpy(bytes.data(), &a, 8);
+    std::memcpy(bytes.data() + 8, &b, 8);
+    pinned_[bytes] = value;
+  }
+
+  std::uint64_t operator()(std::span<const std::byte> bytes,
+                           std::uint64_t seed) const override {
+    const std::vector<std::byte> key(bytes.begin(), bytes.end());
+    const auto it = pinned_.find(key);
+    if (it != pinned_.end()) {
+      return it->second;
+    }
+    return default_hash()(bytes, seed);
+  }
+
+  std::string_view name() const noexcept override { return "scripted"; }
+
+ private:
+  std::map<std::vector<std::byte>, std::uint64_t> pinned_;
+};
+
+}  // namespace hdhash::testing

@@ -1,0 +1,163 @@
+#include "table/bounded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hashing/registry.hpp"
+#include "table/consistent.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(BoundedTableTest, BalanceFactorMustExceedOne) {
+  EXPECT_THROW(bounded_consistent_table(default_hash(), 1.0),
+               precondition_error);
+  EXPECT_THROW(bounded_consistent_table(default_hash(), 0.5),
+               precondition_error);
+}
+
+TEST(BoundedTableTest, LookupWithoutAssignmentsMatchesConsistent) {
+  // With zero recorded load every server has spare capacity, so the
+  // bounded walk stops at the plain clockwise successor.
+  bounded_consistent_table bounded(default_hash(), 1.25);
+  consistent_table plain(default_hash());
+  for (server_id s = 1; s <= 24; ++s) {
+    bounded.join(s * 401);
+    plain.join(s * 401);
+  }
+  for (request_id r = 0; r < 3000; ++r) {
+    EXPECT_EQ(bounded.lookup(r), plain.lookup(r));
+  }
+}
+
+TEST(BoundedTableTest, AssignRecordsLoad) {
+  bounded_consistent_table table(default_hash());
+  table.join(10);
+  table.join(20);
+  const server_id first = table.assign(123);
+  EXPECT_EQ(table.total_load(), 1u);
+  EXPECT_EQ(table.load_of(first), 1u);
+  table.reset_loads();
+  EXPECT_EQ(table.total_load(), 0u);
+  EXPECT_EQ(table.load_of(first), 0u);
+}
+
+TEST(BoundedTableTest, PeakLoadRespectsBalanceFactor) {
+  // The defining guarantee: after m assignments over k servers, no
+  // server holds more than ceil(c * m / k) — here within one cap step.
+  constexpr double kFactor = 1.25;
+  bounded_consistent_table table(default_hash(), kFactor);
+  constexpr std::size_t kServers = 16;
+  for (server_id s = 1; s <= kServers; ++s) {
+    table.join(s * 1013);
+  }
+  constexpr std::size_t kAssignments = 16'000;
+  for (request_id r = 0; r < kAssignments; ++r) {
+    table.assign(r * 0x9e3779b97f4a7c15ULL);
+  }
+  const auto cap = static_cast<std::uint64_t>(
+      std::ceil(kFactor * kAssignments / kServers));
+  for (const server_id s : table.servers()) {
+    EXPECT_LE(table.load_of(s), cap) << "server " << s;
+    EXPECT_GT(table.load_of(s), 0u) << "server " << s;
+  }
+}
+
+TEST(BoundedTableTest, BeatsPlainConsistentPeakToMean) {
+  // Compare peak/mean of recorded assignments against the stateless
+  // routing of plain consistent hashing on the same keys.
+  constexpr std::size_t kServers = 16;
+  constexpr std::size_t kRequests = 20'000;
+
+  bounded_consistent_table bounded(default_hash(), 1.25);
+  consistent_table plain(default_hash());
+  for (server_id s = 1; s <= kServers; ++s) {
+    bounded.join(s * 719);
+    plain.join(s * 719);
+  }
+  std::map<server_id, std::size_t> plain_load;
+  for (request_id r = 0; r < kRequests; ++r) {
+    const auto key = r * 0x9e3779b97f4a7c15ULL;
+    bounded.assign(key);
+    ++plain_load[plain.lookup(key)];
+  }
+  std::size_t plain_peak = 0;
+  for (const auto& [s, c] : plain_load) {
+    plain_peak = std::max(plain_peak, c);
+  }
+  std::uint64_t bounded_peak = 0;
+  for (const server_id s : bounded.servers()) {
+    bounded_peak = std::max(bounded_peak, bounded.load_of(s));
+  }
+  const double mean_load = static_cast<double>(kRequests) / kServers;
+  EXPECT_LE(static_cast<double>(bounded_peak) / mean_load, 1.26);
+  EXPECT_GT(static_cast<double>(plain_peak) / mean_load, 1.5);
+}
+
+TEST(BoundedTableTest, LeaveReleasesLoadAccounting) {
+  bounded_consistent_table table(default_hash());
+  table.join(1);
+  table.join(2);
+  for (request_id r = 0; r < 100; ++r) {
+    table.assign(r);
+  }
+  const std::uint64_t before = table.total_load();
+  const std::uint64_t departed_load = table.load_of(1);
+  table.leave(1);
+  EXPECT_EQ(table.total_load(), before - departed_load);
+  EXPECT_EQ(table.load_of(1), 0u);
+  EXPECT_FALSE(table.contains(1));
+}
+
+TEST(BoundedTableTest, CapGrowsWithLoad) {
+  bounded_consistent_table table(default_hash(), 2.0);
+  table.join(1);
+  table.join(2);
+  EXPECT_EQ(table.current_cap(), 1u);  // ceil(2 * 1 / 2)
+  table.assign(5);
+  table.assign(6);
+  EXPECT_EQ(table.current_cap(), 3u);  // ceil(2 * 3 / 2)
+}
+
+TEST(BoundedTableTest, OverflowWalksToNextServer) {
+  // Force one server to saturate: with two servers and c just above 1,
+  // assignments must alternate within one unit.
+  bounded_consistent_table table(default_hash(), 1.01);
+  table.join(1);
+  table.join(2);
+  for (request_id r = 0; r < 100; ++r) {
+    table.assign(r);
+  }
+  const auto a = table.load_of(1);
+  const auto b = table.load_of(2);
+  EXPECT_EQ(a + b, 100u);
+  EXPECT_LE(a > b ? a - b : b - a, 2u);
+}
+
+TEST(BoundedTableTest, CloneCarriesLoadState) {
+  bounded_consistent_table table(default_hash());
+  table.join(1);
+  table.join(2);
+  table.assign(7);
+  const auto copy = table.clone();
+  auto* bounded_copy = dynamic_cast<bounded_consistent_table*>(copy.get());
+  ASSERT_NE(bounded_copy, nullptr);
+  EXPECT_EQ(bounded_copy->total_load(), 1u);
+}
+
+TEST(BoundedTableTest, FaultSurfaceIsTheRing) {
+  bounded_consistent_table table(default_hash(), 1.25, 2);
+  table.join(9);
+  auto regions = table.fault_regions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].label, "ring");
+  EXPECT_EQ(regions[0].bytes.size(), 32u);  // 2 vnodes x 16 bytes
+}
+
+}  // namespace
+}  // namespace hdhash

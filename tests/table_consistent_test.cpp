@@ -1,0 +1,168 @@
+#include "table/consistent.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "hashing/registry.hpp"
+#include "support/scripted_hash.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(ConsistentTableTest, ZeroVirtualNodesThrows) {
+  EXPECT_THROW(consistent_table(default_hash(), 0), precondition_error);
+}
+
+TEST(ConsistentTableTest, RingHoldsVnodesPerServer) {
+  consistent_table table(default_hash(), 4);
+  table.join(1);
+  table.join(2);
+  EXPECT_EQ(table.ring_size(), 8u);
+  EXPECT_EQ(table.server_count(), 2u);
+  table.leave(1);
+  EXPECT_EQ(table.ring_size(), 4u);
+}
+
+TEST(ConsistentTableTest, ClockwiseSuccessorSemantics) {
+  // Pin ring positions: server A at 100, server B at 200 (single vnode,
+  // pinned via the pair hash used for replica 0).
+  testing::scripted_hash hash;
+  hash.pin_pair(1, 0, 100);
+  hash.pin_pair(2, 0, 200);
+  hash.pin_u64(50, 150);   // request between A and B -> clockwise hits B
+  hash.pin_u64(51, 250);   // past B -> wraps to A
+  hash.pin_u64(52, 100);   // exactly on A: upper_bound moves past -> B
+  hash.pin_u64(53, 99);    // just before A -> A
+  consistent_table table(hash, 1);
+  table.join(1);
+  table.join(2);
+  EXPECT_EQ(table.lookup(50), 2u);
+  EXPECT_EQ(table.lookup(51), 1u);
+  EXPECT_EQ(table.lookup(52), 2u);
+  EXPECT_EQ(table.lookup(53), 1u);
+}
+
+TEST(ConsistentTableTest, WrapAroundAtRingTop) {
+  testing::scripted_hash hash;
+  hash.pin_pair(9, 0, 500);
+  hash.pin_u64(1000, ~std::uint64_t{0});  // request at the very top
+  consistent_table table(hash, 1);
+  table.join(9);
+  EXPECT_EQ(table.lookup(1000), 9u);
+}
+
+TEST(ConsistentTableTest, MoreVnodesSmoothLoad) {
+  // Peak-to-mean load must improve (weakly) when vnodes go 1 -> 64.
+  auto load_peak_ratio = [](std::size_t vnodes) {
+    consistent_table table(default_hash(), vnodes);
+    for (server_id s = 1; s <= 16; ++s) {
+      table.join(s * 1013);
+    }
+    std::map<server_id, double> counts;
+    constexpr int kRequests = 30'000;
+    for (request_id r = 0; r < kRequests; ++r) {
+      ++counts[table.lookup(r * 0x9e3779b97f4a7c15ULL)];
+    }
+    double peak = 0;
+    for (const auto& [s, c] : counts) {
+      peak = std::max(peak, c);
+    }
+    return peak / (static_cast<double>(kRequests) / 16.0);
+  };
+  EXPECT_LT(load_peak_ratio(64), load_peak_ratio(1));
+}
+
+TEST(ConsistentTableTest, FaultRegionIsTheRing) {
+  consistent_table table(default_hash(), 2);
+  table.join(1);
+  auto regions = table.fault_regions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].label, "ring");
+  // Two vnodes x 16 bytes per ring point.
+  EXPECT_EQ(regions[0].bytes.size(), 32u);
+}
+
+TEST(ConsistentTableTest, EmptyFaultSurfaceWhenEmpty) {
+  consistent_table table(default_hash());
+  EXPECT_TRUE(table.fault_regions().empty());
+  EXPECT_EQ(table.fault_bits(), 0u);
+}
+
+TEST(ConsistentTableTest, CorruptedRingChangesLookups) {
+  // Sanity for the Figure 5 mechanism: smashing the ring's sorted order
+  // mis-routes requests deterministically (and never crashes).
+  consistent_table table(default_hash());
+  for (server_id s = 1; s <= 64; ++s) {
+    table.join(s * 997);
+  }
+  const auto pristine = table.clone();
+  auto regions = table.fault_regions();
+  // Invert the top byte of a mid-ring point's position: the point jumps
+  // across the ring and the array is no longer sorted.
+  regions[0].bytes[32 * 16 + 7] ^= std::byte{0xff};
+  std::size_t mismatches = 0;
+  for (request_id r = 0; r < 2000; ++r) {
+    mismatches += table.lookup(r) != pristine->lookup(r) ? 1 : 0;
+  }
+  EXPECT_GT(mismatches, 0u);
+}
+
+TEST(ConsistentTableTest, RankModeMatchesBisectOnIntactRing) {
+  // The two successor resolutions are the same function on sound memory.
+  consistent_table bisect(default_hash(), 3);
+  consistent_table rank(default_hash(), 3, 0, ring_lookup_mode::rank);
+  for (server_id s = 1; s <= 40; ++s) {
+    bisect.join(s * 503);
+    rank.join(s * 503);
+  }
+  for (request_id r = 0; r < 5000; ++r) {
+    EXPECT_EQ(bisect.lookup(r), rank.lookup(r));
+  }
+}
+
+TEST(ConsistentTableTest, RankModeDegradesMoreUnderCorruption) {
+  // The Figure 5 mechanism: a displaced position shifts the rank of every
+  // request in its displacement span, so rank resolution loses far more
+  // lookups to the same corruption than bisection does.
+  auto mismatch_under_flip = [](ring_lookup_mode mode) {
+    consistent_table table(default_hash(), 1, 0, mode);
+    for (server_id s = 1; s <= 256; ++s) {
+      table.join(s * 997);
+    }
+    const auto pristine = table.clone();
+    auto regions = table.fault_regions();
+    // Displace one position (entry 100 — deep in the bisection tree, so
+    // bisect only mis-routes its small subtree) by half the key space.
+    regions[0].bytes[100 * 16 + 7] ^= std::byte{0x80};
+    std::size_t mismatches = 0;
+    for (request_id r = 0; r < 4000; ++r) {
+      mismatches += table.lookup(r) != pristine->lookup(r) ? 1 : 0;
+    }
+    return mismatches;
+  };
+  const std::size_t rank_loss = mismatch_under_flip(ring_lookup_mode::rank);
+  const std::size_t bisect_loss =
+      mismatch_under_flip(ring_lookup_mode::bisect);
+  EXPECT_GT(rank_loss, 1000u);  // ~half the key space off by one
+  EXPECT_GT(rank_loss, 4 * bisect_loss);
+}
+
+TEST(ConsistentTableTest, RankModeNamesItself) {
+  consistent_table table(default_hash(), 1, 0, ring_lookup_mode::rank);
+  EXPECT_EQ(table.name(), "consistent-rank");
+  EXPECT_EQ(table.lookup_mode(), ring_lookup_mode::rank);
+}
+
+TEST(ConsistentTableTest, ServersListsEachServerOnce) {
+  consistent_table table(default_hash(), 8);
+  table.join(5);
+  table.join(6);
+  const auto servers = table.servers();
+  EXPECT_EQ(servers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdhash

@@ -1,0 +1,109 @@
+#include "table/jump.hpp"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hashing/registry.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(JumpBucketTest, SingleBucketAlwaysZero) {
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(jump_table::jump_bucket(key * 77, 1), 0u);
+  }
+}
+
+TEST(JumpBucketTest, WithinRange) {
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    for (const std::size_t buckets : {2u, 3u, 10u, 100u}) {
+      EXPECT_LT(jump_table::jump_bucket(key * 0x9e3779b9, buckets), buckets);
+    }
+  }
+}
+
+TEST(JumpBucketTest, ZeroBucketsThrows) {
+  EXPECT_THROW(jump_table::jump_bucket(1, 0), precondition_error);
+}
+
+TEST(JumpBucketTest, MonotoneGrowthProperty) {
+  // The defining jump property: growing the bucket count either keeps a
+  // key in place or moves it to one of the newly added buckets.
+  for (std::uint64_t key = 1; key <= 500; ++key) {
+    const std::uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
+    std::size_t previous = jump_table::jump_bucket(mixed, 8);
+    for (std::size_t buckets = 9; buckets <= 24; ++buckets) {
+      const std::size_t current = jump_table::jump_bucket(mixed, buckets);
+      if (current != previous) {
+        EXPECT_GE(current, buckets - 1);
+      }
+      previous = current;
+    }
+  }
+}
+
+TEST(JumpBucketTest, ExpectedMoveFractionOnGrowth) {
+  // Growing n -> n+1 moves ~1/(n+1) of the keys.
+  constexpr std::size_t kKeys = 20'000;
+  constexpr std::size_t kBuckets = 10;
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::uint64_t mixed = key * 0x9e3779b97f4a7c15ULL + 1;
+    moved += jump_table::jump_bucket(mixed, kBuckets) !=
+                     jump_table::jump_bucket(mixed, kBuckets + 1)
+                 ? 1
+                 : 0;
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_NEAR(fraction, 1.0 / (kBuckets + 1), 0.02);
+}
+
+TEST(JumpBucketTest, UniformDistribution) {
+  constexpr std::size_t kBuckets = 16;
+  std::vector<std::size_t> counts(kBuckets, 0);
+  for (std::uint64_t key = 0; key < 32'000; ++key) {
+    ++counts[jump_table::jump_bucket(key * 0x9e3779b97f4a7c15ULL, kBuckets)];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 2000.0, 300.0);
+  }
+}
+
+TEST(JumpTableTest, LeaveBackfillsWithLastSlot) {
+  jump_table table(default_hash());
+  table.join(100);
+  table.join(200);
+  table.join(300);
+  table.leave(200);
+  const auto servers = table.servers();
+  ASSERT_EQ(servers.size(), 2u);
+  EXPECT_EQ(servers[0], 100u);
+  EXPECT_EQ(servers[1], 300u);  // tail moved into the hole
+}
+
+TEST(JumpTableTest, LookupUsesJumpBucket) {
+  jump_table table(default_hash());
+  table.join(7);
+  table.join(8);
+  table.join(9);
+  const hash64& h = default_hash();
+  for (request_id r = 0; r < 200; ++r) {
+    const std::size_t bucket = jump_table::jump_bucket(h.hash_u64(r, 0), 3);
+    EXPECT_EQ(table.lookup(r), table.servers()[bucket]);
+  }
+}
+
+TEST(JumpTableTest, FaultRegionIsSlotArray) {
+  jump_table table(default_hash());
+  table.join(1);
+  auto regions = table.fault_regions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].label, "bucket-slots");
+}
+
+}  // namespace
+}  // namespace hdhash

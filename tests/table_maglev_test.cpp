@@ -1,0 +1,105 @@
+#include "table/maglev.hpp"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hashing/registry.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(IsPrimeTest, ClassifiesSmallNumbers) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(13));
+  EXPECT_FALSE(is_prime(15));
+  EXPECT_TRUE(is_prime(4099));
+  EXPECT_TRUE(is_prime(65537));
+  EXPECT_FALSE(is_prime(65536));
+}
+
+TEST(MaglevTableTest, NonPrimeTableSizeThrows) {
+  EXPECT_THROW(maglev_table(default_hash(), 100), precondition_error);
+}
+
+TEST(MaglevTableTest, BalancedSlotShares) {
+  // The NSDI paper's guarantee: each backend owns M/n slots within a few
+  // percent for M >> n.
+  maglev_table table(default_hash(), 4099);
+  constexpr std::size_t kServers = 8;
+  for (server_id s = 1; s <= kServers; ++s) {
+    table.join(s * 577);
+  }
+  std::map<server_id, std::size_t> counts;
+  for (request_id r = 0; r < 40'000; ++r) {
+    ++counts[table.lookup(r * 0x9e3779b97f4a7c15ULL)];
+  }
+  const double expected = 40'000.0 / kServers;
+  for (const auto& [server, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.15)
+        << "server " << server;
+  }
+}
+
+TEST(MaglevTableTest, PoolLimitedByTableSize) {
+  maglev_table table(default_hash(), 5);
+  table.join(1);
+  table.join(2);
+  table.join(3);
+  table.join(4);
+  table.join(5);
+  EXPECT_THROW(table.join(6), precondition_error);
+}
+
+TEST(MaglevTableTest, LeaveCausesBoundedDisruption) {
+  maglev_table table(default_hash(), 4099);
+  for (server_id s = 1; s <= 10; ++s) {
+    table.join(s * 41);
+  }
+  std::vector<server_id> before;
+  for (request_id r = 0; r < 8000; ++r) {
+    before.push_back(table.lookup(r));
+  }
+  table.leave(5 * 41);
+  std::size_t moved_from_survivors = 0;
+  for (request_id r = 0; r < 8000; ++r) {
+    const server_id now = table.lookup(r);
+    if (before[r] != 5 * 41 && now != before[r]) {
+      ++moved_from_survivors;
+    }
+  }
+  // Maglev trades perfect minimality for O(1) lookups; the NSDI paper
+  // reports a small residual churn. Bound it loosely.
+  EXPECT_LT(moved_from_survivors, 8000u / 5);
+}
+
+TEST(MaglevTableTest, FaultSurfaceIncludesLookupTable) {
+  maglev_table table(default_hash(), 4099);
+  table.join(1);
+  auto regions = table.fault_regions();
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].label, "lookup-table");
+  EXPECT_EQ(regions[0].bytes.size(), 4099u * sizeof(std::uint32_t));
+  EXPECT_EQ(regions[1].label, "server-ids");
+}
+
+TEST(MaglevTableTest, CorruptedLookupEntryReturnsObservableInvalidId) {
+  maglev_table table(default_hash(), 4099);
+  table.join(1);
+  auto regions = table.fault_regions();
+  // Set every lookup entry to an out-of-range server index.
+  for (auto& b : regions[0].bytes) {
+    b = std::byte{0xff};
+  }
+  const server_id answer = table.lookup(123);
+  EXPECT_NE(answer, 1u);  // mismatch is observable, not UB
+}
+
+}  // namespace
+}  // namespace hdhash

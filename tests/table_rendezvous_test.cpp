@@ -1,0 +1,107 @@
+#include "table/rendezvous.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hashing/registry.hpp"
+#include "support/scripted_hash.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(RendezvousTableTest, PicksHighestWeight) {
+  testing::scripted_hash hash;
+  hash.pin_pair(10, 500, 111);  // h(server=10, request=500)
+  hash.pin_pair(20, 500, 999);
+  hash.pin_pair(30, 500, 555);
+  rendezvous_table table(hash);
+  table.join(10);
+  table.join(20);
+  table.join(30);
+  EXPECT_EQ(table.lookup(500), 20u);
+}
+
+TEST(RendezvousTableTest, WeightTieBreaksTowardSmallerId) {
+  testing::scripted_hash hash;
+  hash.pin_pair(40, 7, 1000);
+  hash.pin_pair(15, 7, 1000);
+  rendezvous_table table(hash);
+  table.join(40);
+  table.join(15);
+  EXPECT_EQ(table.lookup(7), 15u);
+}
+
+TEST(RendezvousTableTest, MatchesBruteForceArgmax) {
+  const hash64& h = default_hash();
+  rendezvous_table table(h);
+  std::vector<server_id> pool;
+  for (server_id s = 1; s <= 32; ++s) {
+    table.join(s * 733);
+    pool.push_back(s * 733);
+  }
+  for (request_id r = 0; r < 500; ++r) {
+    server_id expected = 0;
+    std::uint64_t best = 0;
+    for (const server_id s : pool) {
+      const std::uint64_t w = h.hash_pair(s, r, 0);
+      if (w > best || expected == 0) {
+        best = w;
+        expected = s;
+      }
+    }
+    EXPECT_EQ(table.lookup(r), expected);
+  }
+}
+
+TEST(RendezvousTableTest, StableUnderUnrelatedLeave) {
+  // Removing a server that wasn't the argmax never remaps a request.
+  rendezvous_table table(default_hash());
+  for (server_id s = 1; s <= 16; ++s) {
+    table.join(s * 211);
+  }
+  std::vector<server_id> before;
+  for (request_id r = 0; r < 2000; ++r) {
+    before.push_back(table.lookup(r));
+  }
+  table.leave(5 * 211);
+  for (request_id r = 0; r < 2000; ++r) {
+    if (before[r] != 5 * 211) {
+      EXPECT_EQ(table.lookup(r), before[r]);
+    }
+  }
+}
+
+TEST(RendezvousTableTest, FaultRegionIsServerIds) {
+  rendezvous_table table(default_hash());
+  table.join(1);
+  table.join(2);
+  auto regions = table.fault_regions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].label, "server-ids");
+  EXPECT_EQ(regions[0].bytes.size(), 16u);
+}
+
+TEST(RendezvousTableTest, CorruptedIdMisroutesSomeRequests) {
+  // The Figure 5 mechanism for rendezvous: a corrupted stored id
+  // re-randomizes that server's weights.
+  rendezvous_table table(default_hash());
+  for (server_id s = 1; s <= 64; ++s) {
+    table.join(s * 331);
+  }
+  const auto pristine = table.clone();
+  auto regions = table.fault_regions();
+  regions[0].bytes[3] ^= std::byte{0x10};  // one bit of server 0's id
+  std::size_t mismatches = 0;
+  for (request_id r = 0; r < 5000; ++r) {
+    mismatches += table.lookup(r) != pristine->lookup(r) ? 1 : 0;
+  }
+  // Roughly the corrupted server's 1/64 share (plus takeovers); must be
+  // small but non-zero.
+  EXPECT_GT(mismatches, 0u);
+  EXPECT_LT(mismatches, 1000u);
+}
+
+}  // namespace
+}  // namespace hdhash

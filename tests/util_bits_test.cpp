@@ -1,0 +1,101 @@
+#include "util/bits.hpp"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hdhash {
+namespace {
+
+TEST(WordsForBitsTest, RoundsUp) {
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(63), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(10'000), 157u);
+}
+
+TEST(TailMaskTest, ExactMultipleKeepsAllBits) {
+  EXPECT_EQ(tail_mask(64), ~std::uint64_t{0});
+  EXPECT_EQ(tail_mask(128), ~std::uint64_t{0});
+}
+
+TEST(TailMaskTest, PartialTailMasksHighBits) {
+  EXPECT_EQ(tail_mask(1), 1u);
+  EXPECT_EQ(tail_mask(3), 0b111u);
+  EXPECT_EQ(tail_mask(65), 1u);
+  EXPECT_EQ(tail_mask(10'000), (std::uint64_t{1} << 16) - 1);  // 10000 % 64 = 16
+}
+
+TEST(BitAccessTest, SetTestFlipRoundTrip) {
+  std::vector<std::uint64_t> words(3, 0);
+  for (const std::size_t index : {0u, 1u, 63u, 64u, 100u, 191u}) {
+    EXPECT_FALSE(test_bit(words, index));
+    set_bit(words, index, true);
+    EXPECT_TRUE(test_bit(words, index));
+    flip_bit(words, index);
+    EXPECT_FALSE(test_bit(words, index));
+    flip_bit(words, index);
+    EXPECT_TRUE(test_bit(words, index));
+    set_bit(words, index, false);
+    EXPECT_FALSE(test_bit(words, index));
+  }
+}
+
+TEST(BitAccessTest, IndependentBits) {
+  std::vector<std::uint64_t> words(2, 0);
+  set_bit(words, 5, true);
+  set_bit(words, 70, true);
+  EXPECT_TRUE(test_bit(words, 5));
+  EXPECT_TRUE(test_bit(words, 70));
+  EXPECT_FALSE(test_bit(words, 6));
+  EXPECT_FALSE(test_bit(words, 69));
+  EXPECT_EQ(popcount(words), 2u);
+}
+
+TEST(PopcountTest, CountsAcrossWords) {
+  std::vector<std::uint64_t> words{~std::uint64_t{0}, 0, 0b1011};
+  EXPECT_EQ(popcount(words), 64u + 3u);
+}
+
+TEST(PopcountTest, EmptyIsZero) {
+  std::vector<std::uint64_t> words;
+  EXPECT_EQ(popcount(words), 0u);
+}
+
+TEST(ByteBitsTest, FlipAndTestWithinBytes) {
+  std::array<std::byte, 4> bytes{};
+  EXPECT_FALSE(test_bit_in_bytes(bytes, 0));
+  flip_bit_in_bytes(bytes, 0);
+  EXPECT_TRUE(test_bit_in_bytes(bytes, 0));
+  EXPECT_EQ(static_cast<unsigned>(bytes[0]), 1u);
+
+  flip_bit_in_bytes(bytes, 9);  // bit 1 of byte 1
+  EXPECT_TRUE(test_bit_in_bytes(bytes, 9));
+  EXPECT_EQ(static_cast<unsigned>(bytes[1]), 2u);
+
+  flip_bit_in_bytes(bytes, 31);  // top bit of byte 3
+  EXPECT_EQ(static_cast<unsigned>(bytes[3]), 0x80u);
+
+  flip_bit_in_bytes(bytes, 0);
+  EXPECT_FALSE(test_bit_in_bytes(bytes, 0));
+}
+
+TEST(ByteBitsTest, FlipIsInvolutive) {
+  std::array<std::byte, 8> bytes{};
+  bytes.fill(std::byte{0xa5});
+  const auto original = bytes;
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    flip_bit_in_bytes(bytes, bit);
+  }
+  EXPECT_NE(bytes, original);
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    flip_bit_in_bytes(bytes, bit);
+  }
+  EXPECT_EQ(bytes, original);
+}
+
+}  // namespace
+}  // namespace hdhash

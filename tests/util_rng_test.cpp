@@ -1,0 +1,194 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(Splitmix64Test, MatchesReferenceSequence) {
+  // Reference outputs of SplitMix64 seeded with 0 (Vigna's splitmix64.c).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Splitmix64Test, AdvancesState) {
+  std::uint64_t state = 123;
+  const std::uint64_t first = splitmix64_next(state);
+  const std::uint64_t second = splitmix64_next(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 123u);
+}
+
+TEST(Xoshiro256Test, DeterministicForSameSeed) {
+  xoshiro256 a(42);
+  xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  xoshiro256 a(1);
+  xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256Test, ZeroSeedIsUsable) {
+  xoshiro256 rng(0);
+  // SplitMix64 seeding guarantees a non-degenerate state.
+  EXPECT_NE(rng(), 0u);
+}
+
+TEST(Xoshiro256Test, JumpChangesStream) {
+  xoshiro256 a(9);
+  xoshiro256 b(9);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(UniformBelowTest, AlwaysWithinBound) {
+  xoshiro256 rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(uniform_below(rng, bound), bound);
+    }
+  }
+}
+
+TEST(UniformBelowTest, BoundOneAlwaysZero) {
+  xoshiro256 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(uniform_below(rng, 1), 0u);
+  }
+}
+
+TEST(UniformBelowTest, ZeroBoundThrows) {
+  xoshiro256 rng(1);
+  EXPECT_THROW(uniform_below(rng, 0), precondition_error);
+}
+
+TEST(UniformBelowTest, CoversAllResidues) {
+  xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(uniform_below(rng, 7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(UniformBelowTest, RoughlyUniform) {
+  xoshiro256 rng(13);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[uniform_below(rng, kBound)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(UniformUnitTest, WithinHalfOpenInterval) {
+  xoshiro256 rng(21);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = uniform_unit(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformUnitTest, MeanNearHalf) {
+  xoshiro256 rng(22);
+  double sum = 0.0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += uniform_unit(rng);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(SampleDistinctTest, ProducesDistinctValuesInRange) {
+  xoshiro256 rng(31);
+  const auto sample = sample_distinct(rng, 1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const std::size_t v : sample) {
+    EXPECT_LT(v, 1000u);
+  }
+}
+
+TEST(SampleDistinctTest, FullUniverseIsPermutation) {
+  xoshiro256 rng(32);
+  const auto sample = sample_distinct(rng, 64, 64);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 64u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 63u);
+}
+
+TEST(SampleDistinctTest, CountZeroIsEmpty) {
+  xoshiro256 rng(33);
+  EXPECT_TRUE(sample_distinct(rng, 10, 0).empty());
+}
+
+TEST(SampleDistinctTest, OverdrawThrows) {
+  xoshiro256 rng(34);
+  EXPECT_THROW(sample_distinct(rng, 5, 6), precondition_error);
+}
+
+TEST(SampleDistinctTest, UniformCoverage) {
+  // Each index of a universe of 20 should be picked ~ count/universe of
+  // the time over many trials.
+  xoshiro256 rng(35);
+  std::vector<int> hits(20, 0);
+  constexpr int kTrials = 20'000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const std::size_t v : sample_distinct(rng, 20, 5)) {
+      ++hits[v];
+    }
+  }
+  for (const int h : hits) {
+    EXPECT_NEAR(h, kTrials / 4, 400);
+  }
+}
+
+TEST(ShuffleTest, ProducesPermutationDeterministically) {
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> copy = items;
+  xoshiro256 rng_a(77);
+  xoshiro256 rng_b(77);
+  shuffle(rng_a, items);
+  shuffle(rng_b, copy);
+  EXPECT_EQ(items, copy);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ShuffleTest, EmptyAndSingletonAreNoops) {
+  std::vector<int> empty;
+  std::vector<int> one{42};
+  xoshiro256 rng(1);
+  shuffle(rng, empty);
+  shuffle(rng, one);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one.front(), 42);
+}
+
+}  // namespace
+}  // namespace hdhash

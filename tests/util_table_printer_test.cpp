@@ -1,0 +1,74 @@
+#include "util/table_printer.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+TEST(TablePrinterTest, EmptyColumnsThrows) {
+  EXPECT_THROW(table_printer({}), precondition_error);
+}
+
+TEST(TablePrinterTest, RowArityMismatchThrows) {
+  table_printer table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), precondition_error);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), precondition_error);
+}
+
+TEST(TablePrinterTest, PrintsHeaderSeparatorAndRows) {
+  table_printer table({"servers", "latency"});
+  table.add_row({"2", "10"});
+  table.add_row({"2048", "900"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("servers"), std::string::npos);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("2048"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, RightAlignsCells) {
+  table_printer table({"col"});
+  table.add_row({"x"});
+  table.add_row({"wide"});
+  std::ostringstream os;
+  table.print(os);
+  // "x" must be padded to width 4 ("wide").
+  EXPECT_NE(os.str().find("   x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvRoundTrips) {
+  table_printer table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(FormatDurationTest, PicksAdaptiveUnit) {
+  EXPECT_EQ(format_duration_ns(12.0), "12.00 ns");
+  EXPECT_EQ(format_duration_ns(1'500.0), "1.50 us");
+  EXPECT_EQ(format_duration_ns(2'500'000.0), "2.50 ms");
+  EXPECT_EQ(format_duration_ns(3'000'000'000.0), "3.00 s");
+}
+
+TEST(FormatPercentTest, ScalesFraction) {
+  EXPECT_EQ(format_percent(0.123, 1), "12.3%");
+  EXPECT_EQ(format_percent(0.0, 0), "0%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace hdhash
