@@ -1,7 +1,18 @@
 /// Micro-benchmarks (google-benchmark) of the primitives everything else
 /// is built from: HDC operations at the paper's d = 10,000, hash
-/// functions, basis-set generation and single table lookups.
+/// functions, basis-set generation and single table lookups — plus the
+/// v2 scalar-vs-batch lookup comparison.
+///
+/// Run with `--batch-json[=PATH]` to skip google-benchmark and emit the
+/// scalar-vs-batch comparison as machine-readable JSON (default path
+/// BENCH_batch_lookup.json) — the file that seeds the perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/circular.hpp"
 #include "core/hd_table.hpp"
@@ -114,6 +125,174 @@ BENCHMARK_CAPTURE(bm_table_lookup, jump, "jump")->Arg(512);
 BENCHMARK_CAPTURE(bm_table_lookup, maglev, "maglev")->Arg(512);
 BENCHMARK_CAPTURE(bm_table_lookup, hd, "hd")->Arg(64)->Arg(512);
 
+// --- v2 scalar vs batch lookup -------------------------------------------
+
+constexpr std::size_t kBatchSize = 256;  // the paper's emulator batch
+
+std::unique_ptr<dynamic_table> batch_bench_table(const char* algorithm,
+                                                 std::size_t servers) {
+  table_options options;
+  options.hd.dimension = kDim;
+  if (options.hd.capacity <= servers) {
+    options.hd.capacity = 2 * servers;
+  }
+  auto table = make_table(algorithm, options);
+  workload_config workload;
+  workload.initial_servers = servers;
+  const generator gen(workload);
+  for (const auto id : gen.initial_server_ids()) {
+    table->join(id);
+  }
+  return table;
+}
+
+std::vector<request_id> batch_bench_requests(std::size_t count) {
+  std::vector<request_id> requests(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests[i] = (i + 1) * 0x9e3779b97f4a7c15ULL;
+  }
+  return requests;
+}
+
+void bm_lookup_scalar_loop(benchmark::State& state, const char* algorithm) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  const auto table = batch_bench_table(algorithm, servers);
+  const auto requests = batch_bench_requests(kBatchSize);
+  std::vector<server_id> answers(requests.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      answers[i] = table->lookup(requests[i]);
+    }
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSize));
+}
+
+void bm_lookup_batch(benchmark::State& state, const char* algorithm) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  const auto table = batch_bench_table(algorithm, servers);
+  const auto requests = batch_bench_requests(kBatchSize);
+  std::vector<server_id> answers(requests.size());
+  for (auto _ : state) {
+    table->lookup_batch(requests, answers);
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatchSize));
+}
+
+BENCHMARK_CAPTURE(bm_lookup_scalar_loop, hd, "hd")->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(bm_lookup_batch, hd, "hd")->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(bm_lookup_scalar_loop, hd_hierarchical, "hd-hierarchical")
+    ->Arg(512);
+BENCHMARK_CAPTURE(bm_lookup_batch, hd_hierarchical, "hd-hierarchical")
+    ->Arg(512);
+BENCHMARK_CAPTURE(bm_lookup_scalar_loop, consistent, "consistent")->Arg(512);
+BENCHMARK_CAPTURE(bm_lookup_batch, consistent, "consistent")->Arg(512);
+
+/// One scalar-vs-batch comparison point, timed directly (no
+/// google-benchmark), for the JSON perf record.
+struct batch_point {
+  const char* algorithm;
+  std::size_t servers;
+  double scalar_ns_per_lookup;
+  double batch_ns_per_lookup;
+};
+
+batch_point measure_batch_point(const char* algorithm, std::size_t servers,
+                                std::size_t rounds) {
+  using clock = std::chrono::steady_clock;
+  const auto table = batch_bench_table(algorithm, servers);
+  const auto requests = batch_bench_requests(kBatchSize);
+  std::vector<server_id> answers(requests.size());
+
+  auto time_rounds = [&](auto&& body) {
+    body();  // warm-up round
+    const auto start = clock::now();
+    for (std::size_t round = 0; round < rounds; ++round) {
+      body();
+    }
+    const auto stop = clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                    start)
+                   .count()) /
+           static_cast<double>(rounds * kBatchSize);
+  };
+
+  batch_point point{algorithm, servers, 0.0, 0.0};
+  point.scalar_ns_per_lookup = time_rounds([&] {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      answers[i] = table->lookup(requests[i]);
+    }
+    benchmark::DoNotOptimize(answers.data());
+  });
+  point.batch_ns_per_lookup = time_rounds([&] {
+    table->lookup_batch(requests, answers);
+    benchmark::DoNotOptimize(answers.data());
+  });
+  return point;
+}
+
+int emit_batch_json(const std::string& path) {
+  std::vector<batch_point> points;
+  points.push_back(measure_batch_point("hd", 64, 40));
+  points.push_back(measure_batch_point("hd", 512, 10));
+  points.push_back(measure_batch_point("hd-hierarchical", 512, 10));
+  points.push_back(measure_batch_point("consistent", 512, 200));
+  points.push_back(measure_batch_point("rendezvous", 512, 40));
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"scalar_vs_batch_lookup\",\n"
+               "  \"batch_size\": %zu,\n"
+               "  \"dimension\": %zu,\n"
+               "  \"results\": [\n",
+               kBatchSize, kDim);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const batch_point& p = points[i];
+    std::fprintf(out,
+                 "    {\"algorithm\": \"%s\", \"servers\": %zu, "
+                 "\"scalar_ns_per_lookup\": %.1f, "
+                 "\"batch_ns_per_lookup\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 p.algorithm, p.servers, p.scalar_ns_per_lookup,
+                 p.batch_ns_per_lookup,
+                 p.scalar_ns_per_lookup / p.batch_ns_per_lookup,
+                 i + 1 < points.size() ? "," : "");
+    std::printf("%-16s k=%-5zu scalar %8.1f ns   batch %8.1f ns   %.2fx\n",
+                p.algorithm, p.servers, p.scalar_ns_per_lookup,
+                p.batch_ns_per_lookup,
+                p.scalar_ns_per_lookup / p.batch_ns_per_lookup);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--batch-json", 12) == 0 &&
+        (argv[i][12] == '\0' || argv[i][12] == '=')) {
+      return emit_batch_json(argv[i][12] == '='
+                                 ? argv[i] + 13
+                                 : "BENCH_batch_lookup.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "core/hd_table.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -8,6 +10,11 @@
 #include "util/require.hpp"
 
 namespace hdhash {
+
+namespace {
+/// Salt decorrelating replica-row identifiers from real server ids.
+constexpr std::uint64_t kReplicaSalt = 0x57A5'11D5'0C1E'F00DULL;
+}  // namespace
 
 hd_table::hd_table(const hash64& hash, hd_table_config config)
     : hash_(&hash),
@@ -20,21 +27,54 @@ hd_table::hd_table(const hash64& hash, hd_table_config config)
   }
 }
 
-void hd_table::join(server_id server) {
-  HDHASH_REQUIRE(!memory_.contains(server), "server already in the pool");
-  HDHASH_REQUIRE(memory_.size() + 1 < encoder_.size(),
+void hd_table::join(server_id server, double weight) {
+  HDHASH_REQUIRE(weight > 0.0, "weight must be positive");
+  HDHASH_REQUIRE(!members_.contains(server), "server already in the pool");
+  const auto replicas = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(weight)));
+  HDHASH_REQUIRE(memory_.size() + replicas < encoder_.size(),
                  "pool would reach the circle capacity (need n > k)");
-  memory_.insert(server, encoder_.encode(server));
+  member_info info;
+  info.weight = weight;
+  info.row_keys.reserve(replicas);
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    // The first row is the server's own encoding (bit-identical to the
+    // unweighted v1 behaviour); extras are encodings of derived ids.
+    const std::uint64_t key =
+        replica == 0 ? server
+                     : hash_->hash_pair(server, replica,
+                                        config_.seed ^ kReplicaSalt);
+    HDHASH_REQUIRE(!memory_.contains(key),
+                   "replica identifier collision — change the table seed");
+    memory_.insert(key, encoder_.encode(key));
+    row_owner_.emplace(key, server);
+    info.row_keys.push_back(key);
+  }
+  members_.emplace(server, std::move(info));
   if (config_.slot_cache) {
     cache_.assign(config_.capacity, std::nullopt);
   }
 }
 
 void hd_table::leave(server_id server) {
-  memory_.erase(server);
+  const auto it = members_.find(server);
+  HDHASH_REQUIRE(it != members_.end(), "server not in the pool");
+  for (const std::uint64_t key : it->second.row_keys) {
+    memory_.erase(key);
+    row_owner_.erase(key);
+  }
+  members_.erase(it);
   if (config_.slot_cache) {
     cache_.assign(config_.capacity, std::nullopt);
   }
+}
+
+server_id hd_table::owner_of(std::uint64_t row_key) const {
+  const auto it = row_owner_.find(row_key);
+  // Every stored row has an owner; the fallback only matters if a caller
+  // feeds a foreign key, where echoing it mirrors the corrupted-id
+  // failure mode the robustness experiments observe.
+  return it == row_owner_.end() ? row_key : it->second;
 }
 
 hdc::query_result hd_table::decode(const hdc::hypervector& probe) const {
@@ -80,16 +120,140 @@ hdc::query_result hd_table::decode(const hdc::hypervector& probe) const {
   return result;
 }
 
+void hd_table::decode_slots(std::span<const std::size_t> slots,
+                            std::span<server_id> winners) const {
+  // One gather of the stored rows; scanning them in storage order keeps
+  // the win/tie rule identical to the scalar decode().
+  struct row_ref {
+    std::uint64_t key;
+    const std::uint64_t* words;
+  };
+  std::vector<row_ref> rows;
+  rows.reserve(memory_.size());
+  memory_.visit([&rows](std::uint64_t key, const hdc::hypervector& hv) {
+    rows.push_back(row_ref{key, hv.words().data()});
+  });
+  const std::size_t words = (config_.dimension + 63) / 64;
+  const double dim = static_cast<double>(config_.dimension);
+  const double step = static_cast<double>(encoder_.step_bits());
+
+  // Probe tile: each row word is loaded once and compared against kTile
+  // probes — the word-parallel sweep an HDC accelerator's adder trees
+  // perform across concurrent queries.
+  constexpr std::size_t kTile = 8;
+  struct best_state {
+    std::uint64_t key = 0;
+    long long level = 0;
+    double score = 0.0;
+    bool valid = false;
+  };
+  std::array<const std::uint64_t*, kTile> probes{};
+  std::array<std::size_t, kTile> dist{};
+  std::array<best_state, kTile> best{};
+  for (std::size_t base = 0; base < slots.size(); base += kTile) {
+    const std::size_t tile = std::min(kTile, slots.size() - base);
+    for (std::size_t t = 0; t < kTile; ++t) {
+      // Padding the tail tile with its first probe keeps the hot loop's
+      // trip count a compile-time constant, so it unrolls fully.
+      probes[t] = encoder_.at(slots[base + (t < tile ? t : 0)]).words().data();
+    }
+    best.fill(best_state{});
+    for (const row_ref& row : rows) {
+      dist.fill(0);
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t rw = row.words[w];
+        for (std::size_t t = 0; t < kTile; ++t) {
+          dist[t] +=
+              static_cast<std::size_t>(std::popcount(rw ^ probes[t][w]));
+        }
+      }
+      for (std::size_t t = 0; t < tile; ++t) {
+        best_state& b = best[t];
+        bool wins;
+        if (config_.lattice_decode) {
+          const auto level = static_cast<long long>(
+              std::llround(static_cast<double>(dist[t]) / step));
+          wins = !b.valid || level < b.level ||
+                 (level == b.level && row.key < b.key);
+          if (wins) {
+            b.level = level;
+          }
+        } else {
+          // Raw Eq. 2 argmax; the score expressions mirror
+          // hdc::score() exactly so floating-point ties agree.
+          const double s =
+              memory_.similarity_metric() == hdc::metric::cosine
+                  ? 1.0 - 2.0 * (static_cast<double>(dist[t]) / dim)
+                  : static_cast<double>(config_.dimension - dist[t]);
+          wins = !b.valid || s > b.score ||
+                 (s == b.score && row.key < b.key);
+          if (wins) {
+            b.score = s;
+          }
+        }
+        if (wins) {
+          b.key = row.key;
+          b.valid = true;
+        }
+      }
+    }
+    for (std::size_t t = 0; t < tile; ++t) {
+      winners[base + t] = owner_of(best[t].key);
+    }
+  }
+}
+
 server_id hd_table::lookup(request_id request) const {
   HDHASH_REQUIRE(!memory_.empty(), "lookup on an empty pool");
   if (config_.slot_cache) {
     const std::size_t slot = encoder_.slot_of(request);
     if (!cache_[slot].has_value()) {
-      cache_[slot] = decode(encoder_.at(slot)).key;
+      cache_[slot] = owner_of(decode(encoder_.at(slot)).key);
     }
     return *cache_[slot];
   }
-  return decode(encoder_.encode(request)).key;
+  return owner_of(decode(encoder_.encode(request)).key);
+}
+
+void hd_table::lookup_batch(std::span<const request_id> requests,
+                            std::span<server_id> out) const {
+  HDHASH_REQUIRE(requests.size() == out.size(),
+                 "lookup_batch output span must match the request block");
+  if (requests.empty()) {
+    return;
+  }
+  HDHASH_REQUIRE(!memory_.empty(), "lookup on an empty pool");
+
+  // Enc has only n distinct outputs, so the block collapses to at most
+  // min(|block|, n) distinct probes; encoding happens once per slot.
+  std::vector<std::size_t> slot_of(requests.size());
+  std::unordered_map<std::size_t, server_id> resolved;
+  resolved.reserve(requests.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    slot_of[i] = encoder_.slot_of(requests[i]);
+    const auto [it, fresh] = resolved.try_emplace(slot_of[i], server_id{0});
+    if (!fresh) {
+      continue;
+    }
+    if (config_.slot_cache && cache_[slot_of[i]].has_value()) {
+      it->second = *cache_[slot_of[i]];
+    } else {
+      pending.push_back(slot_of[i]);
+    }
+  }
+
+  std::vector<server_id> winners(pending.size());
+  decode_slots(pending, winners);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    resolved[pending[i]] = winners[i];
+    if (config_.slot_cache) {
+      cache_[pending[i]] = winners[i];
+    }
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    out[i] = resolved.at(slot_of[i]);
+  }
 }
 
 void hd_table::warm_slot_cache() const {
@@ -98,18 +262,54 @@ void hd_table::warm_slot_cache() const {
   }
   for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
     if (!cache_[slot].has_value()) {
-      cache_[slot] = decode(encoder_.at(slot)).key;
+      cache_[slot] = owner_of(decode(encoder_.at(slot)).key);
     }
   }
 }
 
 hdc::query_result hd_table::lookup_detailed(request_id request) const {
   HDHASH_REQUIRE(!memory_.empty(), "lookup on an empty pool");
-  return decode(encoder_.encode(request));
+  hdc::query_result result = decode(encoder_.encode(request));
+  result.key = owner_of(result.key);
+  return result;
+}
+
+double hd_table::weight(server_id server) const {
+  const auto it = members_.find(server);
+  HDHASH_REQUIRE(it != members_.end(), "server not in the pool");
+  return it->second.weight;
+}
+
+table_stats hd_table::stats() const {
+  table_stats s;
+  const std::size_t words = (config_.dimension + 63) / 64;
+  s.memory_bytes = memory_.size() * words * sizeof(std::uint64_t) +
+                   cache_.size() * sizeof(std::optional<server_id>);
+  // Every stored row is popcount-compared word by word — unless the
+  // accelerator model answers from the slot cache in O(1).
+  s.expected_lookup_cost =
+      config_.slot_cache
+          ? 1.0
+          : static_cast<double>(memory_.size()) * static_cast<double>(words);
+  return s;
 }
 
 bool hd_table::contains(server_id server) const {
-  return memory_.contains(server);
+  return members_.contains(server);
+}
+
+std::vector<server_id> hd_table::servers() const {
+  // Storage order of the primary rows == join order; replica rows are
+  // filtered out by the key != owner test.
+  std::vector<server_id> result;
+  result.reserve(members_.size());
+  for (const std::uint64_t key : memory_.keys()) {
+    const auto it = row_owner_.find(key);
+    if (it != row_owner_.end() && it->second == key) {
+      result.push_back(key);
+    }
+  }
+  return result;
 }
 
 std::unique_ptr<dynamic_table> hd_table::clone() const {

@@ -9,11 +9,23 @@
 /// handful of flipped bits moves a 10,000-bit vector only marginally, so
 /// the argmax — whose winner/runner-up margin is hundreds of bits — never
 /// changes under realistic memory-error rates.
+///
+/// API v2 additions:
+///  * lookup_batch() — the batch associative query.  Enc has only n
+///    distinct outputs, so a request block first collapses to its unique
+///    circle slots, then the item memory is swept once with each stored
+///    row compared word-wise against a tile of probes (the software
+///    analogue of an accelerator answering several queries per pass).
+///  * weighted join — a member of weight w stores round(w) rows
+///    (replicated circle slots), so it wins a proportional share of the
+///    request space.  Weight 1 is bit-identical to the unweighted v1
+///    behaviour.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "core/encoder.hpp"
 #include "hdc/item_memory.hpp"
@@ -59,12 +71,27 @@ class hd_table final : public dynamic_table {
   /// \param hash  borrowed hash function (must outlive the table).
   explicit hd_table(const hash64& hash, hd_table_config config = {});
 
-  void join(server_id server) override;
+  /// Weighted membership by circle-slot replication: the member stores
+  /// round(w) rows (at least one; the first is its own encoding, extra
+  /// replicas are encodings of derived identifiers), so the weight
+  /// resolution is one circle slot.  All rows count against the circle
+  /// capacity n.
+  void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;
   server_id lookup(request_id request) const override;
+
+  /// Batch associative query: slot-dedupes the block, then sweeps the
+  /// item memory once per probe tile with word-level reuse of each
+  /// stored row.  Assignments are identical to element-wise lookup().
+  void lookup_batch(std::span<const request_id> requests,
+                    std::span<server_id> out) const override;
+  using dynamic_table::lookup_batch;
+
+  double weight(server_id server) const override;
+  table_stats stats() const override;
   bool contains(server_id server) const override;
-  std::size_t server_count() const override { return memory_.size(); }
-  std::vector<server_id> servers() const override { return memory_.keys(); }
+  std::size_t server_count() const override { return members_.size(); }
+  std::vector<server_id> servers() const override;
   std::string_view name() const noexcept override { return "hd"; }
   std::unique_ptr<dynamic_table> clone() const override;
 
@@ -89,13 +116,31 @@ class hd_table final : public dynamic_table {
   const circle_encoder& encoder() const noexcept { return encoder_; }
 
  private:
-  /// Decodes a probe to (winner, raw scores) under the configured rule.
+  /// Per-member bookkeeping: the joined weight and the row keys its
+  /// replicas are stored under (row_keys[0] == the server id itself).
+  struct member_info {
+    double weight = 1.0;
+    std::vector<std::uint64_t> row_keys;
+  };
+
+  /// Decodes a probe to (winner row, raw scores) under the configured
+  /// rule.  Winners are row keys; owner_of() maps them back to servers.
   hdc::query_result decode(const hdc::hypervector& probe) const;
+
+  /// Decodes a block of circle slots to winning *owner* ids, sweeping
+  /// each item-memory row word-wise across a tile of probes.
+  void decode_slots(std::span<const std::size_t> slots,
+                    std::span<server_id> winners) const;
+
+  /// Maps a decoded row key to the member that owns it.
+  server_id owner_of(std::uint64_t row_key) const;
 
   const hash64* hash_;
   hd_table_config config_;
   circle_encoder encoder_;
   hdc::item_memory memory_;
+  std::unordered_map<server_id, member_info> members_;
+  std::unordered_map<std::uint64_t, server_id> row_owner_;
   // Slot-result cache (accelerator model): slot -> resolved server.
   // Mutable because it is a pure memoization of lookup().
   mutable std::vector<std::optional<server_id>> cache_;

@@ -35,10 +35,10 @@ std::size_t hierarchical_hd_table::shard_of(server_id server) const {
                                   shards_.size());
 }
 
-void hierarchical_hd_table::join(server_id server) {
+void hierarchical_hd_table::join(server_id server, double weight) {
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
   const std::size_t shard = shard_of(server);
-  shards_[shard].join(server);
+  shards_[shard].join(server, weight);
   if (shards_[shard].server_count() == 1) {
     router_.join(static_cast<server_id>(shard));  // shard became routable
   }
@@ -59,6 +59,66 @@ server_id hierarchical_hd_table::lookup(request_id request) const {
   HDHASH_REQUIRE(server_count_ > 0, "lookup on an empty pool");
   const auto shard = static_cast<std::size_t>(router_.lookup(request));
   return shards_[shard].lookup(request);
+}
+
+void hierarchical_hd_table::lookup_batch(std::span<const request_id> requests,
+                                         std::span<server_id> out) const {
+  HDHASH_REQUIRE(requests.size() == out.size(),
+                 "lookup_batch output span must match the request block");
+  if (requests.empty()) {
+    return;
+  }
+  HDHASH_REQUIRE(server_count_ > 0, "lookup on an empty pool");
+  // One batched router query assigns every request its shard.
+  std::vector<server_id> shard_ids(requests.size());
+  router_.lookup_batch(requests, shard_ids);
+
+  // Scatter by shard, answer each sub-block batched, gather back.
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    by_shard[static_cast<std::size_t>(shard_ids[i])].push_back(i);
+  }
+  std::vector<request_id> block;
+  std::vector<server_id> answers;
+  for (std::size_t g = 0; g < shards_.size(); ++g) {
+    if (by_shard[g].empty()) {
+      continue;
+    }
+    block.resize(by_shard[g].size());
+    answers.resize(by_shard[g].size());
+    for (std::size_t j = 0; j < by_shard[g].size(); ++j) {
+      block[j] = requests[by_shard[g][j]];
+    }
+    shards_[g].lookup_batch(block, answers);
+    for (std::size_t j = 0; j < by_shard[g].size(); ++j) {
+      out[by_shard[g][j]] = answers[j];
+    }
+  }
+}
+
+double hierarchical_hd_table::weight(server_id server) const {
+  HDHASH_REQUIRE(contains(server), "server not in the pool");
+  return shards_[shard_of(server)].weight(server);
+}
+
+table_stats hierarchical_hd_table::stats() const {
+  table_stats s = router_.stats();
+  double occupied = 0.0;
+  double shard_cost = 0.0;
+  for (const hd_table& shard : shards_) {
+    const table_stats shard_stats = shard.stats();
+    s.memory_bytes += shard_stats.memory_bytes;
+    if (shard.server_count() > 0) {
+      occupied += 1.0;
+      shard_cost += shard_stats.expected_lookup_cost;
+    }
+  }
+  // Router query plus the mean occupied shard's query — the
+  // O(groups + k/groups) scaling the hierarchy buys.
+  if (occupied > 0.0) {
+    s.expected_lookup_cost += shard_cost / occupied;
+  }
+  return s;
 }
 
 bool hierarchical_hd_table::contains(server_id server) const {

@@ -37,9 +37,21 @@ class hierarchical_hd_table final : public dynamic_table {
   explicit hierarchical_hd_table(const hash64& hash,
                                  hierarchical_config config = {});
 
-  void join(server_id server) override;
+  /// Weighted membership delegates to the owning shard's circle-slot
+  /// replication (see hd_table::join).
+  void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;
   server_id lookup(request_id request) const override;
+
+  /// Batch lookup: one batched router query splits the block by shard,
+  /// then each non-empty shard answers its sub-block with the tiled
+  /// associative query.  Assignments match element-wise lookup().
+  void lookup_batch(std::span<const request_id> requests,
+                    std::span<server_id> out) const override;
+  using dynamic_table::lookup_batch;
+
+  double weight(server_id server) const override;
+  table_stats stats() const override;
   bool contains(server_id server) const override;
   std::size_t server_count() const override { return server_count_; }
   std::vector<server_id> servers() const override;

@@ -20,6 +20,8 @@ struct run_stats {
   std::size_t requests = 0;
   std::size_t joins = 0;
   std::size_t leaves = 0;
+  /// Drained request batches fed through lookup_batch.
+  std::size_t batches = 0;
   /// Requests whose answer differed from the pristine shadow table
   /// (only counted when the shadow oracle is enabled).
   std::size_t mismatches = 0;

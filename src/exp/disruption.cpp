@@ -36,9 +36,7 @@ disruption_result run_disruption(std::string_view algorithm,
   }
   auto snapshot = [&] {
     std::vector<server_id> result(request_ids.size());
-    for (std::size_t i = 0; i < request_ids.size(); ++i) {
-      result[i] = table->lookup(request_ids[i]);
-    }
+    table->lookup_batch(request_ids, result);
     return result;
   };
   auto changed_fraction = [&](const std::vector<server_id>& a,

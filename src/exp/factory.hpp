@@ -1,7 +1,8 @@
 /// \file factory.hpp
 /// \brief Construction of any hdhash algorithm by name, with shared
-/// options — the entry point used by benches, examples and integration
-/// tests.
+/// options — the v1 string entry point, now a thin shim over the typed
+/// table_spec builder (exp/table_spec.hpp), which is the preferred v2
+/// construction API.
 #pragma once
 
 #include <memory>
@@ -26,8 +27,10 @@ struct table_options {
 
 /// Creates a table by algorithm name: "modular", "consistent",
 /// "consistent-rank" (rank-resolved ring, see ring_lookup_mode),
-/// "rendezvous", "jump", "maglev" or "hd".
-/// \throws precondition_error for unknown names.
+/// "rendezvous", "jump", "maglev" or "hd".  Kept for string-driven
+/// callers (CLIs, sweeps); new code should prefer the table_spec
+/// builder.
+/// \throws precondition_error listing all valid names for unknown ones.
 std::unique_ptr<dynamic_table> make_table(std::string_view algorithm,
                                           const table_options& options = {});
 

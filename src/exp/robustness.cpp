@@ -39,9 +39,7 @@ std::vector<mismatch_point> run_mismatch_sweep(std::string_view algorithm,
     request_ids.push_back(splitmix_hash::mix(req_rng()));
   }
   std::vector<server_id> truth(request_ids.size());
-  for (std::size_t i = 0; i < request_ids.size(); ++i) {
-    truth[i] = shadow->lookup(request_ids[i]);
-  }
+  shadow->lookup_batch(request_ids, truth);
 
   std::vector<mismatch_point> series;
   series.reserve(config.max_bit_flips + 1);
@@ -63,13 +61,16 @@ std::vector<mismatch_point> run_mismatch_sweep(std::string_view algorithm,
       }
       const auto injected = apply_error_model(model, injector, *table);
 
+      // The corrupted table answers the request sample as one batch —
+      // the same hot path the emulator and benchmarks exercise.
+      std::vector<server_id> answers(request_ids.size());
+      table->lookup_batch(request_ids, answers);
       std::size_t mismatches = 0;
       std::size_t invalid = 0;
       for (std::size_t i = 0; i < request_ids.size(); ++i) {
-        const server_id answer = table->lookup(request_ids[i]);
-        if (answer != truth[i]) {
+        if (answers[i] != truth[i]) {
           ++mismatches;
-          if (!shadow->contains(answer)) {
+          if (!shadow->contains(answers[i])) {
             ++invalid;
           }
         }

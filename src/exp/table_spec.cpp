@@ -1,0 +1,180 @@
+#include "exp/table_spec.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/hierarchical.hpp"
+#include "hashing/registry.hpp"
+#include "table/bounded.hpp"
+#include "table/consistent.hpp"
+#include "table/jump.hpp"
+#include "table/maglev.hpp"
+#include "table/modular.hpp"
+#include "table/rendezvous.hpp"
+#include "table/weighted_rendezvous.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+table_spec::table_spec(std::string name)
+    : name_(std::move(name)), hash_name_(table_options{}.hash_name) {}
+
+table_options table_spec::current_options() const noexcept {
+  table_options options = options_;
+  options.hash_name = hash_name_;
+  return options;
+}
+
+table_spec table_spec::modular() { return table_spec("modular"); }
+table_spec table_spec::consistent() { return table_spec("consistent"); }
+table_spec table_spec::consistent_rank() {
+  return table_spec("consistent-rank");
+}
+table_spec table_spec::rendezvous() { return table_spec("rendezvous"); }
+table_spec table_spec::weighted_rendezvous() {
+  return table_spec("weighted-rendezvous");
+}
+table_spec table_spec::bounded() { return table_spec("bounded"); }
+table_spec table_spec::jump() { return table_spec("jump"); }
+table_spec table_spec::maglev() { return table_spec("maglev"); }
+table_spec table_spec::hd() { return table_spec("hd"); }
+table_spec table_spec::hd_hierarchical() {
+  return table_spec("hd-hierarchical");
+}
+
+table_spec table_spec::algorithm(std::string_view name) {
+  const auto known = all_algorithms();
+  if (std::find(known.begin(), known.end(), name) == known.end()) {
+    std::string message = "unknown algorithm: ";
+    message += name;
+    message += " — valid algorithms:";
+    for (const std::string_view algorithm : known) {
+      message += ' ';
+      message += algorithm;
+    }
+    throw precondition_error(message);
+  }
+  return table_spec(std::string(name));
+}
+
+table_spec& table_spec::hash(std::string_view name) {
+  hash_name_ = std::string(name);
+  return *this;
+}
+
+table_spec& table_spec::seed(std::uint64_t value) {
+  options_.seed = value;
+  options_.hd.seed = value;
+  return *this;
+}
+
+table_spec& table_spec::vnodes(std::size_t count) {
+  options_.consistent_vnodes = count;
+  return *this;
+}
+
+table_spec& table_spec::maglev_size(std::size_t size) {
+  options_.maglev_table_size = size;
+  return *this;
+}
+
+table_spec& table_spec::balance_factor(double c) {
+  options_.bounded_balance_factor = c;
+  return *this;
+}
+
+table_spec& table_spec::groups(std::size_t count) {
+  options_.hierarchical_groups = count;
+  return *this;
+}
+
+table_spec& table_spec::dimension(std::size_t d) {
+  options_.hd.dimension = d;
+  return *this;
+}
+
+table_spec& table_spec::capacity(std::size_t n) {
+  options_.hd.capacity = n;
+  return *this;
+}
+
+table_spec& table_spec::metric(hdc::metric m) {
+  options_.hd.metric = m;
+  return *this;
+}
+
+table_spec& table_spec::flip_policy(hdc::flip_policy p) {
+  options_.hd.policy = p;
+  return *this;
+}
+
+table_spec& table_spec::slot_cache(bool enabled) {
+  options_.hd.slot_cache = enabled;
+  return *this;
+}
+
+table_spec& table_spec::lattice_decode(bool enabled) {
+  options_.hd.lattice_decode = enabled;
+  return *this;
+}
+
+table_spec& table_spec::options(const table_options& options) {
+  hash_name_ = std::string(options.hash_name);
+  options_ = options;
+  return *this;
+}
+
+std::unique_ptr<dynamic_table> table_spec::build() const {
+  const hash64& hash = hash_by_name(hash_name_);
+  if (name_ == "modular") {
+    return std::make_unique<modular_table>(hash, options_.seed);
+  }
+  if (name_ == "consistent") {
+    return std::make_unique<consistent_table>(
+        hash, options_.consistent_vnodes, options_.seed);
+  }
+  if (name_ == "consistent-rank") {
+    return std::make_unique<consistent_table>(
+        hash, options_.consistent_vnodes, options_.seed,
+        ring_lookup_mode::rank);
+  }
+  if (name_ == "rendezvous") {
+    return std::make_unique<rendezvous_table>(hash, options_.seed);
+  }
+  if (name_ == "weighted-rendezvous") {
+    return std::make_unique<weighted_rendezvous_table>(hash, options_.seed);
+  }
+  if (name_ == "bounded") {
+    return std::make_unique<bounded_consistent_table>(
+        hash, options_.bounded_balance_factor, options_.consistent_vnodes,
+        options_.seed);
+  }
+  if (name_ == "hd-hierarchical") {
+    hierarchical_config config;
+    config.groups = options_.hierarchical_groups;
+    config.shard = options_.hd;
+    // Each shard holds ~k/groups servers; a quarter of the flat circle
+    // keeps the lattice step large while bounding shard memory.
+    config.shard.capacity = std::max<std::size_t>(
+        64, options_.hd.capacity / options_.hierarchical_groups * 2);
+    config.router = options_.hd;
+    config.router.capacity = 4 * options_.hierarchical_groups;
+    return std::make_unique<hierarchical_hd_table>(hash, config);
+  }
+  if (name_ == "jump") {
+    return std::make_unique<jump_table>(hash, options_.seed);
+  }
+  if (name_ == "maglev") {
+    return std::make_unique<maglev_table>(hash, options_.maglev_table_size,
+                                          options_.seed);
+  }
+  if (name_ == "hd") {
+    return std::make_unique<hd_table>(hash, options_.hd);
+  }
+  // Unreachable through the named constructors and algorithm(); kept as
+  // a guard for specs forged through future construction paths.
+  HDHASH_REQUIRE(false, "unknown algorithm: " + name_);
+  return nullptr;
+}
+
+}  // namespace hdhash

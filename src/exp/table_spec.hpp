@@ -1,0 +1,90 @@
+/// \file table_spec.hpp
+/// \brief Typed, builder-style construction of hdhash tables — the v2
+/// entry point replacing stringly-typed make_table().
+///
+/// A table_spec names an algorithm up front (one named constructor per
+/// algorithm, so a typo is a compile error instead of a runtime string
+/// mismatch) and chains tuning knobs fluently:
+///
+///   auto table = table_spec::hd().dimension(4096).seed(7).build();
+///   auto ring  = table_spec::consistent().vnodes(64).hash("siphash24")
+///                    .build();
+///
+/// The v1 string entry point make_table(name, options) remains as a thin
+/// shim over table_spec::algorithm(name) so existing benches, examples
+/// and CLI tooling keep working unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "exp/factory.hpp"
+
+namespace hdhash {
+
+/// Fluent specification of one table instance.
+class table_spec {
+ public:
+  // One named constructor per algorithm in all_algorithms().
+  static table_spec modular();
+  static table_spec consistent();
+  static table_spec consistent_rank();
+  static table_spec rendezvous();
+  static table_spec weighted_rendezvous();
+  static table_spec bounded();
+  static table_spec jump();
+  static table_spec maglev();
+  static table_spec hd();
+  static table_spec hd_hierarchical();
+
+  /// Generic entry for dynamically chosen algorithms (sweeps, CLIs).
+  /// \throws precondition_error naming the valid algorithms when `name`
+  /// is not one of all_algorithms().
+  static table_spec algorithm(std::string_view name);
+
+  // Shared knobs.
+  table_spec& hash(std::string_view name);    ///< registered hash for h(·)
+  table_spec& seed(std::uint64_t value);      ///< seeds the table and circle
+
+  // Per-algorithm knobs (no-ops for algorithms that ignore them, so a
+  // spec can be built generically and specialized per sweep point).
+  table_spec& vnodes(std::size_t count);      ///< consistent/bounded ring
+  table_spec& maglev_size(std::size_t size);  ///< prime lookup-table size
+  table_spec& balance_factor(double c);       ///< bounded-loads slack
+  table_spec& groups(std::size_t count);      ///< hd-hierarchical shards
+  table_spec& dimension(std::size_t d);       ///< hd hypervector bits
+  table_spec& capacity(std::size_t n);        ///< hd circle size (n > k)
+  table_spec& metric(hdc::metric m);          ///< hd similarity metric
+  table_spec& flip_policy(hdc::flip_policy p);///< hd circle construction
+  table_spec& slot_cache(bool enabled);       ///< hd accelerator model
+  table_spec& lattice_decode(bool enabled);   ///< hd ML decoding
+
+  /// Bulk import of a v1 option block (the make_table shim path).
+  table_spec& options(const table_options& options);
+
+  /// Algorithm this spec will build, e.g. "hd".
+  std::string_view algorithm_name() const noexcept { return name_; }
+
+  /// The assembled option block.  Returned by value with hash_name
+  /// re-pointed at this spec's storage, so it stays valid for the
+  /// spec's lifetime regardless of how the spec was copied around.
+  table_options current_options() const noexcept;
+
+  /// Constructs the table.  \throws precondition_error on invalid knob
+  /// combinations (e.g. a composite maglev table size).
+  std::unique_ptr<dynamic_table> build() const;
+
+ private:
+  explicit table_spec(std::string name);
+
+  std::string name_;
+  // The hash is owned here as a string; options_.hash_name is dead
+  // state and re-pointed at hash_name_ only when options are handed
+  // out (current_options/build), so the compiler-generated special
+  // members stay correct.
+  std::string hash_name_;
+  table_options options_;
+};
+
+}  // namespace hdhash

@@ -53,10 +53,11 @@ std::vector<uniformity_point> run_uniformity(std::string_view algorithm,
           injected = injector.inject_random(*table, flips);
         }
 
+        std::vector<server_id> answers(request_ids.size());
+        table->lookup_batch(request_ids, answers);
         std::vector<std::uint64_t> counts(servers, 0);
         std::size_t invalid = 0;
-        for (const std::uint64_t request : request_ids) {
-          const server_id answer = table->lookup(request);
+        for (const server_id answer : answers) {
           const auto it = bin_of.find(answer);
           if (it == bin_of.end()) {
             ++invalid;  // corrupted identifier escaped the pool

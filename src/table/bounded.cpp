@@ -20,7 +20,9 @@ bounded_consistent_table::bounded_consistent_table(const hash64& hash,
   HDHASH_REQUIRE(virtual_nodes >= 1, "need at least one ring point");
 }
 
-void bounded_consistent_table::join(server_id server) {
+void bounded_consistent_table::join(server_id server, double weight) {
+  HDHASH_REQUIRE(weight == 1.0,
+                 "bounded-loads balances by cap, not weight (weight == 1)");
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
   for (std::size_t replica = 0; replica < virtual_nodes_; ++replica) {
     const ring_point point{
@@ -105,6 +107,18 @@ void bounded_consistent_table::reset_loads() noexcept {
 std::uint64_t bounded_consistent_table::load_of(server_id server) const {
   const auto it = loads_.find(server);
   return it == loads_.end() ? 0 : it->second;
+}
+
+table_stats bounded_consistent_table::stats() const {
+  table_stats s;
+  s.memory_bytes = ring_.size() * sizeof(ring_point) +
+                   loads_.size() * (sizeof(server_id) + sizeof(std::uint64_t));
+  // Binary search plus the expected clockwise walk (short for c = 1.25).
+  s.expected_lookup_cost =
+      ring_.empty()
+          ? 0.0
+          : std::log2(static_cast<double>(ring_.size()) + 1.0) + 1.0;
+  return s;
 }
 
 bool bounded_consistent_table::contains(server_id server) const {

@@ -39,8 +39,9 @@ class bounded_consistent_table final : public dynamic_table {
                                     std::size_t virtual_nodes = 1,
                                     std::uint64_t seed = 0);
 
-  void join(server_id server) override;
+  void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;
+  table_stats stats() const override;
 
   /// Where the next assignment of `request` would land, without
   /// recording it.

@@ -1,6 +1,7 @@
 #include "table/consistent.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/require.hpp"
 
@@ -18,9 +19,33 @@ std::uint64_t consistent_table::point_position(server_id server,
   return hash_->hash_pair(server, static_cast<std::uint64_t>(replica), seed_);
 }
 
-void consistent_table::join(server_id server) {
+std::size_t consistent_table::member_index(server_id server) const noexcept {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].server == server) {
+      return i;
+    }
+  }
+  return members_.size();
+}
+
+std::size_t consistent_table::replica_count(double weight) const noexcept {
+  const auto points = static_cast<std::size_t>(
+      std::llround(weight * static_cast<double>(virtual_nodes_)));
+  return std::max<std::size_t>(1, points);
+}
+
+void consistent_table::join(server_id server, double weight) {
+  HDHASH_REQUIRE(weight > 0.0, "weight must be positive");
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
-  for (std::size_t replica = 0; replica < virtual_nodes_; ++replica) {
+  const std::size_t replicas = replica_count(weight);
+  // Unlike hd_table, the ring has no structural capacity, so bound the
+  // weight-driven replication explicitly: a runaway weight would
+  // otherwise translate into millions of sorted-vector inserts.
+  constexpr std::size_t kMaxRingPointsPerMember = std::size_t{1} << 20;
+  HDHASH_REQUIRE(replicas <= kMaxRingPointsPerMember,
+                 "weight * virtual_nodes exceeds the per-member ring-point "
+                 "bound (2^20)");
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
     const ring_point point{point_position(server, replica), server};
     const auto it = std::lower_bound(
         ring_.begin(), ring_.end(), point, [](const ring_point& a,
@@ -30,15 +55,35 @@ void consistent_table::join(server_id server) {
         });
     ring_.insert(it, point);
   }
-  ++server_count_;
+  members_.push_back(member{server, weight});
 }
 
 void consistent_table::leave(server_id server) {
-  HDHASH_REQUIRE(contains(server), "server not in the pool");
+  const std::size_t index = member_index(server);
+  HDHASH_REQUIRE(index != members_.size(), "server not in the pool");
   std::erase_if(ring_, [server](const ring_point& p) {
     return p.server == server;
   });
-  --server_count_;
+  members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+double consistent_table::weight(server_id server) const {
+  const std::size_t index = member_index(server);
+  HDHASH_REQUIRE(index != members_.size(), "server not in the pool");
+  return members_[index].weight;
+}
+
+table_stats consistent_table::stats() const {
+  table_stats s;
+  s.memory_bytes =
+      ring_.size() * sizeof(ring_point) + members_.size() * sizeof(member);
+  // Bisection is O(log ring); rank resolution scans the whole ring.
+  s.expected_lookup_cost =
+      ring_.empty() ? 0.0
+      : mode_ == ring_lookup_mode::rank
+          ? static_cast<double>(ring_.size())
+          : std::log2(static_cast<double>(ring_.size()) + 1.0);
+  return s;
 }
 
 server_id consistent_table::lookup(request_id request) const {
@@ -64,18 +109,14 @@ server_id consistent_table::lookup(request_id request) const {
 }
 
 bool consistent_table::contains(server_id server) const {
-  return std::any_of(ring_.begin(), ring_.end(), [server](const ring_point& p) {
-    return p.server == server;
-  });
+  return member_index(server) != members_.size();
 }
 
 std::vector<server_id> consistent_table::servers() const {
   std::vector<server_id> result;
-  result.reserve(server_count_);
-  for (const ring_point& p : ring_) {
-    if (std::find(result.begin(), result.end(), p.server) == result.end()) {
-      result.push_back(p.server);
-    }
+  result.reserve(members_.size());
+  for (const member& m : members_) {
+    result.push_back(m.server);
   }
   return result;
 }

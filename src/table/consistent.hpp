@@ -46,11 +46,18 @@ class consistent_table final : public dynamic_table {
                             std::uint64_t seed = 0,
                             ring_lookup_mode mode = ring_lookup_mode::bisect);
 
-  void join(server_id server) override;
+  /// Weighted membership via ring-point multiplicity: a member of weight
+  /// w owns round(w * virtual_nodes) ring points (at least one), so its
+  /// expected share of the key space is proportional to w.  The load
+  /// resolution is one ring point — construct with enough virtual nodes
+  /// for the granularity the deployment needs.
+  void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;
   server_id lookup(request_id request) const override;
+  double weight(server_id server) const override;
+  table_stats stats() const override;
   bool contains(server_id server) const override;
-  std::size_t server_count() const override { return server_count_; }
+  std::size_t server_count() const override { return members_.size(); }
   std::vector<server_id> servers() const override;
   std::string_view name() const noexcept override {
     return mode_ == ring_lookup_mode::bisect ? "consistent"
@@ -72,13 +79,23 @@ class consistent_table final : public dynamic_table {
     server_id server;
   };
 
+  /// Weight bookkeeping, separate from the ring: the ring alone is the
+  /// routing state (and fault surface), exactly as in a production
+  /// deployment where weights live in the control plane.
+  struct member {
+    server_id server;
+    double weight;
+  };
+
   std::uint64_t point_position(server_id server, std::size_t replica) const;
+  std::size_t member_index(server_id server) const noexcept;  // size if absent
+  std::size_t replica_count(double weight) const noexcept;
 
   const hash64* hash_;
   std::uint64_t seed_;
   std::size_t virtual_nodes_;
   ring_lookup_mode mode_;
-  std::size_t server_count_ = 0;
+  std::vector<member> members_;   // join order
   std::vector<ring_point> ring_;  // sorted by (position, server)
 };
 

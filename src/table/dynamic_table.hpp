@@ -8,6 +8,15 @@
 ///  * minimal disruption — how few requests remap when the pool changes;
 ///  * uniformity — how evenly requests spread over servers.
 ///
+/// API v2 extends the original scalar interface along three axes:
+///  * batching — lookup_batch() maps a block of requests at once, the
+///    shape under which HD hashing's associative query amortizes probe
+///    encoding and sweeps its item memory word-parallel;
+///  * weights — join() takes a relative capacity, so heterogeneous pools
+///    (a 2x machine takes 2x the traffic) are first-class;
+///  * introspection — stats() reports each algorithm's live memory
+///    footprint and expected per-lookup cost for capacity planning.
+///
 /// Every implementation also exposes its live state for fault injection
 /// (see fault/memory_region.hpp), which is how the robustness experiments
 /// corrupt each algorithm's actual working memory.
@@ -15,10 +24,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "fault/memory_region.hpp"
+#include "util/require.hpp"
 
 namespace hdhash {
 
@@ -27,12 +38,31 @@ using server_id = std::uint64_t;
 /// Unique identifier of a request (in practice: hash of a key/URL/user).
 using request_id = std::uint64_t;
 
+/// Introspection snapshot of a table's resource profile.  Filled in by
+/// every algorithm; the emulator and capacity-planning tools read it.
+struct table_stats {
+  /// Bytes of live routing state (the fault surface plus caches) —
+  /// what a production deployment keeps resident per table instance.
+  std::size_t memory_bytes = 0;
+  /// Expected elemental operations per scalar lookup: hash evaluations
+  /// for the classic algorithms, 64-bit word operations for the HD
+  /// associative query.  Comparable within an algorithm across pool
+  /// sizes (the Figure 4 x-axis), indicative across algorithms.
+  double expected_lookup_cost = 0.0;
+};
+
 /// Abstract request→server mapper over a dynamic server pool.
 class dynamic_table : public fault_surface {
  public:
-  /// Adds a server to the pool.
-  /// \pre the server is not already present; pool below capacity (HD).
-  virtual void join(server_id server) = 0;
+  /// Adds a server to the pool with a relative capacity weight: a server
+  /// with weight 2 should receive twice the traffic of a weight-1 peer.
+  /// Weight support varies by algorithm — native scoring in
+  /// weighted-rendezvous, ring-point multiplicity in consistent, circle-
+  /// slot replication in hd; the unweighted algorithms (modular, jump,
+  /// maglev, rendezvous, bounded) require weight == 1.
+  /// \pre the server is not already present; weight > 0 (and == 1 for
+  /// unweighted algorithms); pool below capacity (HD).
+  virtual void join(server_id server, double weight = 1.0) = 0;
 
   /// Removes a server from the pool.  \pre the server is present.
   virtual void leave(server_id server) = 0;
@@ -43,6 +73,40 @@ class dynamic_table : public fault_surface {
   /// are not in the pool (e.g. a corrupted stored id) — that is the
   /// failure mode the robustness experiments measure.
   virtual server_id lookup(request_id request) const = 0;
+
+  /// Maps a block of requests to servers, writing `out[i]` for
+  /// `requests[i]`.  Produces exactly the assignments of element-wise
+  /// lookup(); overrides exist purely for throughput (hd_table and
+  /// hd-hierarchical amortize probe encoding and sweep their item
+  /// memories word-parallel across the block).
+  /// \pre out.size() == requests.size(); pool non-empty unless the block
+  /// is empty.
+  virtual void lookup_batch(std::span<const request_id> requests,
+                            std::span<server_id> out) const {
+    HDHASH_REQUIRE(requests.size() == out.size(),
+                   "lookup_batch output span must match the request block");
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      out[i] = lookup(requests[i]);
+    }
+  }
+
+  /// Convenience overload allocating the output block.
+  std::vector<server_id> lookup_batch(
+      std::span<const request_id> requests) const {
+    std::vector<server_id> out(requests.size());
+    lookup_batch(requests, out);
+    return out;
+  }
+
+  /// The weight a member joined with (1 for unweighted algorithms).
+  /// \pre the server is present.
+  virtual double weight(server_id server) const {
+    HDHASH_REQUIRE(contains(server), "server not in the pool");
+    return 1.0;
+  }
+
+  /// Resource profile of the current state (see table_stats).
+  virtual table_stats stats() const = 0;
 
   /// True when `server` is in the pool.
   virtual bool contains(server_id server) const = 0;

@@ -1,6 +1,7 @@
 #include "table/jump.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/require.hpp"
 
@@ -25,7 +26,8 @@ std::size_t jump_table::jump_bucket(std::uint64_t key, std::size_t buckets) {
   return static_cast<std::size_t>(b);
 }
 
-void jump_table::join(server_id server) {
+void jump_table::join(server_id server, double weight) {
+  HDHASH_REQUIRE(weight == 1.0, "jump hashing is unweighted (weight == 1)");
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
   slots_.push_back(server);
 }
@@ -44,6 +46,16 @@ server_id jump_table::lookup(request_id request) const {
   HDHASH_REQUIRE(!slots_.empty(), "lookup on an empty pool");
   const std::uint64_t key = hash_->hash_u64(request, seed_);
   return slots_[jump_bucket(key, slots_.size())];
+}
+
+table_stats jump_table::stats() const {
+  table_stats s;
+  s.memory_bytes = slots_.size() * sizeof(server_id);
+  // The jump walk visits ~ln(n) buckets in expectation.
+  s.expected_lookup_cost =
+      slots_.empty() ? 0.0
+                     : 1.0 + std::log(static_cast<double>(slots_.size()));
+  return s;
 }
 
 bool jump_table::contains(server_id server) const {

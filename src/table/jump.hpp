@@ -22,9 +22,10 @@ class jump_table final : public dynamic_table {
  public:
   explicit jump_table(const hash64& hash, std::uint64_t seed = 0);
 
-  void join(server_id server) override;
+  void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;
   server_id lookup(request_id request) const override;
+  table_stats stats() const override;
   bool contains(server_id server) const override;
   std::size_t server_count() const override { return slots_.size(); }
   std::vector<server_id> servers() const override { return slots_; }

@@ -61,7 +61,8 @@ void maglev_table::rebuild() {
   }
 }
 
-void maglev_table::join(server_id server) {
+void maglev_table::join(server_id server, double weight) {
+  HDHASH_REQUIRE(weight == 1.0, "maglev hashing is unweighted (weight == 1)");
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
   HDHASH_REQUIRE(servers_.size() < table_size_,
                  "maglev pool cannot exceed its table size");
@@ -87,6 +88,14 @@ server_id maglev_table::lookup(request_id request) const {
     return static_cast<server_id>(~std::uint64_t{0} - index);
   }
   return servers_[index];
+}
+
+table_stats maglev_table::stats() const {
+  table_stats s;
+  s.memory_bytes = lookup_.size() * sizeof(std::uint32_t) +
+                   servers_.size() * sizeof(server_id);
+  s.expected_lookup_cost = 1.0;  // one hash, one table index
+  return s;
 }
 
 bool maglev_table::contains(server_id server) const {

@@ -29,9 +29,10 @@ class maglev_table final : public dynamic_table {
   explicit maglev_table(const hash64& hash, std::size_t table_size = 65537,
                         std::uint64_t seed = 0);
 
-  void join(server_id server) override;
+  void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;
   server_id lookup(request_id request) const override;
+  table_stats stats() const override;
   bool contains(server_id server) const override;
   std::size_t server_count() const override { return servers_.size(); }
   std::vector<server_id> servers() const override { return servers_; }

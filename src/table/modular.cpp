@@ -9,7 +9,8 @@ namespace hdhash {
 modular_table::modular_table(const hash64& hash, std::uint64_t seed)
     : hash_(&hash), seed_(seed) {}
 
-void modular_table::join(server_id server) {
+void modular_table::join(server_id server, double weight) {
+  HDHASH_REQUIRE(weight == 1.0, "modular hashing is unweighted (weight == 1)");
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
   servers_.push_back(server);
 }
@@ -24,6 +25,13 @@ server_id modular_table::lookup(request_id request) const {
   HDHASH_REQUIRE(!servers_.empty(), "lookup on an empty pool");
   const std::uint64_t h = hash_->hash_u64(request, seed_);
   return servers_[static_cast<std::size_t>(h % servers_.size())];
+}
+
+table_stats modular_table::stats() const {
+  table_stats s;
+  s.memory_bytes = servers_.size() * sizeof(server_id);
+  s.expected_lookup_cost = 1.0;  // one hash, one index
+  return s;
 }
 
 bool modular_table::contains(server_id server) const {

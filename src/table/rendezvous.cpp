@@ -9,7 +9,10 @@ namespace hdhash {
 rendezvous_table::rendezvous_table(const hash64& hash, std::uint64_t seed)
     : hash_(&hash), seed_(seed) {}
 
-void rendezvous_table::join(server_id server) {
+void rendezvous_table::join(server_id server, double weight) {
+  HDHASH_REQUIRE(weight == 1.0,
+                 "plain rendezvous is unweighted (weight == 1); use "
+                 "weighted-rendezvous for heterogeneous pools");
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
   servers_.push_back(server);
 }
@@ -35,6 +38,14 @@ server_id rendezvous_table::lookup(request_id request) const {
     }
   }
   return best;
+}
+
+table_stats rendezvous_table::stats() const {
+  table_stats s;
+  s.memory_bytes = servers_.size() * sizeof(server_id);
+  // One hash per pool member per lookup — the O(n) scan of Figure 4.
+  s.expected_lookup_cost = static_cast<double>(servers_.size());
+  return s;
 }
 
 bool rendezvous_table::contains(server_id server) const {

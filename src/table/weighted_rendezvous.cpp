@@ -22,12 +22,7 @@ std::size_t weighted_rendezvous_table::find_index(
   return entries_.size();
 }
 
-void weighted_rendezvous_table::join(server_id server) {
-  join_weighted(server, 1.0);
-}
-
-void weighted_rendezvous_table::join_weighted(server_id server,
-                                              double weight) {
+void weighted_rendezvous_table::join(server_id server, double weight) {
   HDHASH_REQUIRE(!contains(server), "server already in the pool");
   HDHASH_REQUIRE(weight > 0.0, "weight must be positive");
   entries_.push_back(entry{server, weight});
@@ -40,7 +35,7 @@ void weighted_rendezvous_table::set_weight(server_id server, double weight) {
   entries_[index].weight = weight;
 }
 
-double weighted_rendezvous_table::weight_of(server_id server) const {
+double weighted_rendezvous_table::weight(server_id server) const {
   const std::size_t index = find_index(server);
   HDHASH_REQUIRE(index != entries_.size(), "server not in the pool");
   return entries_[index].weight;
@@ -71,6 +66,14 @@ server_id weighted_rendezvous_table::lookup(request_id request) const {
     }
   }
   return best;
+}
+
+table_stats weighted_rendezvous_table::stats() const {
+  table_stats s;
+  s.memory_bytes = entries_.size() * sizeof(entry);
+  // One hash + one log per pool member per lookup.
+  s.expected_lookup_cost = 2.0 * static_cast<double>(entries_.size());
+  return s;
 }
 
 bool weighted_rendezvous_table::contains(server_id server) const {

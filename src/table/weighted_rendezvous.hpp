@@ -22,21 +22,27 @@ class weighted_rendezvous_table final : public dynamic_table {
   explicit weighted_rendezvous_table(const hash64& hash,
                                      std::uint64_t seed = 0);
 
-  /// join() admits the server with weight 1; use join_weighted for
-  /// heterogeneous capacities.
-  void join(server_id server) override;
+  /// Weighted membership is native here: P[s wins] is exactly
+  /// proportional to the weight.  \pre weight > 0, server not present.
+  void join(server_id server, double weight = 1.0) override;
 
-  /// \pre weight > 0, server not present.
-  void join_weighted(server_id server, double weight);
+  /// Back-compat alias for the v1 API.  \pre weight > 0, server absent.
+  void join_weighted(server_id server, double weight) {
+    join(server, weight);
+  }
 
   /// Updates a member's weight.  \pre server present, weight > 0.
   void set_weight(server_id server, double weight);
 
-  /// \pre server present.
-  double weight_of(server_id server) const;
+  /// The member's weight.  \pre server present.
+  double weight(server_id server) const override;
+
+  /// Back-compat alias for the v1 API.  \pre server present.
+  double weight_of(server_id server) const { return weight(server); }
 
   void leave(server_id server) override;
   server_id lookup(request_id request) const override;
+  table_stats stats() const override;
   bool contains(server_id server) const override;
   std::size_t server_count() const override { return entries_.size(); }
   std::vector<server_id> servers() const override;

@@ -1,0 +1,196 @@
+/// table_spec builder suite: the typed v2 construction API, its
+/// equivalence with the v1 string factory shim, the improved
+/// unknown-algorithm diagnostics, and the stats() introspection every
+/// algorithm must fill in.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hd_table.hpp"
+#include "exp/factory.hpp"
+#include "exp/table_spec.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+table_options fast_options() {
+  table_options options;
+  options.hd.dimension = 1024;
+  options.hd.capacity = 256;
+  options.maglev_table_size = 4099;
+  return options;
+}
+
+TEST(TableSpecTest, NamedConstructorsBuildTheirAlgorithm) {
+  EXPECT_EQ(table_spec::modular().build()->name(), "modular");
+  EXPECT_EQ(table_spec::consistent().build()->name(), "consistent");
+  EXPECT_EQ(table_spec::consistent_rank().build()->name(),
+            "consistent-rank");
+  EXPECT_EQ(table_spec::rendezvous().build()->name(), "rendezvous");
+  EXPECT_EQ(table_spec::weighted_rendezvous().build()->name(),
+            "weighted-rendezvous");
+  EXPECT_EQ(table_spec::bounded().build()->name(), "bounded");
+  EXPECT_EQ(table_spec::jump().build()->name(), "jump");
+  EXPECT_EQ(table_spec::maglev().build()->name(), "maglev");
+  EXPECT_EQ(table_spec::hd().dimension(512).capacity(64).build()->name(),
+            "hd");
+  EXPECT_EQ(table_spec::hd_hierarchical()
+                .dimension(512)
+                .capacity(256)
+                .groups(4)
+                .build()
+                ->name(),
+            "hd-hierarchical");
+}
+
+TEST(TableSpecTest, GenericAlgorithmCoversTheFullRegistry) {
+  for (const auto name : all_algorithms()) {
+    auto table = table_spec::algorithm(name).options(fast_options()).build();
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table->name(), name);
+  }
+}
+
+TEST(TableSpecTest, UnknownAlgorithmErrorListsValidNames) {
+  try {
+    table_spec::algorithm("quantum");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("quantum"), std::string::npos);
+    for (const auto name : all_algorithms()) {
+      EXPECT_NE(message.find(std::string(name)), std::string::npos)
+          << "error should list " << name;
+    }
+  }
+}
+
+TEST(TableSpecTest, ShimAndBuilderProduceIdenticalTables) {
+  // The fluent chain of the issue's motivating example...
+  auto built = table_spec::hd().dimension(1024).capacity(256).seed(7).build();
+  // ...must equal the v1 string path with the same knob values.
+  table_options options;
+  options.hd.dimension = 1024;
+  options.hd.capacity = 256;
+  options.hd.seed = 7;
+  options.seed = 7;
+  auto shimmed = make_table("hd", options);
+  for (server_id s = 1; s <= 10; ++s) {
+    built->join(s * 11);
+    shimmed->join(s * 11);
+  }
+  for (request_id r = 0; r < 400; ++r) {
+    EXPECT_EQ(built->lookup(r), shimmed->lookup(r));
+  }
+}
+
+TEST(TableSpecTest, KnobsReachTheBuiltTable) {
+  const auto table = table_spec::hd()
+                         .dimension(512)
+                         .capacity(128)
+                         .slot_cache(true)
+                         .lattice_decode(false)
+                         .build();
+  const auto* hd = dynamic_cast<const hd_table*>(table.get());
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->config().dimension, 512u);
+  EXPECT_EQ(hd->config().capacity, 128u);
+  EXPECT_TRUE(hd->config().slot_cache);
+  EXPECT_FALSE(hd->config().lattice_decode);
+}
+
+TEST(TableSpecTest, HashKnobSelectsTheHashFunction) {
+  // Different hashes must give a different mapping; same hash, the same.
+  auto sip = table_spec::consistent().hash("siphash24");
+  auto xx = table_spec::consistent();  // default xxhash64
+  auto sip_table = sip.build();
+  auto sip_again = sip.build();
+  auto xx_table = xx.build();
+  for (server_id s = 1; s <= 16; ++s) {
+    sip_table->join(s * 5);
+    sip_again->join(s * 5);
+    xx_table->join(s * 5);
+  }
+  std::size_t differing = 0;
+  for (request_id r = 0; r < 500; ++r) {
+    EXPECT_EQ(sip_table->lookup(r), sip_again->lookup(r));
+    differing += sip_table->lookup(r) != xx_table->lookup(r) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 0u);
+  EXPECT_THROW(table_spec::consistent().hash("md5").build(),
+               precondition_error);
+}
+
+TEST(TableSpecTest, CopiedSpecSurvivesTheOriginal) {
+  // options_.hash_name views spec-owned storage; copies must re-point it
+  // rather than dangle into the source spec.
+  table_spec copy = table_spec::modular();
+  {
+    table_spec original =
+        table_spec::modular().hash(std::string("siphash24"));
+    copy = original;
+  }
+  auto table = copy.build();
+  EXPECT_EQ(copy.current_options().hash_name, "siphash24");
+  EXPECT_EQ(table->name(), "modular");
+}
+
+TEST(TableStatsTest, EveryAlgorithmReportsLiveState) {
+  for (const auto name : all_algorithms()) {
+    auto table = table_spec::algorithm(name).options(fast_options()).build();
+    for (server_id s = 1; s <= 12; ++s) {
+      table->join(s * 17);
+    }
+    const table_stats stats = table->stats();
+    EXPECT_GT(stats.memory_bytes, 0u) << name;
+    EXPECT_GT(stats.expected_lookup_cost, 0.0) << name;
+  }
+}
+
+TEST(TableStatsTest, CostsReflectTheFigure4Ordering) {
+  // The introspection must reproduce the paper's qualitative cost
+  // ordering at a large pool: O(1) maglev < O(log n) consistent ring <
+  // O(n) rendezvous scan < the HD row sweep on scalar hardware.
+  table_options options = fast_options();
+  const std::vector<std::string_view> ordering = {"maglev", "consistent",
+                                                  "rendezvous", "hd"};
+  double previous = 0.0;
+  for (const auto name : ordering) {
+    auto table = table_spec::algorithm(name).options(options).build();
+    for (server_id s = 1; s <= 100; ++s) {
+      table->join(s * 19);
+    }
+    const double cost = table->stats().expected_lookup_cost;
+    EXPECT_GT(cost, previous) << name;
+    previous = cost;
+  }
+}
+
+TEST(TableStatsTest, SlotCacheFlattensTheHdCost) {
+  table_options options = fast_options();
+  auto scan = table_spec::hd().options(options).build();
+  auto accel = table_spec::hd().options(options).slot_cache(true).build();
+  for (server_id s = 1; s <= 32; ++s) {
+    scan->join(s * 23);
+    accel->join(s * 23);
+  }
+  EXPECT_GT(scan->stats().expected_lookup_cost, 100.0);
+  EXPECT_EQ(accel->stats().expected_lookup_cost, 1.0);
+}
+
+TEST(TableStatsTest, MemoryGrowsWithMembership) {
+  for (const auto name : all_algorithms()) {
+    auto table = table_spec::algorithm(name).options(fast_options()).build();
+    table->join(1);
+    const std::size_t small = table->stats().memory_bytes;
+    for (server_id s = 2; s <= 24; ++s) {
+      table->join(s * 29);
+    }
+    EXPECT_GT(table->stats().memory_bytes, small) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hdhash
