@@ -1,0 +1,73 @@
+/// Multi-core elastic load balancer: the load_balancer example scaled
+/// onto the sharded, double-buffered emulation pipeline.  Heavy-tailed
+/// (Zipf) traffic with autoscaling churn is partitioned across shard
+/// workers — one hd-hierarchical replica per thread, membership events
+/// broadcast in stream order — and the merged statistics are proven
+/// identical to a single-table run of the same stream.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "emu/emulator.hpp"
+#include "emu/generator.hpp"
+#include "emu/sharded_emulator.hpp"
+#include "exp/factory.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace hdhash;
+  std::printf("== Sharded balancer: Zipf traffic, 1%% churn, hd-hierarchical ==\n\n");
+
+  workload_config workload;
+  workload.initial_servers = 48;
+  workload.request_count = 40'000;
+  workload.distribution = request_distribution::zipf;
+  workload.zipf_skew = 0.9;
+  workload.key_universe = 200'000;
+  workload.churn_rate = 0.01;
+  workload.seed = 20'26;
+  const generator gen(workload);
+  const auto events = gen.generate();
+
+  table_options options;
+  options.hd.dimension = 4096;
+  options.hd.capacity = 256;  // headroom for churn joins
+  auto factory = [&options](std::size_t) {
+    return make_table("hd-hierarchical", options);
+  };
+
+  // Single-table reference: the determinism baseline for every row.
+  auto reference_table = make_table("hd-hierarchical", options);
+  emulator reference(*reference_table, 256);
+  const run_stats expected = reference.run(events);
+
+  table_printer table({"shards", "requests", "joins", "leaves",
+                       "peak/mean load", "aggregate req/s", "identical"});
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    sharded_config config;
+    config.shards = shards;
+    sharded_emulator balancer(factory, config);
+    const sharded_report report = balancer.run(events);
+
+    std::uint64_t peak = 0;
+    for (const auto& [server, count] : report.merged.load) {
+      peak = std::max(peak, count);
+    }
+    const double mean = static_cast<double>(report.merged.requests) /
+                        static_cast<double>(report.merged.load.size());
+    table.add_row(
+        {std::to_string(shards), std::to_string(report.merged.requests),
+         std::to_string(report.merged.joins),
+         std::to_string(report.merged.leaves),
+         format_double(static_cast<double>(peak) / mean, 2),
+         format_double(report.aggregate_requests_per_second(), 0),
+         report.merged.load == expected.load ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nEvery row answers the same 40k-request stream; 'identical' checks\n"
+      "the merged per-server load histogram against the single-table\n"
+      "reference run — sharding changes throughput, never assignments.\n");
+  return 0;
+}

@@ -35,7 +35,12 @@ void hd_table::join(server_id server, double weight) {
   HDHASH_REQUIRE(memory_.size() + replicas < encoder_.size(),
                  "pool would reach the circle capacity (need n > k)");
   member_info info;
-  info.weight = weight;
+  // The table replicates round(weight) slots, so that is the weight it
+  // actually serves: report the effective replication, not the raw
+  // request, or the weighted-uniformity chi-squared expectation diverges
+  // from the load the member really receives (weights 1.0 and 1.4 build
+  // identical tables and must report identically).
+  info.weight = static_cast<double>(replicas);
   info.row_keys.reserve(replicas);
   for (std::size_t replica = 0; replica < replicas; ++replica) {
     // The first row is the server's own encoding (bit-identical to the

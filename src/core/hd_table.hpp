@@ -72,9 +72,11 @@ class hd_table final : public dynamic_table {
   explicit hd_table(const hash64& hash, hd_table_config config = {});
 
   /// Weighted membership by circle-slot replication: the member stores
-  /// round(w) rows (at least one; the first is its own encoding, extra
+  /// max(1, round(w)) rows (the first is its own encoding, extra
   /// replicas are encodings of derived identifiers), so the weight
-  /// resolution is one circle slot.  All rows count against the circle
+  /// resolution is one circle slot.  weight() subsequently reports that
+  /// effective replication — the share the member actually serves — not
+  /// the raw requested value.  All rows count against the circle
   /// capacity n.
   void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;

@@ -1,11 +1,130 @@
 #include "emu/emulator.hpp"
 
 #include <chrono>
+#include <cstdint>
+#include <ctime>
 #include <vector>
 
 #include "util/require.hpp"
 
 namespace hdhash {
+
+run_stats& run_stats::merge(const run_stats& other) {
+  requests += other.requests;
+  joins += other.joins;
+  leaves += other.leaves;
+  batches += other.batches;
+  mismatches += other.mismatches;
+  invalid_assignments += other.invalid_assignments;
+  total_request_ns += other.total_request_ns;
+  for (const auto& [server, count] : other.load) {
+    load[server] += count;
+  }
+  return *this;
+}
+
+run_stats merge(std::span<const run_stats> parts) {
+  run_stats merged;
+  for (const run_stats& part : parts) {
+    merged.merge(part);
+  }
+  return merged;
+}
+
+namespace {
+
+/// Current reading of the configured request clock, as integer
+/// nanoseconds (subtracting in the integer domain keeps sub-batch
+/// deltas exact even when the clock's epoch offset is large).
+std::int64_t timing_now_ns(timing_mode timing) {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  if (timing == timing_mode::thread_cpu) {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
+           static_cast<std::int64_t>(ts.tv_nsec);
+  }
+#endif
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Answers one request sub-batch against the current table state and
+/// accounts load/mismatches; `answers`/`truth` are reused across calls.
+void answer_sub_batch(dynamic_table& table, dynamic_table* shadow,
+                      std::span<const request_id> requests, run_stats& stats,
+                      timing_mode timing, std::vector<server_id>& answers,
+                      std::vector<server_id>& truth) {
+  if (requests.empty()) {
+    return;
+  }
+  answers.resize(requests.size());
+  if (timing != timing_mode::off) {
+    const std::int64_t start = timing_now_ns(timing);
+    table.lookup_batch(requests, answers);
+    stats.total_request_ns +=
+        static_cast<double>(timing_now_ns(timing) - start);
+  } else {
+    table.lookup_batch(requests, answers);
+  }
+  ++stats.batches;
+
+  if (shadow != nullptr) {
+    truth.resize(requests.size());
+    shadow->lookup_batch(requests, truth);
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ++stats.requests;
+    ++stats.load[answers[i]];
+    if (shadow != nullptr && answers[i] != truth[i]) {
+      ++stats.mismatches;
+      if (!shadow->contains(answers[i])) {
+        ++stats.invalid_assignments;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void apply_event_batch(dynamic_table& table, dynamic_table* shadow,
+                       std::span<const event> batch, run_stats& stats,
+                       timing_mode timing) {
+  // Membership events segment the batch: buffered requests are answered
+  // against the table state they actually observed, never a later one.
+  std::vector<request_id> pending;
+  std::vector<server_id> answers;
+  std::vector<server_id> truth;
+  pending.reserve(batch.size());
+  for (const event& e : batch) {
+    if (e.kind == event_kind::request) {
+      pending.push_back(e.id);
+      continue;
+    }
+    answer_sub_batch(table, shadow, pending, stats, timing, answers, truth);
+    pending.clear();
+    switch (e.kind) {
+      case event_kind::join:
+        table.join(e.id);
+        if (shadow != nullptr) {
+          shadow->join(e.id);
+        }
+        ++stats.joins;
+        break;
+      case event_kind::leave:
+        table.leave(e.id);
+        if (shadow != nullptr) {
+          shadow->leave(e.id);
+        }
+        ++stats.leaves;
+        break;
+      case event_kind::request:
+        break;  // handled above
+    }
+  }
+  answer_sub_batch(table, shadow, pending, stats, timing, answers, truth);
+}
 
 emulator::emulator(dynamic_table& table, std::size_t buffer_capacity)
     : table_(table), buffer_(buffer_capacity) {}
@@ -13,70 +132,13 @@ emulator::emulator(dynamic_table& table, std::size_t buffer_capacity)
 void emulator::enable_shadow() { shadow_ = table_.clone(); }
 
 void emulator::drain(run_stats& stats) {
-  using clock = std::chrono::steady_clock;
-
-  // Split the batch: membership events are applied unmeasured (the paper
-  // measures request handling), requests are timed as one batch.
-  std::vector<std::uint64_t> batch_requests;
+  drain_scratch_.clear();
+  drain_scratch_.reserve(buffer_.size());
   while (const auto e = buffer_.pop()) {
-    switch (e->kind) {
-      case event_kind::join:
-        table_.join(e->id);
-        if (shadow_) {
-          shadow_->join(e->id);
-        }
-        ++stats.joins;
-        break;
-      case event_kind::leave:
-        table_.leave(e->id);
-        if (shadow_) {
-          shadow_->leave(e->id);
-        }
-        ++stats.leaves;
-        break;
-      case event_kind::request:
-        batch_requests.push_back(e->id);
-        break;
-    }
+    drain_scratch_.push_back(*e);
   }
-  if (batch_requests.empty()) {
-    return;
-  }
-
-  // The hash-table module answers the whole drained batch through the
-  // v2 batch interface — the paper's GPU batching, and the shape under
-  // which HD hashing amortizes probe encoding.
-  std::vector<server_id> answers(batch_requests.size());
-  if (timing_) {
-    const auto start = clock::now();
-    table_.lookup_batch(batch_requests, answers);
-    const auto stop = clock::now();
-    stats.total_request_ns +=
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                stop - start)
-                                .count());
-  } else {
-    table_.lookup_batch(batch_requests, answers);
-  }
-  ++stats.batches;
-
-  std::vector<server_id> truth;
-  if (shadow_) {
-    truth.resize(batch_requests.size());
-    shadow_->lookup_batch(batch_requests, truth);
-  }
-  for (std::size_t i = 0; i < batch_requests.size(); ++i) {
-    ++stats.requests;
-    ++stats.load[answers[i]];
-    if (shadow_) {
-      if (answers[i] != truth[i]) {
-        ++stats.mismatches;
-        if (!shadow_->contains(answers[i])) {
-          ++stats.invalid_assignments;
-        }
-      }
-    }
-  }
+  apply_event_batch(table_, shadow_.get(), drain_scratch_, stats,
+                    timing_ ? timing_mode::wall : timing_mode::off);
 }
 
 run_stats emulator::run(std::span<const event> events) {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "emu/event.hpp"
 #include "emu/event_buffer.hpp"
@@ -20,7 +21,8 @@ struct run_stats {
   std::size_t requests = 0;
   std::size_t joins = 0;
   std::size_t leaves = 0;
-  /// Drained request batches fed through lookup_batch.
+  /// Request sub-batches fed through lookup_batch (a drained buffer
+  /// contributes one per membership-delimited request segment).
   std::size_t batches = 0;
   /// Requests whose answer differed from the pristine shadow table
   /// (only counted when the shadow oracle is enabled).
@@ -42,7 +44,41 @@ struct run_stats {
                ? 0.0
                : static_cast<double>(mismatches) / static_cast<double>(requests);
   }
+
+  /// Accumulates another run's statistics into this one (counters and
+  /// request wall time add up; load histograms merge per server).
+  run_stats& merge(const run_stats& other);
 };
+
+/// Merges per-shard (or per-run) statistics into one aggregate report —
+/// the reduction the sharded emulator applies to its workers' results.
+run_stats merge(std::span<const run_stats> parts);
+
+/// How request time is accumulated into run_stats::total_request_ns.
+enum class timing_mode : std::uint8_t {
+  off,         ///< no measurement
+  wall,        ///< steady_clock per sub-batch (single-threaded runs)
+  /// Per-thread CPU time per sub-batch: on an oversubscribed machine a
+  /// worker's wall clock includes preemption by its sibling shards, so
+  /// shard service time is metered on the thread's own CPU clock
+  /// (POSIX CLOCK_THREAD_CPUTIME_ID; on platforms without one this
+  /// degrades to wall time, and per-shard service rates then include
+  /// preemption again).
+  thread_cpu,
+};
+
+/// Applies one drained event batch to `table` (and `shadow`, when
+/// non-null) in arrival order: membership events segment the batch, and
+/// each request sub-batch is answered through lookup_batch against the
+/// exact table state it observed.  A request that arrived before a
+/// join/leave is therefore never resolved against the post-churn table
+/// (and vice versa), so mismatch/disruption accounting is faithful to
+/// the stream order regardless of how events were buffered.  Request
+/// time is measured per sub-batch under `timing`; stats.batches counts
+/// the lookup_batch calls made.
+void apply_event_batch(dynamic_table& table, dynamic_table* shadow,
+                       std::span<const event> batch, run_stats& stats,
+                       timing_mode timing);
 
 /// Feeds an event stream through a bounded buffer into a dynamic table.
 ///
@@ -78,6 +114,7 @@ class emulator {
   dynamic_table& table_;
   std::unique_ptr<dynamic_table> shadow_;
   event_buffer buffer_;
+  std::vector<event> drain_scratch_;  // reused across drains
   bool timing_ = true;
 };
 

@@ -1,0 +1,213 @@
+#include "emu/sharded_emulator.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "hashing/splitmix_hash.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+namespace {
+
+/// Bounded hand-off queue between the producer and one shard worker.
+/// Depth 2 is the double buffer: the worker decodes batch i while the
+/// producer fills batch i+1; the producer only blocks when the worker
+/// is more than one full batch behind.
+class batch_channel {
+ public:
+  void push(std::vector<event>&& batch) {
+    std::unique_lock lock(mutex_);
+    can_push_.wait(lock, [this] { return queue_.size() < kDepth; });
+    queue_.push_back(std::move(batch));
+    can_pop_.notify_one();
+  }
+
+  /// Blocks for the next batch; returns false once the channel is
+  /// closed and drained.
+  bool pop(std::vector<event>& out) {
+    std::unique_lock lock(mutex_);
+    can_pop_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+      return false;
+    }
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    can_push_.notify_one();
+    return true;
+  }
+
+  void close() {
+    const std::lock_guard lock(mutex_);
+    closed_ = true;
+    can_pop_.notify_all();
+  }
+
+ private:
+  static constexpr std::size_t kDepth = 2;
+  std::mutex mutex_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<std::vector<event>> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+double sharded_report::aggregate_requests_per_second() const {
+  double rate = 0.0;
+  for (const run_stats& shard : per_shard) {
+    if (shard.total_request_ns > 0.0) {
+      rate += static_cast<double>(shard.requests) * 1e9 /
+              shard.total_request_ns;
+    }
+  }
+  return rate;
+}
+
+double sharded_report::wall_requests_per_second() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(merged.requests) / wall_seconds
+             : 0.0;
+}
+
+sharded_emulator::sharded_emulator(table_factory factory,
+                                   sharded_config config)
+    : config_(config) {
+  HDHASH_REQUIRE(config_.shards >= 1, "need at least one shard");
+  HDHASH_REQUIRE(config_.buffer_capacity >= 1,
+                 "shard buffer capacity must be positive");
+  HDHASH_REQUIRE(factory != nullptr, "table factory must be callable");
+  tables_.reserve(config_.shards);
+  for (std::size_t shard = 0; shard < config_.shards; ++shard) {
+    auto table = factory(shard);
+    HDHASH_REQUIRE(table != nullptr, "table factory returned null");
+    tables_.push_back(std::move(table));
+  }
+}
+
+std::size_t sharded_emulator::shard_of(request_id request) const {
+  return static_cast<std::size_t>(
+      splitmix_hash::mix(request ^ config_.partition_seed) % tables_.size());
+}
+
+sharded_report sharded_emulator::run(std::span<const event> events) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t shards = tables_.size();
+
+  sharded_report report;
+  report.per_shard.resize(shards);
+
+  std::vector<batch_channel> channels(shards);
+  std::vector<std::unique_ptr<dynamic_table>> shadows(shards);
+  if (config_.shadow) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      shadows[s] = tables_[s]->clone();
+    }
+  }
+
+  const auto start = clock::now();
+  std::vector<std::exception_ptr> errors(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  // Joins every spawned worker after closing its feed; both the spawn
+  // loop and the producer run under this guard because destroying a
+  // joinable std::thread terminates the process.
+  auto shut_down = [&] {
+    for (batch_channel& channel : channels) {
+      channel.close();
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  };
+  std::size_t logical_joins = 0;
+  std::size_t logical_leaves = 0;
+  try {
+    for (std::size_t s = 0; s < shards; ++s) {
+      workers.emplace_back([this, s, &channels, &shadows, &report, &errors] {
+        try {
+          std::vector<event> batch;
+          while (channels[s].pop(batch)) {
+            // Shard service time is metered on the worker's own CPU
+            // clock so preemption by sibling shards (oversubscribed
+            // machines) does not count against this shard's decode rate.
+            apply_event_batch(*tables_[s], shadows[s].get(), batch,
+                              report.per_shard[s],
+                              config_.timing ? timing_mode::thread_cpu
+                                             : timing_mode::off);
+          }
+        } catch (...) {
+          errors[s] = std::current_exception();
+          // Keep draining so the producer never deadlocks on a full
+          // channel after a worker fault.
+          std::vector<event> discard;
+          while (channels[s].pop(discard)) {
+          }
+        }
+      });
+    }
+
+    // Producer: partition requests, broadcast membership, hand over
+    // each shard's batch as soon as it fills (the double-buffered
+    // overlap).
+    std::vector<std::vector<event>> pending(shards);
+    for (auto& p : pending) {
+      p.reserve(config_.buffer_capacity);
+    }
+    auto submit = [&](std::size_t s) {
+      channels[s].push(std::move(pending[s]));
+      pending[s] = {};
+      pending[s].reserve(config_.buffer_capacity);
+    };
+    for (const event& e : events) {
+      if (e.kind == event_kind::request) {
+        const std::size_t s = shard_of(e.id);
+        pending[s].push_back(e);
+        if (pending[s].size() >= config_.buffer_capacity) {
+          submit(s);
+        }
+        continue;
+      }
+      (e.kind == event_kind::join ? logical_joins : logical_leaves) += 1;
+      for (std::size_t s = 0; s < shards; ++s) {
+        pending[s].push_back(e);
+        if (pending[s].size() >= config_.buffer_capacity) {
+          submit(s);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!pending[s].empty()) {
+        submit(s);
+      }
+    }
+  } catch (...) {
+    shut_down();
+    throw;
+  }
+  shut_down();
+  const auto stop = clock::now();
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+
+  report.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  report.merged = merge(report.per_shard);
+  // Broadcast membership events are applied once per shard; report them
+  // once each so the merged stats compare field-for-field with a
+  // single-table reference run.
+  report.merged.joins = logical_joins;
+  report.merged.leaves = logical_leaves;
+  return report;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,108 @@
+/// \file sharded_emulator.hpp
+/// \brief Sharded, double-buffered emulation pipeline — the multi-core
+/// analogue of the paper's GPU batching (Section 5.1), scaled toward the
+/// ROADMAP's "millions of users" target.
+///
+/// The generated event stream is partitioned across N shards by
+/// hash(request_id) % N; membership (join/leave) events are broadcast to
+/// every shard, so each shard's table replicates the full server pool
+/// and answers exactly the assignments the single-table reference would.
+/// Each shard runs its own dynamic_table on a dedicated worker thread,
+/// fed through a depth-2 batch channel: while the worker decodes batch
+/// i, the producer is already filling batch i+1 — the software analogue
+/// of overlapping GPU transfer with compute (double buffering).
+///
+/// Determinism: requests are routed to exactly one shard and every
+/// shard applies membership events in stream order, so the merged load
+/// histogram is bit-identical to a single-shard (or plain emulator)
+/// reference run over the same events — the property the ctest suite
+/// asserts and BENCH_sharded_emulator.json records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "emu/emulator.hpp"
+#include "emu/event.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+/// Configuration of the sharded pipeline.
+struct sharded_config {
+  /// Worker shards (>= 1); each owns one table replica and one thread.
+  std::size_t shards = 4;
+  /// Events buffered per shard before a batch is handed to its worker
+  /// (the paper's batch size of 256 per shard).
+  std::size_t buffer_capacity = 256;
+  /// Measure per-sub-batch request time on each worker's own CPU clock
+  /// (timing_mode::thread_cpu), so the per-shard service rate is not
+  /// polluted by preemption when shards outnumber cores.
+  bool timing = true;
+  /// Give every shard a pristine shadow clone for mismatch accounting.
+  bool shadow = false;
+  /// Salt of the request partition hash.
+  std::uint64_t partition_seed = 0x5A4D'ED01;
+};
+
+/// Result of one sharded run.
+struct sharded_report {
+  /// Statistics merged across shards.  joins/leaves count *logical*
+  /// membership events (each broadcast event once), so the merged
+  /// report is comparable field-for-field with a single-table run.
+  run_stats merged;
+  /// Raw per-shard statistics; here joins/leaves count per-shard
+  /// applications of the broadcast events.
+  std::vector<run_stats> per_shard;
+  /// End-to-end pipeline wall time (produce + decode, overlapped).
+  double wall_seconds = 0.0;
+
+  /// Aggregate service rate: the sum of each shard's requests divided
+  /// by the time that shard spent inside lookup_batch on its own
+  /// thread.  This is the pipeline's capacity — what N independent
+  /// shard workers sustain with a core each; on a machine with >= N
+  /// cores the wall rate converges to it.
+  double aggregate_requests_per_second() const;
+  /// Delivered wall-clock rate: merged requests / wall_seconds —
+  /// bounded by the physical core count, unlike the aggregate rate.
+  double wall_requests_per_second() const;
+};
+
+/// Runs an event stream through N single-owner table replicas, one
+/// worker thread each, with double-buffered batch hand-off.
+class sharded_emulator {
+ public:
+  /// Builds the table replica for one shard.  Called once per shard at
+  /// construction, on the caller's thread; every shard must be built
+  /// with identical parameters (the determinism guarantee needs all
+  /// replicas to map requests identically).
+  using table_factory =
+      std::function<std::unique_ptr<dynamic_table>(std::size_t shard)>;
+
+  sharded_emulator(table_factory factory, sharded_config config = {});
+
+  /// Runs the event stream to completion across all shards and merges
+  /// the per-shard statistics.  Worker exceptions are rethrown here.
+  /// One emulator instance runs one workload: the table replicas keep
+  /// their end-of-run state (inspect via table()), so replaying a
+  /// stream whose join burst repeats ids would fault on the second
+  /// run — construct a fresh emulator per workload instead.
+  sharded_report run(std::span<const event> events);
+
+  /// Shard a request id is routed to.
+  std::size_t shard_of(request_id request) const;
+
+  const sharded_config& config() const noexcept { return config_; }
+  std::size_t shards() const noexcept { return tables_.size(); }
+  /// The shard's table replica (valid for the emulator's lifetime).
+  dynamic_table& table(std::size_t shard) { return *tables_[shard]; }
+
+ private:
+  sharded_config config_;
+  std::vector<std::unique_ptr<dynamic_table>> tables_;
+};
+
+}  // namespace hdhash

@@ -1,0 +1,109 @@
+#include "exp/sharded.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "emu/generator.hpp"
+#include "emu/sharded_emulator.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::vector<std::size_t> shard_count_sweep(std::size_t max_shards) {
+  max_shards = std::clamp<std::size_t>(max_shards, 1, 256);
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 1; n <= max_shards; n *= 2) {
+    counts.push_back(n);
+  }
+  if (counts.back() != max_shards) {
+    counts.push_back(max_shards);
+  }
+  return counts;
+}
+
+std::size_t parse_positive_value(const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  // Reject trailing garbage ("1e3"), empty values and out-of-range
+  // input outright instead of silently truncating.
+  if (end == text || *end != '\0' || errno == ERANGE || value <= 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+shards_flag parse_shards_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      return shards_flag{true, parse_positive_value(argv[i] + 9)};
+    }
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      // A bare trailing "--shards" is present-but-invalid, not absent:
+      // the caller must error loudly rather than skip the panel.
+      return shards_flag{
+          true, i + 1 < argc ? parse_positive_value(argv[i + 1]) : 0};
+    }
+  }
+  return shards_flag{};
+}
+
+std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
+                                               const shard_sweep_config& config,
+                                               const table_options& options) {
+  HDHASH_REQUIRE(!config.shard_counts.empty(), "sweep needs shard counts");
+  table_options opts = options;
+  if (opts.hd.capacity <= config.servers + 2) {  // keep n > k under churn
+    opts.hd.capacity = 2 * (config.servers + 2);
+  }
+
+  workload_config workload;
+  workload.initial_servers = config.servers;
+  workload.request_count = config.requests;
+  workload.churn_rate = config.churn_rate;
+  workload.seed = config.seed;
+  const generator gen(workload);
+  const auto events = gen.generate();
+
+  // Single-table reference: the plain emulator over the same events.
+  // Determinism of the sharded pipeline means reproducing this run's
+  // load histogram bit for bit at every shard count.
+  auto reference_table = make_table(algorithm, opts);
+  emulator reference(*reference_table, config.buffer_capacity);
+  const run_stats expected = reference.run(events);
+
+  std::vector<shard_sweep_point> series;
+  series.reserve(config.shard_counts.size());
+  for (const std::size_t shards : config.shard_counts) {
+    sharded_config emu_config;
+    emu_config.shards = shards;
+    emu_config.buffer_capacity = config.buffer_capacity;
+    emu_config.shadow = config.shadow;
+    sharded_emulator emu(
+        [&](std::size_t) { return make_table(algorithm, opts); }, emu_config);
+    const sharded_report report = emu.run(events);
+
+    shard_sweep_point point;
+    point.shards = shards;
+    point.merged = report.merged;
+    point.wall_seconds = report.wall_seconds;
+    point.aggregate_requests_per_second =
+        report.aggregate_requests_per_second();
+    point.wall_requests_per_second = report.wall_requests_per_second();
+    point.matches_reference = report.merged.load == expected.load &&
+                              report.merged.requests == expected.requests &&
+                              report.merged.joins == expected.joins &&
+                              report.merged.leaves == expected.leaves;
+    series.push_back(std::move(point));
+  }
+  const double base = series.front().aggregate_requests_per_second;
+  for (shard_sweep_point& point : series) {
+    point.aggregate_speedup =
+        base > 0.0 ? point.aggregate_requests_per_second / base : 0.0;
+  }
+  return series;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,79 @@
+/// \file sharded.hpp
+/// \brief Shard-count sweep driver: runs one workload through the
+/// sharded, double-buffered emulator at increasing shard counts and
+/// reports throughput plus a determinism check against the single-table
+/// reference run.
+///
+/// This is the multi-core scaling experiment the ROADMAP's "millions of
+/// users" north star asks for: the robustness (fig5_mismatch) and
+/// disruption (tab_disruption) drivers expose it behind `--shards N`,
+/// and bench/sharded_throughput records it as BENCH_sharded_emulator.json.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "emu/emulator.hpp"
+#include "exp/factory.hpp"
+
+namespace hdhash {
+
+struct shard_sweep_config {
+  /// Shard counts to sweep, in order; the determinism check compares
+  /// every point against a plain single-table emulator run.
+  std::vector<std::size_t> shard_counts = {1, 2, 4, 8, 16};
+  std::size_t servers = 128;       ///< initial join burst
+  std::size_t requests = 40'000;   ///< requests per point
+  double churn_rate = 0.0;         ///< join/leave probability per slot
+  std::size_t buffer_capacity = 256;  ///< per-shard batch size
+  bool shadow = false;             ///< per-shard pristine mismatch oracle
+  std::uint64_t seed = 42;
+};
+
+struct shard_sweep_point {
+  std::size_t shards = 0;
+  run_stats merged;
+  double wall_seconds = 0.0;
+  /// Sum of per-shard service rates (requests / on-thread decode time):
+  /// the pipeline capacity with one core per shard.
+  double aggregate_requests_per_second = 0.0;
+  /// Delivered wall-clock rate — bounded by the machine's core count.
+  double wall_requests_per_second = 0.0;
+  /// aggregate rate relative to this sweep's first point.
+  double aggregate_speedup = 0.0;
+  /// Merged load histogram (and request/join/leave counts) identical to
+  /// the plain single-table emulator run over the same events.
+  bool matches_reference = false;
+};
+
+/// Runs the sweep for one algorithm.  Every shard builds an identical
+/// table replica; the reference run uses one more instance of the same
+/// construction.
+std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
+                                               const shard_sweep_config& config,
+                                               const table_options& options);
+
+/// Shard counts {1, 2, 4, ...} up to and including `max_shards`, which
+/// is clamped to [1, 256] (a CLI-facing guard: the drivers feed this
+/// straight from --shards).
+std::vector<std::size_t> shard_count_sweep(std::size_t max_shards);
+
+/// Result of scanning argv for `--shards`: distinguishes "not asked
+/// for" from "asked for but malformed" so drivers can error loudly
+/// instead of silently skipping the panel the user requested.
+struct shards_flag {
+  bool present = false;   ///< the flag appeared on the command line
+  std::size_t value = 0;  ///< parsed count; 0 when absent or invalid
+};
+
+/// Parses `--shards=N` / `--shards N` from argv (strictly: a positive
+/// decimal integer, no trailing garbage).
+shards_flag parse_shards_flag(int argc, char** argv);
+
+/// Strict positive-integer parse for CLI values: rejects empty input,
+/// trailing garbage ("1e3"), out-of-range and non-positive values by
+/// returning 0 (never silently truncates).
+std::size_t parse_positive_value(const char* text);
+
+}  // namespace hdhash

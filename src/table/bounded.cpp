@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "util/require.hpp"
 
@@ -54,43 +56,117 @@ std::uint64_t bounded_consistent_table::current_cap() const {
                 static_cast<double>(loads_.size())));
 }
 
-server_id bounded_consistent_table::resolve(request_id request, bool record) {
-  HDHASH_REQUIRE(!ring_.empty(), "lookup on an empty pool");
-  const std::uint64_t position = hash_->hash_u64(request, seed_);
-  auto it = std::upper_bound(
-      ring_.begin(), ring_.end(), position,
-      [](std::uint64_t pos, const ring_point& p) { return pos < p.position; });
-  const std::uint64_t cap = current_cap();
+bounded_consistent_table::walk_result bounded_consistent_table::walk_from(
+    std::size_t start, std::uint64_t cap) {
   // Clockwise walk to the first server with spare capacity.  Bounded by
   // ring size: the cap admits total_load_+1 assignments in aggregate, so
   // a non-full server always exists.
   for (std::size_t step = 0; step < ring_.size(); ++step) {
-    if (it == ring_.end()) {
-      it = ring_.begin();
-    }
+    const ring_point& point = ring_[(start + step) % ring_.size()];
     // A bit-corrupted ring entry may carry an identifier that is not in
     // the pool; return it as an observable mismatch (matching the other
     // ring algorithms' failure mode) instead of faulting the service.
-    const auto found = loads_.find(it->server);
+    const auto found = loads_.find(point.server);
     if (found == loads_.end()) {
-      return it->server;
+      return walk_result{point.server, nullptr};
     }
     if (found->second < cap) {
-      if (record) {
-        ++found->second;
-        ++total_load_;
-      }
-      return it->server;
+      return walk_result{point.server, &found->second};
     }
-    ++it;
   }
   HDHASH_ASSERT(false && "cap invariant violated");
-  return ring_.front().server;
+  return walk_result{ring_.front().server, nullptr};
+}
+
+server_id bounded_consistent_table::resolve(request_id request, bool record) {
+  HDHASH_REQUIRE(!ring_.empty(), "lookup on an empty pool");
+  const std::uint64_t position = hash_->hash_u64(request, seed_);
+  const auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), position,
+      [](std::uint64_t pos, const ring_point& p) { return pos < p.position; });
+  const std::size_t start =
+      it == ring_.end() ? 0
+                        : static_cast<std::size_t>(it - ring_.begin());
+  const walk_result chosen = walk_from(start, current_cap());
+  if (record && chosen.load != nullptr) {
+    ++*chosen.load;
+    ++total_load_;
+  }
+  return chosen.server;
 }
 
 server_id bounded_consistent_table::lookup(request_id request) const {
   // Peeking does not mutate; resolve() only writes when record == true.
   return const_cast<bounded_consistent_table*>(this)->resolve(request, false);
+}
+
+void bounded_consistent_table::lookup_batch(
+    std::span<const request_id> requests, std::span<server_id> out) const {
+  HDHASH_REQUIRE(requests.size() == out.size(),
+                 "lookup_batch output span must match the request block");
+  if (requests.empty()) {
+    return;
+  }
+  HDHASH_REQUIRE(!ring_.empty(), "lookup on an empty pool");
+  // The merge path pays O(ring) per call (sortedness scan + memo
+  // arrays); for small blocks — e.g. churn-segmented sub-batches — the
+  // scalar loop is cheaper.
+  if (requests.size() < 16 || requests.size() * 4 < ring_.size()) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      out[i] = lookup(requests[i]);
+    }
+    return;
+  }
+  const std::uint64_t cap = current_cap();
+
+  // Order the block by ring position so one forward sweep of the sorted
+  // ring finds every successor — B binary searches become one merge.
+  std::vector<std::pair<std::uint64_t, std::size_t>> order(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    order[i] = {hash_->hash_u64(requests[i], seed_), i};
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // The load state is fixed for the whole block (peeks record nothing),
+  // so every request sharing a successor point shares its capped walk:
+  // resolve each distinct starting index once.  The single-sweep merge
+  // assumes the ring is position-sorted; a fault-injected ring may not
+  // be, and there the scalar path's bisection picks an arbitrary (but
+  // deterministic) successor — fall back to the same bisection so the
+  // batch answers stay bit-identical to element-wise lookup() even on
+  // corrupted state.
+  const bool sorted = std::is_sorted(
+      ring_.begin(), ring_.end(),
+      [](const ring_point& a, const ring_point& b) {
+        return a.position < b.position;
+      });
+  std::vector<server_id> resolved(ring_.size());
+  std::vector<bool> resolved_valid(ring_.size(), false);
+  std::size_t cursor = 0;  // first ring point with position > current key
+  for (const auto& [position, index] : order) {
+    std::size_t start;
+    if (sorted) {
+      while (cursor < ring_.size() && ring_[cursor].position <= position) {
+        ++cursor;
+      }
+      start = cursor == ring_.size() ? 0 : cursor;
+    } else {
+      const auto it = std::upper_bound(
+          ring_.begin(), ring_.end(), position,
+          [](std::uint64_t pos, const ring_point& p) {
+            return pos < p.position;
+          });
+      start = it == ring_.end()
+                  ? 0
+                  : static_cast<std::size_t>(it - ring_.begin());
+    }
+    if (!resolved_valid[start]) {
+      resolved[start] = walk_server_from(start, cap);
+      resolved_valid[start] = true;
+    }
+    out[index] = resolved[start];
+  }
 }
 
 server_id bounded_consistent_table::assign(request_id request) {

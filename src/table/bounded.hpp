@@ -47,6 +47,15 @@ class bounded_consistent_table final : public dynamic_table {
   /// recording it.
   server_id lookup(request_id request) const override;
 
+  /// Batch peek: orders the block by ring position and walks the ring
+  /// once, resolving each distinct successor point at most once (the
+  /// load state is fixed across the block, so all requests landing on
+  /// the same successor share one capped walk).  Assignments are
+  /// identical to element-wise lookup() under the same recorded loads.
+  void lookup_batch(std::span<const request_id> requests,
+                    std::span<server_id> out) const override;
+  using dynamic_table::lookup_batch;
+
   /// Assigns `request`, recording one unit of load on the chosen
   /// server.  \pre pool non-empty.
   server_id assign(request_id request);
@@ -79,6 +88,26 @@ class bounded_consistent_table final : public dynamic_table {
 
   /// Successor walk honouring the cap; pure for would_assign == false.
   server_id resolve(request_id request, bool record);
+
+  /// Outcome of one capped clockwise walk: the chosen server and its
+  /// load-map slot (nullptr when the walk surfaced a corrupted id that
+  /// is not in the pool).
+  struct walk_result {
+    server_id server = 0;
+    std::uint64_t* load = nullptr;
+  };
+
+  /// Clockwise capped walk starting at ring index `start`.  Mutates
+  /// nothing itself; the returned load slot lets the recording path
+  /// increment without a second map probe.
+  walk_result walk_from(std::size_t start, std::uint64_t cap);
+
+  /// Read-only wrapper for const callers (lookup/batch paths).
+  server_id walk_server_from(std::size_t start, std::uint64_t cap) const {
+    return const_cast<bounded_consistent_table*>(this)
+        ->walk_from(start, cap)
+        .server;
+  }
 
   const hash64* hash_;
   std::uint64_t seed_;

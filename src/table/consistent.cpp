@@ -55,7 +55,13 @@ void consistent_table::join(server_id server, double weight) {
         });
     ring_.insert(it, point);
   }
-  members_.push_back(member{server, weight});
+  // Report the weight the ring actually realizes — replicas at a
+  // resolution of 1/virtual_nodes — not the raw request (same contract
+  // as hd_table: weights that replicate identically must report
+  // identically).
+  members_.push_back(member{
+      server,
+      static_cast<double>(replicas) / static_cast<double>(virtual_nodes_)});
 }
 
 void consistent_table::leave(server_id server) {

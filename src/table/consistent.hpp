@@ -50,7 +50,10 @@ class consistent_table final : public dynamic_table {
   /// w owns round(w * virtual_nodes) ring points (at least one), so its
   /// expected share of the key space is proportional to w.  The load
   /// resolution is one ring point — construct with enough virtual nodes
-  /// for the granularity the deployment needs.
+  /// for the granularity the deployment needs.  weight() reports the
+  /// effective value the ring realizes (ring points / virtual_nodes),
+  /// which equals the requested weight only when it is representable at
+  /// that resolution.
   void join(server_id server, double weight = 1.0) override;
   void leave(server_id server) override;
   server_id lookup(request_id request) const override;

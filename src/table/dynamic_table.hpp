@@ -98,7 +98,11 @@ class dynamic_table : public fault_surface {
     return out;
   }
 
-  /// The weight a member joined with (1 for unweighted algorithms).
+  /// The weight a member carries (1 for unweighted algorithms).
+  /// Algorithms that realize weights by discrete replication report the
+  /// *effective* weight actually served — hd stores round(w) circle
+  /// slots and reports that — so this may differ from the raw value
+  /// passed to join() (weights 1.0 and 1.4 are the same hd table).
   /// \pre the server is present.
   virtual double weight(server_id server) const {
     HDHASH_REQUIRE(contains(server), "server not in the pool");

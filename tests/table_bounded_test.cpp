@@ -139,6 +139,56 @@ TEST(BoundedTableTest, OverflowWalksToNextServer) {
   EXPECT_LE(a > b ? a - b : b - a, 2u);
 }
 
+TEST(BoundedTableTest, BatchLookupMatchesScalarUnderLoadState) {
+  // The batched override sorts the block by ring position and walks the
+  // ring once with per-successor memoization; under a saturated load
+  // state (where capped walks actually detour) it must agree with
+  // element-wise lookup() exactly.
+  bounded_consistent_table table(default_hash(), 1.1, 4);
+  for (server_id s = 1; s <= 12; ++s) {
+    table.join(s * 811);
+  }
+  // Saturate: with c = 1.1 most servers sit at the cap, so lookups of
+  // fresh keys routinely overflow to clockwise neighbours.
+  for (request_id r = 0; r < 6000; ++r) {
+    table.assign(r * 0x9e3779b97f4a7c15ULL);
+  }
+  std::vector<request_id> block;
+  for (request_id r = 0; r < 4000; ++r) {
+    block.push_back((r + 17) * 0xc2b2ae3d27d4eb4fULL);
+  }
+  std::vector<server_id> batched(block.size());
+  table.lookup_batch(block, batched);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_EQ(batched[i], table.lookup(block[i])) << "request " << i;
+  }
+}
+
+TEST(BoundedTableTest, BatchLookupAgreesAcrossLoadEpochs) {
+  // The agreement must hold at every load state, not just one: verify
+  // before any assignment, mid-stream, and after a reset.
+  bounded_consistent_table table(default_hash(), 1.25);
+  for (server_id s = 1; s <= 8; ++s) {
+    table.join(s * 131);
+  }
+  const std::vector<request_id> block = {1, 99, 1234, 5678, 424242,
+                                         7, 99, 31337, 8, 65536};
+  auto check = [&](const char* where) {
+    std::vector<server_id> batched(block.size());
+    table.lookup_batch(block, batched);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      EXPECT_EQ(batched[i], table.lookup(block[i])) << where << " idx " << i;
+    }
+  };
+  check("empty-load");
+  for (request_id r = 0; r < 500; ++r) {
+    table.assign(r);
+  }
+  check("mid-stream");
+  table.reset_loads();
+  check("after-reset");
+}
+
 TEST(BoundedTableTest, CloneCarriesLoadState) {
   bounded_consistent_table table(default_hash());
   table.join(1);

@@ -158,6 +158,59 @@ TEST(WeightedMembershipTest, WeightedAlgorithmsRoundTripWeights) {
   }
 }
 
+TEST(WeightedMembershipTest, HdWeightReportsEffectiveReplication) {
+  // hd replicates round(weight) circle slots; weight() must report that
+  // effective replication, not the raw request — weights 1.0 and 1.4
+  // build identical tables and must be indistinguishable, and the
+  // chi-squared expectation built from weight() must match the share
+  // the member actually serves.
+  for (const auto algorithm : {"hd", "hd-hierarchical"}) {
+    auto table = make_table(algorithm, fast_options());
+    table->join(10, 1.4);   // rounds down to 1 replica
+    table->join(20, 2.5);   // llround: 3 replicas (round half away)
+    table->join(30, 0.2);   // clamps to the 1-replica minimum
+    EXPECT_EQ(table->weight(10), 1.0) << algorithm;
+    EXPECT_EQ(table->weight(20), 3.0) << algorithm;
+    EXPECT_EQ(table->weight(30), 1.0) << algorithm;
+  }
+}
+
+TEST(WeightedMembershipTest, ConsistentWeightReportsRingResolution) {
+  // Ring-point multiplicity realizes weights at a resolution of
+  // 1/virtual_nodes; weight() reports what the ring actually serves.
+  auto coarse = make_table("consistent", fast_options());  // 1 vnode
+  coarse->join(10, 1.4);  // rounds to 1 ring point
+  coarse->join(20, 2.0);
+  EXPECT_EQ(coarse->weight(10), 1.0);
+  EXPECT_EQ(coarse->weight(20), 2.0);
+
+  table_options options = fast_options();
+  options.consistent_vnodes = 10;
+  auto fine = make_table("consistent", options);
+  fine->join(10, 1.4);   // 14 ring points — exactly representable
+  fine->join(20, 1.44);  // rounds to 14 points too
+  EXPECT_DOUBLE_EQ(fine->weight(10), 1.4);
+  EXPECT_DOUBLE_EQ(fine->weight(20), 1.4);
+}
+
+TEST(WeightedMembershipTest, HdFractionalWeightsBuildIdenticalTables) {
+  auto exact = make_table("hd", fast_options());
+  auto fractional = make_table("hd", fast_options());
+  for (server_id s = 1; s <= 10; ++s) {
+    exact->join(s * 271, 2.0);
+    fractional->join(s * 271, 2.4);  // same round(w) == same replication
+  }
+  // Identical replication must mean identical reported weights, memory
+  // footprint and assignments.
+  EXPECT_EQ(exact->stats().memory_bytes, fractional->stats().memory_bytes);
+  for (server_id s = 1; s <= 10; ++s) {
+    EXPECT_EQ(exact->weight(s * 271), fractional->weight(s * 271));
+  }
+  for (request_id r = 0; r < 1000; ++r) {
+    EXPECT_EQ(exact->lookup(r), fractional->lookup(r));
+  }
+}
+
 TEST(WeightedMembershipTest, RunawayWeightsAreRejectedWhereTheyReplicate) {
   // Weight translates into physical replication for consistent (ring
   // points) and hd (circle slots); both must refuse weights whose
