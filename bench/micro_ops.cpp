@@ -6,11 +6,19 @@
 /// Run with `--batch-json[=PATH]` to skip google-benchmark and emit the
 /// scalar-vs-batch comparison as machine-readable JSON (default path
 /// BENCH_batch_lookup.json) — the file that seeds the perf trajectory.
+/// The JSON records the dispatched SIMD kernel and a per-kernel panel
+/// (every compiled-in kernel the CPU supports, measured on the 4096-dim
+/// batch sweep) so runs on different machines stay comparable and
+/// scripts/check_bench.py can gate regressions.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -22,6 +30,7 @@
 #include "hdc/item_memory.hpp"
 #include "hdc/ops.hpp"
 #include "hdc/similarity.hpp"
+#include "simd/hamming_kernel.hpp"
 
 namespace {
 
@@ -130,9 +139,10 @@ BENCHMARK_CAPTURE(bm_table_lookup, hd, "hd")->Arg(64)->Arg(512);
 constexpr std::size_t kBatchSize = 256;  // the paper's emulator batch
 
 std::unique_ptr<dynamic_table> batch_bench_table(const char* algorithm,
-                                                 std::size_t servers) {
+                                                 std::size_t servers,
+                                                 std::size_t dim = kDim) {
   table_options options;
-  options.hd.dimension = kDim;
+  options.hd.dimension = dim;
   if (options.hd.capacity <= servers) {
     options.hd.capacity = 2 * servers;
   }
@@ -200,39 +210,84 @@ struct batch_point {
   double batch_ns_per_lookup;
 };
 
-batch_point measure_batch_point(const char* algorithm, std::size_t servers,
-                                std::size_t rounds) {
+/// Best of three timed trials (after one warm-up call), as ns per
+/// lookup over `rounds` rounds of kBatchSize lookups each.  On shared
+/// hardware the minimum measures the machine, not the neighbours — it
+/// keeps the perf-gate panels stable enough for a 20% regression
+/// threshold.
+template <typename Body>
+double best_of_trials(std::size_t rounds, Body&& body) {
   using clock = std::chrono::steady_clock;
-  const auto table = batch_bench_table(algorithm, servers);
-  const auto requests = batch_bench_requests(kBatchSize);
-  std::vector<server_id> answers(requests.size());
-
-  auto time_rounds = [&](auto&& body) {
-    body();  // warm-up round
+  body();  // warm-up round
+  double best = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 3; ++trial) {
     const auto start = clock::now();
     for (std::size_t round = 0; round < rounds; ++round) {
       body();
     }
     const auto stop = clock::now();
-    return static_cast<double>(
-               std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
-                                                                    start)
-                   .count()) /
-           static_cast<double>(rounds * kBatchSize);
-  };
+    best = std::min(
+        best, static_cast<double>(std::chrono::duration_cast<
+                                      std::chrono::nanoseconds>(stop - start)
+                                      .count()) /
+                  static_cast<double>(rounds * kBatchSize));
+  }
+  return best;
+}
+
+batch_point measure_batch_point(const char* algorithm, std::size_t servers,
+                                std::size_t rounds) {
+  const auto table = batch_bench_table(algorithm, servers);
+  const auto requests = batch_bench_requests(kBatchSize);
+  std::vector<server_id> answers(requests.size());
 
   batch_point point{algorithm, servers, 0.0, 0.0};
-  point.scalar_ns_per_lookup = time_rounds([&] {
+  point.scalar_ns_per_lookup = best_of_trials(rounds, [&] {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       answers[i] = table->lookup(requests[i]);
     }
     benchmark::DoNotOptimize(answers.data());
   });
-  point.batch_ns_per_lookup = time_rounds([&] {
+  point.batch_ns_per_lookup = best_of_trials(rounds, [&] {
     table->lookup_batch(requests, answers);
     benchmark::DoNotOptimize(answers.data());
   });
   return point;
+}
+
+/// One per-kernel measurement of the batch sweep at one dimension.
+struct kernel_point {
+  std::string kernel;
+  std::size_t dimension;
+  double batch_ns_per_lookup;
+};
+
+/// Times the hd batch path (capacity-4096 circle, 512 servers) under
+/// every compiled-in kernel the CPU supports, at the paper's d = 10,000
+/// and at d = 4096 (rows of exactly one Harley–Seal block), best of
+/// three trials each.  Restores auto-dispatch afterwards.
+std::vector<kernel_point> measure_kernel_panel(std::size_t servers,
+                                               std::size_t rounds) {
+  const auto requests = batch_bench_requests(kBatchSize);
+  std::vector<server_id> answers(requests.size());
+
+  std::vector<kernel_point> points;
+  for (const std::size_t dim : {std::size_t{10'000}, std::size_t{4096}}) {
+    const auto table = batch_bench_table("hd", servers, dim);
+    for (const simd::hamming_kernel* kernel : simd::compiled_kernels()) {
+      if (!kernel->supported() || !simd::set_active_kernel(kernel->name)) {
+        continue;
+      }
+      const double best_ns = best_of_trials(rounds, [&] {
+        table->lookup_batch(requests, answers);
+        benchmark::DoNotOptimize(answers.data());
+      });
+      points.push_back(
+          kernel_point{std::string(kernel->name), dim, best_ns});
+    }
+  }
+  simd::reset_active_kernel();
+  return points;
 }
 
 int emit_batch_json(const std::string& path) {
@@ -242,19 +297,22 @@ int emit_batch_json(const std::string& path) {
   points.push_back(measure_batch_point("hd-hierarchical", 512, 10));
   points.push_back(measure_batch_point("consistent", 512, 200));
   points.push_back(measure_batch_point("rendezvous", 512, 40));
+  const std::vector<kernel_point> panel = measure_kernel_panel(512, 30);
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
+  const std::string kernel_name(simd::active_kernel().name);
   std::fprintf(out,
                "{\n"
                "  \"benchmark\": \"scalar_vs_batch_lookup\",\n"
                "  \"batch_size\": %zu,\n"
                "  \"dimension\": %zu,\n"
+               "  \"kernel\": \"%s\",\n"
                "  \"results\": [\n",
-               kBatchSize, kDim);
+               kBatchSize, kDim, kernel_name.c_str());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const batch_point& p = points[i];
     std::fprintf(out,
@@ -271,10 +329,84 @@ int emit_batch_json(const std::string& path) {
                 p.batch_ns_per_lookup,
                 p.scalar_ns_per_lookup / p.batch_ns_per_lookup);
   }
-  std::fprintf(out, "  ]\n}\n");
+  // Per-kernel panel: same table, same batch, one entry per compiled-in
+  // kernel and dimension — speedup_vs_scalar is machine-portable, which
+  // is what the CI perf gate compares.
+  const auto scalar_ns_at = [&](std::size_t dim) {
+    for (const kernel_point& p : panel) {
+      if (p.kernel == "scalar" && p.dimension == dim) {
+        return p.batch_ns_per_lookup;
+      }
+    }
+    return 0.0;
+  };
+  std::fprintf(out,
+               "  ],\n"
+               "  \"kernel_panel\": {\"algorithm\": \"hd\", "
+               "\"capacity\": 4096, \"servers\": 512, \"entries\": [\n");
+  for (std::size_t i = 0; i < panel.size(); ++i) {
+    const kernel_point& p = panel[i];
+    const double scalar_ns = scalar_ns_at(p.dimension);
+    const double speedup =
+        p.batch_ns_per_lookup > 0.0 ? scalar_ns / p.batch_ns_per_lookup : 0.0;
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"dimension\": %zu, "
+                 "\"batch_ns_per_lookup\": %.1f, "
+                 "\"speedup_vs_scalar\": %.2f}%s\n",
+                 p.kernel.c_str(), p.dimension, p.batch_ns_per_lookup, speedup,
+                 i + 1 < panel.size() ? "," : "");
+    std::printf(
+        "kernel %-8s d=%-5zu k=512  batch %8.1f ns   %.2fx vs scalar\n",
+        p.kernel.c_str(), p.dimension, p.batch_ns_per_lookup, speedup);
+  }
+  std::fprintf(out, "  ]}\n}\n");
   std::fclose(out);
-  std::printf("wrote %s\n", path.c_str());
+  std::printf("active kernel: %s\nwrote %s\n", kernel_name.c_str(),
+              path.c_str());
   return 0;
+}
+
+/// Registers one google-benchmark entry per compiled-in kernel: a raw
+/// 8-probe tile sweep over 512 rows at d = 10,000 — the inner loop of
+/// hd_table::decode_slots with the decision logic stripped away, i.e.
+/// the kernels' own throughput, comparable across tiers.
+void register_kernel_benchmarks() {
+  for (const simd::hamming_kernel* kernel : simd::compiled_kernels()) {
+    benchmark::RegisterBenchmark(
+        (std::string("bm_kernel_tile_sweep/") + std::string(kernel->name))
+            .c_str(),
+        [kernel](benchmark::State& state) {
+          if (!kernel->supported()) {
+            state.SkipWithError("kernel not supported on this CPU");
+            return;
+          }
+          constexpr std::size_t kRows = 512;
+          xoshiro256 rng(6);
+          std::vector<hdc::hypervector> rows;
+          rows.reserve(kRows);
+          for (std::size_t i = 0; i < kRows; ++i) {
+            rows.push_back(hdc::hypervector::random(kDim, rng));
+          }
+          std::vector<hdc::hypervector> probe_store;
+          std::array<const std::uint64_t*, simd::kMaxTile> probes{};
+          for (std::size_t t = 0; t < simd::kMaxTile; ++t) {
+            probe_store.push_back(hdc::hypervector::random(kDim, rng));
+            probes[t] = probe_store.back().words().data();
+          }
+          const std::size_t words = rows.front().word_count();
+          std::array<std::uint64_t, simd::kMaxTile> dist{};
+          for (auto _ : state) {
+            for (const hdc::hypervector& row : rows) {
+              kernel->tile_distance(row.words().data(), probes.data(),
+                                    simd::kMaxTile, words, dist.data());
+              benchmark::DoNotOptimize(dist.data());
+            }
+          }
+          state.SetItemsProcessed(
+              static_cast<std::int64_t>(state.iterations()) *
+              static_cast<std::int64_t>(kRows * simd::kMaxTile));
+        });
+  }
 }
 
 }  // namespace
@@ -288,6 +420,7 @@ int main(int argc, char** argv) {
                                  : "BENCH_batch_lookup.json");
     }
   }
+  register_kernel_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_batch_lookup.json.
+
+Compares a freshly emitted benchmark JSON (``bench_micro_ops
+--batch-json``) against the committed baseline and fails (exit 1) when
+any batch panel regresses by more than the threshold.
+
+Two comparison modes:
+
+* ``speedup`` (default) — compares the *ratios* recorded in the JSON:
+  the scalar-loop-vs-batch ``speedup`` of each results panel, and the
+  per-kernel ``speedup_vs_scalar`` of the kernel panel.  Ratios divide
+  out the absolute speed of the machine, so a baseline committed from
+  one host remains comparable on a CI runner.  This is the mode the CI
+  gate runs.
+
+* ``absolute`` — compares ``batch_ns_per_lookup`` directly.  Only
+  meaningful when baseline and fresh run on the same machine (the
+  per-PR perf-trajectory workflow); results panels are skipped with a
+  warning when the two files record different dispatched kernels.
+
+The dispatched kernel name is recorded at the top level of the JSON and
+per entry in the kernel panel, so runs are only ever compared
+like-for-like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"check_bench: cannot read {path}: {err}")
+
+
+def results_by_key(doc: dict) -> dict:
+    return {
+        (r["algorithm"], r["servers"]): r for r in doc.get("results", [])
+    }
+
+
+def panel_by_key(doc: dict) -> dict:
+    panel = doc.get("kernel_panel", {})
+    return {
+        (e["kernel"], e.get("dimension", 0)): e
+        for e in panel.get("entries", [])
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_batch_lookup.json")
+    parser.add_argument("fresh", help="freshly emitted benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("speedup", "absolute"),
+        default="speedup",
+        help="compare machine-portable speedup ratios (default) or raw ns",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    base_kernel = base.get("kernel", "?")
+    fresh_kernel = fresh.get("kernel", "?")
+    print(
+        f"check_bench: baseline kernel={base_kernel}, "
+        f"fresh kernel={fresh_kernel}, mode={args.mode}, "
+        f"threshold={args.threshold:.0%}"
+    )
+
+    failures: list[str] = []
+    compared = 0
+
+    def check(label: str, base_value: float, fresh_value: float,
+              higher_is_better: bool) -> None:
+        nonlocal compared
+        compared += 1
+        if base_value <= 0:
+            return
+        if higher_is_better:
+            regression = (base_value - fresh_value) / base_value
+        else:
+            regression = (fresh_value - base_value) / base_value
+        marker = "FAIL" if regression > args.threshold else "ok"
+        print(
+            f"  [{marker:4s}] {label}: baseline {base_value:.2f} -> "
+            f"fresh {fresh_value:.2f} ({regression:+.1%} regression)"
+        )
+        if regression > args.threshold:
+            failures.append(label)
+
+    # --- batch panels (scalar-loop vs batch, one per algorithm) -------
+    # These panels are measured under the dispatched kernel, and both
+    # their absolute ns and their batching speedup legitimately shift
+    # between kernel tiers (a runner without AVX-512 dispatches avx2),
+    # so they are only compared like-for-like.  The per-kernel panel
+    # below is always comparable: entries carry their own kernel name.
+    skip_results = base_kernel != fresh_kernel
+    if skip_results:
+        print(
+            "  warning: dispatched kernels differ "
+            f"({base_kernel} vs {fresh_kernel}); skipping results "
+            "comparison (kernel panel still gated)"
+        )
+    else:
+        fresh_results = results_by_key(fresh)
+        for key, base_entry in sorted(results_by_key(base).items()):
+            fresh_entry = fresh_results.get(key)
+            if fresh_entry is None:
+                print(f"  warning: fresh run lacks results panel {key}")
+                continue
+            label = f"results {key[0]} k={key[1]}"
+            if args.mode == "speedup":
+                check(
+                    label + " speedup",
+                    base_entry["speedup"],
+                    fresh_entry["speedup"],
+                    higher_is_better=True,
+                )
+            else:
+                check(
+                    label + " batch_ns",
+                    base_entry["batch_ns_per_lookup"],
+                    fresh_entry["batch_ns_per_lookup"],
+                    higher_is_better=False,
+                )
+
+    # --- per-kernel panel (matched by kernel name + dimension) --------
+    fresh_panel = panel_by_key(fresh)
+    for key, base_entry in sorted(panel_by_key(base).items()):
+        fresh_entry = fresh_panel.get(key)
+        if fresh_entry is None:
+            # A kernel compiled into the baseline build may be missing
+            # on this runner (e.g. no AVX-512): not a regression.
+            print(f"  note: fresh run lacks kernel panel entry {key}")
+            continue
+        label = f"kernel {key[0]} d={key[1]}"
+        if args.mode == "speedup":
+            if key[0] == "scalar":
+                continue  # speedup_vs_scalar is 1.0 by construction
+            check(
+                label + " speedup_vs_scalar",
+                base_entry["speedup_vs_scalar"],
+                fresh_entry["speedup_vs_scalar"],
+                higher_is_better=True,
+            )
+        else:
+            check(
+                label + " batch_ns",
+                base_entry["batch_ns_per_lookup"],
+                fresh_entry["batch_ns_per_lookup"],
+                higher_is_better=False,
+            )
+
+    if compared == 0:
+        sys.exit("check_bench: nothing compared — incompatible files?")
+    if failures:
+        print(f"check_bench: {len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for label in failures:
+            print(f"  - {label}")
+        return 1
+    print(f"check_bench: {compared} panel(s) compared, no regression "
+          f"beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "hdc/similarity.hpp"
+#include "simd/hamming_kernel.hpp"
 #include "util/require.hpp"
 
 namespace hdhash {
@@ -83,7 +84,10 @@ server_id hd_table::owner_of(std::uint64_t row_key) const {
 }
 
 hdc::query_result hd_table::decode(const hdc::hypervector& probe) const {
-  if (!config_.lattice_decode) {
+  // A zero lattice step (degenerate circle: adjacent nodes identical)
+  // would make every measured distance snap to the same level; fall back
+  // to the raw argmax, as decode_slots does.
+  if (!config_.lattice_decode || encoder_.step_bits() == 0) {
     return *memory_.query(probe);
   }
   // Maximum-likelihood lattice decoding: snap each measured distance to
@@ -139,66 +143,67 @@ void hd_table::decode_slots(std::span<const std::size_t> slots,
     rows.push_back(row_ref{key, hv.words().data()});
   });
   const std::size_t words = (config_.dimension + 63) / 64;
-  const double dim = static_cast<double>(config_.dimension);
-  const double step = static_cast<double>(encoder_.step_bits());
+  const std::uint64_t step = encoder_.step_bits();
+  // Degenerate circles (step 0) cannot quantize; raw argmax, as decode().
+  const bool lattice = config_.lattice_decode && step > 0;
 
   // Probe tile: each row word is loaded once and compared against kTile
   // probes — the word-parallel sweep an HDC accelerator's adder trees
-  // perform across concurrent queries.
-  constexpr std::size_t kTile = 8;
+  // perform across concurrent queries.  The XOR+popcount-accumulate over
+  // the tile runs through the dispatched SIMD kernel (scalar / AVX2
+  // Harley–Seal / AVX-512 VPOPCNTDQ, see simd/hamming_kernel.hpp); the
+  // win/tie decision below stays in portable code so assignments are
+  // bit-identical across kernels.
+  constexpr std::size_t kTile = simd::kMaxTile;
+  const simd::hamming_kernel& kernel = simd::active_kernel();
+  // The winner is tracked as the half-open distance band [lo, hi) that
+  // still *ties* it: a candidate strictly below `lo` beats the winner, a
+  // candidate inside the band ties (smaller key wins), at or above `hi`
+  // it loses.  For lattice decoding the band is the winning level's
+  // quantization cell; for the raw argmax it is the single distance
+  // {best_dist} (both Eq. 2 metrics are strictly decreasing in the
+  // distance, so score order — including exact ties — is distance
+  // order).  This keeps the per-row sweep in integer compares; the
+  // division that derives a lattice level runs only when the winner
+  // changes, O(log) times per sweep in expectation.
   struct best_state {
     std::uint64_t key = 0;
-    long long level = 0;
-    double score = 0.0;
+    std::uint64_t lo = 0;  ///< smallest distance that still ties
+    std::uint64_t hi = 0;  ///< smallest distance that loses
     bool valid = false;
   };
   std::array<const std::uint64_t*, kTile> probes{};
-  std::array<std::size_t, kTile> dist{};
+  std::array<std::uint64_t, kTile> dist{};
   std::array<best_state, kTile> best{};
   for (std::size_t base = 0; base < slots.size(); base += kTile) {
     const std::size_t tile = std::min(kTile, slots.size() - base);
     for (std::size_t t = 0; t < kTile; ++t) {
-      // Padding the tail tile with its first probe keeps the hot loop's
-      // trip count a compile-time constant, so it unrolls fully.
+      // Padding the tail tile with its first probe keeps the kernel on
+      // its full-tile fast path (fixed trip count, unrolled).
       probes[t] = encoder_.at(slots[base + (t < tile ? t : 0)]).words().data();
     }
     best.fill(best_state{});
     for (const row_ref& row : rows) {
-      dist.fill(0);
-      for (std::size_t w = 0; w < words; ++w) {
-        const std::uint64_t rw = row.words[w];
-        for (std::size_t t = 0; t < kTile; ++t) {
-          dist[t] +=
-              static_cast<std::size_t>(std::popcount(rw ^ probes[t][w]));
-        }
-      }
+      kernel.tile_distance(row.words, probes.data(), kTile, words,
+                           dist.data());
       for (std::size_t t = 0; t < tile; ++t) {
         best_state& b = best[t];
-        bool wins;
-        if (config_.lattice_decode) {
-          const auto level = static_cast<long long>(
-              std::llround(static_cast<double>(dist[t]) / step));
-          wins = !b.valid || level < b.level ||
-                 (level == b.level && row.key < b.key);
-          if (wins) {
-            b.level = level;
-          }
-        } else {
-          // Raw Eq. 2 argmax; the score expressions mirror
-          // hdc::score() exactly so floating-point ties agree.
-          const double s =
-              memory_.similarity_metric() == hdc::metric::cosine
-                  ? 1.0 - 2.0 * (static_cast<double>(dist[t]) / dim)
-                  : static_cast<double>(config_.dimension - dist[t]);
-          wins = !b.valid || s > b.score ||
-                 (s == b.score && row.key < b.key);
-          if (wins) {
-            b.score = s;
-          }
+        const std::uint64_t d = dist[t];
+        if (b.valid && d >= b.lo && (d >= b.hi || row.key >= b.key)) {
+          continue;  // loses outright, or ties against a smaller key
         }
-        if (wins) {
-          b.key = row.key;
-          b.valid = true;
+        b.key = row.key;
+        b.valid = true;
+        if (lattice) {
+          // level = round-half-up(d / step), in exact integer form —
+          // identical to decode()'s llround for every reachable
+          // (distance, step) pair — and its cell [lo, hi).
+          const std::uint64_t level = (2 * d + step) / (2 * step);
+          b.lo = level == 0 ? 0 : (step * (2 * level - 1) + 1) / 2;
+          b.hi = (step * (2 * level + 1) + 1) / 2;
+        } else {
+          b.lo = d;
+          b.hi = d + 1;
         }
       }
     }

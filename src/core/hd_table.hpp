@@ -129,8 +129,11 @@ class hd_table final : public dynamic_table {
   /// rule.  Winners are row keys; owner_of() maps them back to servers.
   hdc::query_result decode(const hdc::hypervector& probe) const;
 
-  /// Decodes a block of circle slots to winning *owner* ids, sweeping
-  /// each item-memory row word-wise across a tile of probes.
+  /// Decodes a block of circle slots to winning *owner* ids, scoring
+  /// each item-memory row against a tile of probes through the
+  /// dispatched SIMD Hamming kernel (simd/hamming_kernel.hpp); the
+  /// win/tie rule runs on integer distance bands, bit-identical across
+  /// kernels and to the scalar decode().
   void decode_slots(std::span<const std::size_t> slots,
                     std::span<server_id> winners) const;
 

@@ -73,25 +73,40 @@ void hierarchical_hd_table::lookup_batch(std::span<const request_id> requests,
   std::vector<server_id> shard_ids(requests.size());
   router_.lookup_batch(requests, shard_ids);
 
-  // Scatter by shard, answer each sub-block batched, gather back.
-  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  // Counting-sort scatter: one flat permutation buffer instead of a
+  // vector-of-vectors, so the scatter makes no per-shard allocations and
+  // every shard's sub-block reaches that shard's probe-tiled sweep —
+  // and through it the dispatched SIMD Hamming kernel — as a single
+  // contiguous batch.
+  std::vector<std::size_t> offsets(shards_.size() + 1, 0);
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    by_shard[static_cast<std::size_t>(shard_ids[i])].push_back(i);
+    ++offsets[static_cast<std::size_t>(shard_ids[i]) + 1];
   }
+  for (std::size_t g = 0; g < shards_.size(); ++g) {
+    offsets[g + 1] += offsets[g];
+  }
+  std::vector<std::size_t> order(requests.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    order[cursor[static_cast<std::size_t>(shard_ids[i])]++] = i;
+  }
+
   std::vector<request_id> block;
   std::vector<server_id> answers;
   for (std::size_t g = 0; g < shards_.size(); ++g) {
-    if (by_shard[g].empty()) {
+    const std::size_t begin = offsets[g];
+    const std::size_t end = offsets[g + 1];
+    if (begin == end) {
       continue;
     }
-    block.resize(by_shard[g].size());
-    answers.resize(by_shard[g].size());
-    for (std::size_t j = 0; j < by_shard[g].size(); ++j) {
-      block[j] = requests[by_shard[g][j]];
+    block.resize(end - begin);
+    answers.resize(end - begin);
+    for (std::size_t j = begin; j < end; ++j) {
+      block[j - begin] = requests[order[j]];
     }
     shards_[g].lookup_batch(block, answers);
-    for (std::size_t j = 0; j < by_shard[g].size(); ++j) {
-      out[by_shard[g][j]] = answers[j];
+    for (std::size_t j = begin; j < end; ++j) {
+      out[order[j]] = answers[j - begin];
     }
   }
 }

@@ -1,7 +1,6 @@
 #include "hdc/similarity.hpp"
 
-#include <bit>
-
+#include "simd/hamming_kernel.hpp"
 #include "util/require.hpp"
 
 namespace hdhash::hdc {
@@ -10,11 +9,11 @@ std::size_t hamming_distance(const hypervector& a, const hypervector& b) {
   HDHASH_REQUIRE(a.dim() == b.dim(), "dimension mismatch in similarity");
   const auto wa = a.words();
   const auto wb = b.words();
-  std::size_t distance = 0;
-  for (std::size_t i = 0; i < wa.size(); ++i) {
-    distance += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
-  }
-  return distance;
+  // Single-pair XOR+popcount through the dispatched SIMD kernel; both
+  // operands keep the canonical-tail invariant, so whole-word distance
+  // equals bit-level distance.
+  return static_cast<std::size_t>(
+      simd::active_kernel().distance(wa.data(), wb.data(), wa.size()));
 }
 
 std::size_t inverse_hamming(const hypervector& a, const hypervector& b) {

@@ -1,0 +1,98 @@
+/// \file dispatch.cpp
+/// \brief Runtime kernel selection: CPUID probe, force override, registry.
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+
+#include "simd/kernels_internal.hpp"
+#include "util/require.hpp"
+
+namespace hdhash::simd {
+
+namespace {
+
+/// Compiled-in tiers, best first.  Which entries exist is decided at
+/// configure time (per-TU ISA flags + HDHASH_HAVE_KERNEL_* defines).
+const hamming_kernel* const kCompiled[] = {
+#ifdef HDHASH_HAVE_KERNEL_AVX512
+    &detail::avx512_kernel,
+#endif
+#ifdef HDHASH_HAVE_KERNEL_AVX2
+    &detail::avx2_kernel,
+#endif
+    &detail::scalar_kernel,
+};
+
+/// The resolved choice.  nullptr = not yet dispatched.  Stores are rare
+/// (first use, explicit set/reset); loads are one relaxed read on the
+/// batch path.  Re-resolving concurrently is benign: resolve() is
+/// deterministic for a fixed environment.
+std::atomic<const hamming_kernel*> g_active{nullptr};
+
+const hamming_kernel* resolve() {
+  const char* forced = std::getenv("HDHASH_FORCE_KERNEL");
+#ifdef HDHASH_FORCE_KERNEL_DEFAULT
+  // Build-time default (CMake -DHDHASH_FORCE_KERNEL=...); the
+  // environment variable still wins so one binary can test every tier.
+  if (forced == nullptr || *forced == '\0') {
+    forced = HDHASH_FORCE_KERNEL_DEFAULT;
+  }
+#endif
+  if (forced != nullptr && *forced != '\0') {
+    const hamming_kernel* k = find_kernel(forced);
+    HDHASH_REQUIRE(k != nullptr,
+                   std::string("HDHASH_FORCE_KERNEL names '") + forced +
+                       "', which is not compiled into this build");
+    HDHASH_REQUIRE(k->supported(),
+                   std::string("HDHASH_FORCE_KERNEL names '") + forced +
+                       "', which this CPU cannot execute");
+    return k;
+  }
+  const hamming_kernel* best = &detail::scalar_kernel;  // always supported
+  for (const hamming_kernel* k : kCompiled) {
+    if (k->supported() && k->priority > best->priority) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::span<const hamming_kernel* const> compiled_kernels() noexcept {
+  return {kCompiled, std::size(kCompiled)};
+}
+
+const hamming_kernel* find_kernel(std::string_view name) noexcept {
+  for (const hamming_kernel* k : kCompiled) {
+    if (k->name == name) {
+      return k;
+    }
+  }
+  return nullptr;
+}
+
+const hamming_kernel& active_kernel() {
+  const hamming_kernel* k = g_active.load(std::memory_order_relaxed);
+  if (k == nullptr) {
+    k = resolve();
+    g_active.store(k, std::memory_order_relaxed);
+  }
+  return *k;
+}
+
+bool set_active_kernel(std::string_view name) noexcept {
+  const hamming_kernel* k = find_kernel(name);
+  if (k == nullptr || !k->supported()) {
+    return false;
+  }
+  g_active.store(k, std::memory_order_relaxed);
+  return true;
+}
+
+void reset_active_kernel() noexcept {
+  g_active.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace hdhash::simd

@@ -1,0 +1,93 @@
+/// \file hamming_kernel.hpp
+/// \brief SIMD Hamming-distance kernels with runtime dispatch.
+///
+/// Every hot path in hdhash reduces to the same primitive: XOR two
+/// packed 64-bit word arrays and accumulate the popcount — the software
+/// form of the wide adder trees in HDC accelerators (Schmuck et al.
+/// 2019).  This header is the seam between that primitive and its
+/// ISA-specific implementations:
+///
+///   * `scalar`  — portable `std::popcount` loop, always compiled in.
+///   * `avx2`    — Harley–Seal carry-save popcount over 256-bit lanes
+///                 (Muła, Kurz & Lemire 2018), compiled only when the
+///                 compiler accepts `-mavx2`.
+///   * `avx512`  — VPOPCNTDQ popcount over 512-bit lanes with masked
+///                 tail loads, compiled only when the compiler accepts
+///                 `-mavx512vpopcntdq`.
+///
+/// Each kernel lives in its own translation unit compiled with exactly
+/// the ISA flags it needs (see CMakeLists.txt), so the rest of the
+/// library stays baseline-portable; a kernel's code is only ever
+/// executed after its `supported()` CPUID probe passes.  Dispatch picks
+/// the best supported kernel once, on first use; the choice can be
+/// overridden for testing with the `HDHASH_FORCE_KERNEL` environment
+/// variable (or the CMake cache variable of the same name, which sets
+/// the build-time default), or in-process via set_active_kernel().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hdhash::simd {
+
+/// Maximum number of probes a tile_distance call scores per pass.  The
+/// probe-tiled sweeps in hd_table size their tiles to this.
+inline constexpr std::size_t kMaxTile = 8;
+
+/// One Hamming-distance kernel tier.  Plain constant-initialised
+/// function-pointer table: no dynamic initialisation, so kernels are
+/// safe to consult from any static-init context.
+struct hamming_kernel {
+  /// Stable identifier ("scalar", "avx2", "avx512") — recorded in bench
+  /// JSON and accepted by HDHASH_FORCE_KERNEL.
+  std::string_view name;
+
+  /// Auto-dispatch rank; the highest-priority supported kernel wins.
+  int priority;
+
+  /// CPUID probe: true when the running CPU can execute this kernel.
+  /// Must itself be baseline-portable code.
+  bool (*supported)() noexcept;
+
+  /// sum_w popcount(a[w] ^ b[w]) over `words` 64-bit words.  Reads
+  /// exactly `words` words from each operand — never past the end (the
+  /// AVX-512 kernel uses masked tail loads; the others fall back to
+  /// scalar tail words).
+  std::uint64_t (*distance)(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words) noexcept;
+
+  /// Probe-tile accumulate: dist[t] = sum_w popcount(row[w] ^
+  /// probes[t][w]) for t < tile.  \pre tile <= kMaxTile.  The row words
+  /// are reused across all probes of the tile — the memory-locality
+  /// shape of an accelerator answering several queries per row pass.
+  void (*tile_distance)(const std::uint64_t* row,
+                        const std::uint64_t* const* probes, std::size_t tile,
+                        std::size_t words, std::uint64_t* dist) noexcept;
+};
+
+/// All kernels compiled into this build, best tier first.  Entries may
+/// still be unsupported on the running CPU — check supported().
+std::span<const hamming_kernel* const> compiled_kernels() noexcept;
+
+/// Compiled-in kernel by name, or nullptr.
+const hamming_kernel* find_kernel(std::string_view name) noexcept;
+
+/// The dispatched kernel.  Resolved once on first call: an
+/// HDHASH_FORCE_KERNEL override (environment, then CMake default) is
+/// honoured strictly — naming a kernel that is not compiled in or not
+/// runnable on this CPU throws hdhash::precondition_error — otherwise
+/// the highest-priority supported kernel is selected.
+const hamming_kernel& active_kernel();
+
+/// In-process override (used by the per-kernel bench panel and the
+/// conformance suite).  Returns false if `name` is unknown or the CPU
+/// cannot run it; the active kernel is unchanged in that case.
+bool set_active_kernel(std::string_view name) noexcept;
+
+/// Discards any resolved/forced choice so the next active_kernel() call
+/// re-runs dispatch (environment override included).
+void reset_active_kernel() noexcept;
+
+}  // namespace hdhash::simd

@@ -1,0 +1,246 @@
+/// \file kernel_avx2.cpp
+/// \brief AVX2 Harley–Seal popcount kernel.
+///
+/// Compiled with -mavx2 (see CMakeLists.txt); none of this TU's code may
+/// run before supported() passes.  The popcount core is the Harley–Seal
+/// carry-save-adder scheme of Muła, Kurz & Lemire, "Faster population
+/// counts using AVX2 instructions" (2018): a CSA tree compresses 16
+/// 256-bit XOR blocks per iteration so the byte-LUT popcount runs once
+/// per 16 vectors instead of once per vector.  Tail words that do not
+/// fill a 256-bit lane are handled with scalar popcount — the kernel
+/// never loads past `words` (the classic SIMD popcount overread bug;
+/// the conformance suite runs under ASan to keep it that way).
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels_internal.hpp"
+
+namespace hdhash::simd::detail {
+namespace {
+
+bool supported_avx2() noexcept {
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+/// Per-byte popcount (0..8 per byte) via nibble shuffle LUT.
+inline __m256i bytecount256(__m256i v) noexcept {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                         _mm256_shuffle_epi8(lookup, hi));
+}
+
+/// Full popcount, horizontally summed into the four 64-bit lanes by SAD
+/// against zero.
+inline __m256i popcount256(__m256i v) noexcept {
+  return _mm256_sad_epu8(bytecount256(v), _mm256_setzero_si256());
+}
+
+/// Carry-save adder: (h, l) = full-add of three bit columns.
+inline void csa256(__m256i& h, __m256i& l, __m256i a, __m256i b,
+                   __m256i c) noexcept {
+  const __m256i u = _mm256_xor_si256(a, b);
+  h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  l = _mm256_xor_si256(u, c);
+}
+
+/// XOR of one 256-bit block of each operand (4 words at offset w).
+inline __m256i xor_block(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t w) noexcept {
+  return _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w)));
+}
+
+inline std::uint64_t hsum64(__m256i v) noexcept {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+std::uint64_t distance_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words) noexcept {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  __m256i eights = _mm256_setzero_si256();
+  std::size_t w = 0;
+  // Harley–Seal main loop: 16 vectors (64 words, 4096 bits) per pass.
+  for (; w + 64 <= words; w += 64) {
+    __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+    csa256(twos_a, ones, ones, xor_block(a, b, w + 0), xor_block(a, b, w + 4));
+    csa256(twos_b, ones, ones, xor_block(a, b, w + 8), xor_block(a, b, w + 12));
+    csa256(fours_a, twos, twos, twos_a, twos_b);
+    csa256(twos_a, ones, ones, xor_block(a, b, w + 16),
+           xor_block(a, b, w + 20));
+    csa256(twos_b, ones, ones, xor_block(a, b, w + 24),
+           xor_block(a, b, w + 28));
+    csa256(fours_b, twos, twos, twos_a, twos_b);
+    csa256(eights_a, fours, fours, fours_a, fours_b);
+    csa256(twos_a, ones, ones, xor_block(a, b, w + 32),
+           xor_block(a, b, w + 36));
+    csa256(twos_b, ones, ones, xor_block(a, b, w + 40),
+           xor_block(a, b, w + 44));
+    csa256(fours_a, twos, twos, twos_a, twos_b);
+    csa256(twos_a, ones, ones, xor_block(a, b, w + 48),
+           xor_block(a, b, w + 52));
+    csa256(twos_b, ones, ones, xor_block(a, b, w + 56),
+           xor_block(a, b, w + 60));
+    csa256(fours_b, twos, twos, twos_a, twos_b);
+    csa256(eights_b, fours, fours, fours_a, fours_b);
+    csa256(sixteens, eights, eights, eights_a, eights_b);
+    total = _mm256_add_epi64(total, popcount256(sixteens));
+  }
+  // Fold the CSA levels in the vector domain (one horizontal sum at the
+  // very end): at 4096-dim rows — a single Harley–Seal block — a
+  // per-level extract epilogue would cost as much as the main loop.
+  __m256i acc = _mm256_slli_epi64(total, 4);
+  acc = _mm256_add_epi64(acc, _mm256_slli_epi64(popcount256(eights), 3));
+  acc = _mm256_add_epi64(acc, _mm256_slli_epi64(popcount256(fours), 2));
+  acc = _mm256_add_epi64(acc, _mm256_slli_epi64(popcount256(twos), 1));
+  acc = _mm256_add_epi64(acc, popcount256(ones));
+  // Whole 256-bit lanes the CSA tree did not cover.
+  for (; w + 4 <= words; w += 4) {
+    acc = _mm256_add_epi64(acc, popcount256(xor_block(a, b, w)));
+  }
+  std::uint64_t result = hsum64(acc);
+  // Scalar tail: up to three words, never loading past the array.
+  for (; w < words; ++w) {
+    result += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return result;
+}
+
+/// Four probes per pass with a one-level carry-save state per probe:
+/// each pass XORs two row blocks (8 words) against the probe, folds
+/// them into the probe's persistent `ones` via a CSA, and popcounts
+/// only the weight-2 carry — halving the byte-LUT popcount work (the
+/// shuffle/SAD port is the AVX2 bottleneck) relative to a popcount per
+/// block.  Four probes, not eight: 4 accumulators + 4 CSA states + two
+/// row blocks + LUT constants just fit the 16 ymm registers.
+void tile4(const std::uint64_t* row, const std::uint64_t* const* probes,
+           std::size_t words, std::uint64_t* dist) noexcept {
+  const std::uint64_t* const p0 = probes[0];
+  const std::uint64_t* const p1 = probes[1];
+  const std::uint64_t* const p2 = probes[2];
+  const std::uint64_t* const p3 = probes[3];
+  __m256i bytes0 = _mm256_setzero_si256(), bytes1 = _mm256_setzero_si256();
+  __m256i bytes2 = _mm256_setzero_si256(), bytes3 = _mm256_setzero_si256();
+  __m256i ones0 = _mm256_setzero_si256(), ones1 = _mm256_setzero_si256();
+  __m256i ones2 = _mm256_setzero_si256(), ones3 = _mm256_setzero_si256();
+  __m256i acc0 = _mm256_setzero_si256(), acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256(), acc3 = _mm256_setzero_si256();
+  const auto flush = [&]() noexcept {
+    const __m256i zero = _mm256_setzero_si256();
+    acc0 = _mm256_add_epi64(acc0, _mm256_sad_epu8(bytes0, zero));
+    acc1 = _mm256_add_epi64(acc1, _mm256_sad_epu8(bytes1, zero));
+    acc2 = _mm256_add_epi64(acc2, _mm256_sad_epu8(bytes2, zero));
+    acc3 = _mm256_add_epi64(acc3, _mm256_sad_epu8(bytes3, zero));
+    bytes0 = bytes1 = bytes2 = bytes3 = zero;
+  };
+  std::size_t w = 0;
+  std::size_t strips_since_flush = 0;
+  // Main strip: 16 words (four blocks) per probe per pass — two CSA
+  // folds per probe with the weight-2 carries byte-counted into an epi8
+  // accumulator; the SAD reduction is deferred to flush().  Each strip
+  // adds at most 16 to a byte counter, so 15 strips (240 < 255) are
+  // safe between flushes.
+  for (; w + 16 <= words; w += 16) {
+    const __m256i rv0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    const __m256i rv1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w + 4));
+    const __m256i rv2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w + 8));
+    const __m256i rv3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w + 12));
+    const auto fold2 = [&](const std::uint64_t* p, __m256i& ones,
+                           __m256i& bytes) noexcept {
+      __m256i twos_a, twos_b;
+      csa256(twos_a, ones, ones,
+             _mm256_xor_si256(rv0, _mm256_loadu_si256(
+                                       reinterpret_cast<const __m256i*>(p + w))),
+             _mm256_xor_si256(
+                 rv1, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(p + w + 4))));
+      csa256(twos_b, ones, ones,
+             _mm256_xor_si256(
+                 rv2, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(p + w + 8))),
+             _mm256_xor_si256(
+                 rv3, _mm256_loadu_si256(
+                          reinterpret_cast<const __m256i*>(p + w + 12))));
+      bytes = _mm256_add_epi8(
+          bytes, _mm256_add_epi8(bytecount256(twos_a), bytecount256(twos_b)));
+    };
+    fold2(p0, ones0, bytes0);
+    fold2(p1, ones1, bytes1);
+    fold2(p2, ones2, bytes2);
+    fold2(p3, ones3, bytes3);
+    if (++strips_since_flush == 15) {
+      flush();
+      strips_since_flush = 0;
+    }
+  }
+  flush();
+  // acc counts pairs (weight 2); ones holds the weight-1 residue.
+  acc0 = _mm256_add_epi64(_mm256_slli_epi64(acc0, 1), popcount256(ones0));
+  acc1 = _mm256_add_epi64(_mm256_slli_epi64(acc1, 1), popcount256(ones1));
+  acc2 = _mm256_add_epi64(_mm256_slli_epi64(acc2, 1), popcount256(ones2));
+  acc3 = _mm256_add_epi64(_mm256_slli_epi64(acc3, 1), popcount256(ones3));
+  // Up to three whole 256-bit blocks past the 16-word strips.
+  for (; w + 4 <= words; w += 4) {
+    const __m256i rv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    const auto last = [&](const std::uint64_t* p) noexcept {
+      return popcount256(_mm256_xor_si256(
+          rv, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + w))));
+    };
+    acc0 = _mm256_add_epi64(acc0, last(p0));
+    acc1 = _mm256_add_epi64(acc1, last(p1));
+    acc2 = _mm256_add_epi64(acc2, last(p2));
+    acc3 = _mm256_add_epi64(acc3, last(p3));
+  }
+  dist[0] = hsum64(acc0);
+  dist[1] = hsum64(acc1);
+  dist[2] = hsum64(acc2);
+  dist[3] = hsum64(acc3);
+  // Scalar tail words, never loading past the arrays.
+  for (; w < words; ++w) {
+    const std::uint64_t rw = row[w];
+    dist[0] += static_cast<std::uint64_t>(std::popcount(rw ^ p0[w]));
+    dist[1] += static_cast<std::uint64_t>(std::popcount(rw ^ p1[w]));
+    dist[2] += static_cast<std::uint64_t>(std::popcount(rw ^ p2[w]));
+    dist[3] += static_cast<std::uint64_t>(std::popcount(rw ^ p3[w]));
+  }
+}
+
+void tile_distance_avx2(const std::uint64_t* row,
+                        const std::uint64_t* const* probes, std::size_t tile,
+                        std::size_t words, std::uint64_t* dist) noexcept {
+  std::size_t t = 0;
+  for (; t + 4 <= tile; t += 4) {
+    tile4(row, probes + t, words, dist + t);
+  }
+  // Partial groups: the row stays resident in L1 across the tile, so
+  // per-pair Harley–Seal passes still reuse it.
+  for (; t < tile; ++t) {
+    dist[t] = distance_avx2(row, probes[t], words);
+  }
+}
+
+}  // namespace
+
+const hamming_kernel avx2_kernel = {
+    "avx2", 2, supported_avx2, distance_avx2, tile_distance_avx2};
+
+}  // namespace hdhash::simd::detail

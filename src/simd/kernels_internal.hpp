@@ -1,0 +1,23 @@
+/// \file kernels_internal.hpp
+/// \brief Library-internal registry of the kernel singletons.
+///
+/// The HDHASH_HAVE_KERNEL_* macros are PRIVATE compile definitions set
+/// by CMakeLists.txt on the hdhash target whenever the matching
+/// translation unit's ISA flags are accepted by the compiler, so this
+/// header is consistent across all library TUs but is not part of the
+/// public include surface.
+#pragma once
+
+#include "simd/hamming_kernel.hpp"
+
+namespace hdhash::simd::detail {
+
+extern const hamming_kernel scalar_kernel;
+#ifdef HDHASH_HAVE_KERNEL_AVX2
+extern const hamming_kernel avx2_kernel;
+#endif
+#ifdef HDHASH_HAVE_KERNEL_AVX512
+extern const hamming_kernel avx512_kernel;
+#endif
+
+}  // namespace hdhash::simd::detail
