@@ -3,21 +3,29 @@
 /// merged load histogram is bit-identical to the single-table reference
 /// run.  Emits BENCH_sharded_emulator.json for the perf trajectory.
 ///
-/// Two series are recorded:
-///  * results        — pure request traffic (the scaling headline);
-///  * results_churn  — 1% membership churn, which is broadcast to every
-///    shard and therefore segments each shard's batches at membership
-///    boundaries: the slot-dedup window shrinks as shards grow, the
-///    measurable cost of ordering-faithful churn (the "churn tax").
+/// Four series are recorded, crossing membership mode × churn:
+///  * results / results_churn — epoch-published snapshot mode (the
+///    default architecture since PR 4): one producer-owned table,
+///    membership applied once per event, each epoch published as an
+///    immutable copy-on-write snapshot carrying the maintained slot
+///    cache that every shard shares.  Churn subdivides batches into
+///    epoch segments instead of truncating them, and the slot array is
+///    maintained incrementally (O(n) row distances per event), so the
+///    churn series tracks the clean one closely.
+///  * results_replicated / results_replicated_churn — the PR-2 pipeline
+///    (one full replica per shard, membership broadcast): the baseline
+///    that pays the churn tax, kept for comparison.  Its clean series
+///    exercises the real per-batch associative query.
 ///
 /// Two rates per point:
 ///  * aggregate_rps — the sum of per-shard service rates, each metered
 ///    on the worker's own CPU clock inside lookup_batch: the pipeline's
-///    capacity with one core per shard, and the number the
-///    >= 2x-at-4-shards acceptance bar reads;
+///    capacity with one core per shard;
 ///  * wall_rps — delivered end-to-end rate, which saturates at the
 ///    machine's physical core count (the JSON records the core count so
 ///    a 1-core CI box is readable as such).
+/// Plus table_memory_bytes: N full replicas in replicated mode versus
+/// ~one table + snapshot bookkeeping in snapshot mode.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,12 +41,14 @@ namespace {
 
 using namespace hdhash;
 
-shard_sweep_config sweep_config(std::size_t requests, double churn) {
+shard_sweep_config sweep_config(std::size_t requests, double churn,
+                                membership_mode membership) {
   shard_sweep_config config;
   config.shard_counts = {1, 2, 4, 8, 16};
   config.servers = 128;
   config.requests = requests;
   config.churn_rate = churn;
+  config.membership = membership;
   return config;
 }
 
@@ -48,15 +58,21 @@ std::vector<shard_sweep_point> run_and_print(const shard_sweep_config& config,
   options.hd.capacity = 512;  // hierarchical shards get capacity/groups*2
   const auto series = run_shard_sweep("hd-hierarchical", config, options);
 
-  std::printf("\n-- %s (%.1f%% churn) --\n", title,
+  const char* mode = config.membership == membership_mode::snapshot
+                         ? "snapshot"
+                         : "replicated";
+  std::printf("\n-- %s (%s membership, %.1f%% churn) --\n", title, mode,
               100.0 * config.churn_rate);
   table_printer table({"shards", "aggregate req/s", "speedup", "wall req/s",
-                       "deterministic"});
+                       "table MiB", "deterministic"});
   for (const shard_sweep_point& p : series) {
     table.add_row({std::to_string(p.shards),
                    format_double(p.aggregate_requests_per_second, 0),
                    format_double(p.aggregate_speedup, 2),
                    format_double(p.wall_requests_per_second, 0),
+                   format_double(static_cast<double>(p.table_memory_bytes) /
+                                     (1024.0 * 1024.0),
+                                 2),
                    p.matches_reference ? "yes" : "NO"});
   }
   table.print(std::cout);
@@ -72,9 +88,11 @@ void emit_series(std::FILE* out, const char* key,
     std::fprintf(out,
                  "    {\"shards\": %zu, \"aggregate_rps\": %.0f, "
                  "\"aggregate_speedup\": %.2f, \"wall_rps\": %.0f, "
+                 "\"table_memory_bytes\": %zu, \"snapshots_published\": %zu, "
                  "\"deterministic\": %s}%s\n",
                  p.shards, p.aggregate_requests_per_second,
                  p.aggregate_speedup, p.wall_requests_per_second,
+                 p.table_memory_bytes, p.snapshots_published,
                  p.matches_reference ? "true" : "false",
                  i + 1 < series.size() ? "," : "");
   }
@@ -99,22 +117,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  const shard_sweep_config clean = sweep_config(requests, 0.0);
-  const shard_sweep_config churn = sweep_config(requests, 0.01);
+  const auto snap = sweep_config(requests, 0.0, membership_mode::snapshot);
   std::printf(
       "== Sharded emulator throughput (hd-hierarchical, %zu servers,\n"
       "   %zu requests, per-shard batch %zu, %u hardware cores) ==\n",
-      clean.servers, clean.requests, clean.buffer_capacity,
+      snap.servers, snap.requests, snap.buffer_capacity,
       std::thread::hardware_concurrency());
 
-  const auto clean_series = run_and_print(clean, "request traffic only");
-  const auto churn_series = run_and_print(churn, "with membership churn");
+  const auto snap_churn =
+      sweep_config(requests, 0.01, membership_mode::snapshot);
+  const auto repl = sweep_config(requests, 0.0, membership_mode::replicated);
+  const auto repl_churn =
+      sweep_config(requests, 0.01, membership_mode::replicated);
+
+  const auto snap_series = run_and_print(snap, "request traffic only");
+  const auto snap_churn_series =
+      run_and_print(snap_churn, "with membership churn");
+  const auto repl_series = run_and_print(repl, "request traffic only");
+  const auto repl_churn_series =
+      run_and_print(repl_churn, "with membership churn");
   std::printf(
       "\nAggregate req/s sums each shard's service rate on its own CPU\n"
       "clock (the capacity of one core per shard); wall req/s is the\n"
-      "delivered rate and saturates at the hardware core count.  The\n"
-      "churn series pays the ordering tax: broadcast membership events\n"
-      "segment every shard's batches, shrinking the slot-dedup window.\n");
+      "delivered rate and saturates at the hardware core count.  In\n"
+      "snapshot mode all shards resolve against one epoch-published\n"
+      "copy-on-write snapshot (table memory ~independent of the shard\n"
+      "count) and churn only subdivides batches into epoch segments; in\n"
+      "replicated mode broadcast membership events segment every\n"
+      "shard's batches and table memory grows N-fold — the churn tax\n"
+      "the snapshot architecture retires.\n");
 
   std::FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
@@ -127,13 +158,16 @@ int main(int argc, char** argv) {
                "  \"algorithm\": \"hd-hierarchical\",\n"
                "  \"servers\": %zu,\n"
                "  \"requests\": %zu,\n"
+               "  \"results_membership_mode\": \"snapshot\",\n"
                "  \"results_churn_rate\": %.4f,\n"
                "  \"shard_buffer_capacity\": %zu,\n"
                "  \"hardware_cores\": %u,\n",
-               clean.servers, clean.requests, churn.churn_rate,
-               clean.buffer_capacity, std::thread::hardware_concurrency());
-  emit_series(out, "results", clean_series, ",");
-  emit_series(out, "results_churn", churn_series, "");
+               snap.servers, snap.requests, snap_churn.churn_rate,
+               snap.buffer_capacity, std::thread::hardware_concurrency());
+  emit_series(out, "results", snap_series, ",");
+  emit_series(out, "results_churn", snap_churn_series, ",");
+  emit_series(out, "results_replicated", repl_series, ",");
+  emit_series(out, "results_replicated_churn", repl_churn_series, "");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_path.c_str());

@@ -46,9 +46,10 @@ void run_sharded_churn_panel(std::size_t max_shards) {
   }
   table.print(std::cout);
   std::printf(
-      "(membership events are broadcast to every shard in stream order,\n"
-      "so churn disrupts the sharded pipeline exactly as it disrupts the\n"
-      "single table — 'deterministic' asserts the histograms agree)\n");
+      "(membership events are applied once by the snapshot publisher and\n"
+      "each epoch is shared with every shard, so churn disrupts the\n"
+      "sharded pipeline exactly as it disrupts the single table —\n"
+      "'deterministic' asserts the histograms agree)\n");
 }
 
 }  // namespace

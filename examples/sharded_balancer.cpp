@@ -1,9 +1,17 @@
 /// Multi-core elastic load balancer: the load_balancer example scaled
-/// onto the sharded, double-buffered emulation pipeline.  Heavy-tailed
-/// (Zipf) traffic with autoscaling churn is partitioned across shard
-/// workers — one hd-hierarchical replica per thread, membership events
-/// broadcast in stream order — and the merged statistics are proven
-/// identical to a single-table run of the same stream.
+/// onto the sharded emulation pipeline.  Heavy-tailed (Zipf) traffic
+/// with autoscaling churn is partitioned across shard workers, and the
+/// merged statistics are proven identical to a single-table run of the
+/// same stream.
+///
+/// By default the balancer runs in *snapshot* membership mode — the
+/// epoch-published shared-state architecture: one producer-owned
+/// hd-hierarchical table absorbs joins/leaves, each membership epoch is
+/// published once as an immutable copy-on-write snapshot, and every
+/// shard worker resolves its requests against the snapshot of the epoch
+/// they arrived under.  Pass --replicated to run the PR-2 pipeline (one
+/// full table replica per shard, membership broadcast to all) and watch
+/// the table-memory column grow with the shard count.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -13,11 +21,19 @@
 #include "emu/generator.hpp"
 #include "emu/sharded_emulator.hpp"
 #include "exp/factory.hpp"
+#include "exp/sharded.hpp"
 #include "util/table_printer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hdhash;
-  std::printf("== Sharded balancer: Zipf traffic, 1%% churn, hd-hierarchical ==\n\n");
+  const bool replicated = parse_replicated_flag(argc, argv);
+  const membership_mode membership =
+      replicated ? membership_mode::replicated : membership_mode::snapshot;
+  std::printf(
+      "== Sharded balancer: Zipf traffic, 1%% churn, hd-hierarchical,\n"
+      "   %s membership%s ==\n\n",
+      replicated ? "replicated" : "snapshot",
+      replicated ? "" : " (pass --replicated for the PR-2 pipeline)");
 
   workload_config workload;
   workload.initial_servers = 48;
@@ -33,8 +49,15 @@ int main() {
   table_options options;
   options.hd.dimension = 4096;
   options.hd.capacity = 256;  // headroom for churn joins
-  auto factory = [&options](std::size_t) {
-    return make_table("hd-hierarchical", options);
+  // Snapshot mode publishes the maintained slot cache with each epoch
+  // (the accelerator steady state all shards share); the reference run
+  // below keeps it off, so 'identical' also certifies the cache.
+  table_options sharded_options = options;
+  if (membership == membership_mode::snapshot) {
+    sharded_options.hd.slot_cache = true;
+  }
+  auto factory = [&sharded_options](std::size_t) {
+    return make_table("hd-hierarchical", sharded_options);
   };
 
   // Single-table reference: the determinism baseline for every row.
@@ -43,10 +66,12 @@ int main() {
   const run_stats expected = reference.run(events);
 
   table_printer table({"shards", "requests", "joins", "leaves",
-                       "peak/mean load", "aggregate req/s", "identical"});
+                       "peak/mean load", "aggregate req/s", "table KiB",
+                       "identical"});
   for (const std::size_t shards : {1, 2, 4, 8}) {
     sharded_config config;
     config.shards = shards;
+    config.membership = membership;
     sharded_emulator balancer(factory, config);
     const sharded_report report = balancer.run(events);
 
@@ -62,12 +87,19 @@ int main() {
          std::to_string(report.merged.leaves),
          format_double(static_cast<double>(peak) / mean, 2),
          format_double(report.aggregate_requests_per_second(), 0),
+         std::to_string(report.table_memory_bytes / 1024),
          report.merged.load == expected.load ? "yes" : "NO"});
   }
   table.print(std::cout);
   std::printf(
       "\nEvery row answers the same 40k-request stream; 'identical' checks\n"
       "the merged per-server load histogram against the single-table\n"
-      "reference run — sharding changes throughput, never assignments.\n");
+      "reference run — sharding changes throughput, never assignments.\n"
+      "%s",
+      replicated
+          ? "Replicated mode: table KiB grows with the shard count (one\n"
+            "full replica per worker).\n"
+          : "Snapshot mode: table KiB stays ~flat — all workers share one\n"
+            "epoch-published copy-on-write snapshot.\n");
   return 0;
 }

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI lane.
+
+Scans the given markdown files for inline links/images
+(``[text](target)``) and reference definitions (``[label]: target``)
+and verifies that every *local* target resolves:
+
+* relative file targets must exist on disk (resolved against the
+  linking file's directory);
+* ``#anchor`` fragments — bare or attached to a local markdown file —
+  must match a heading in the target document (GitHub slug rules:
+  lowercase, spaces to dashes, punctuation dropped);
+* ``http(s)``/``mailto`` targets are skipped (no network in CI).
+
+Exit status 1 lists every broken link; 0 means all local links resolve.
+Stdlib only, so it runs anywhere python3 does:
+
+    python3 scripts/check_links.py README.md ROADMAP.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+# Inline [text](target) — target ends at the first unescaped ')';
+# images ![alt](target) match through the same pattern.  Fenced code
+# blocks are stripped beforehand, so ASCII diagrams never false-match.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCED_CODE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: markup stripped (keeping its text),
+    lowercase, alphanumerics and underscores kept, spaces/dashes to
+    dashes, all other punctuation dropped."""
+    # [text](url) contributes only its text; emphasis/code markers are
+    # markup, but underscores inside identifiers are literal and kept.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("*", "").replace("`", "").strip()
+    text = unicodedata.normalize("NFKD", text)
+    slug = []
+    for ch in text.lower():
+        if ch.isalnum() or ch == "_":
+            slug.append(ch)
+        elif ch in (" ", "-"):
+            slug.append("-")
+        # other punctuation (including parentheses and dots) is dropped
+    return "".join(slug)
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All anchor ids GitHub generates for the document's headings,
+    including the ``-1``/``-2`` suffixes of duplicate titles."""
+    text = FENCED_CODE.sub("", path.read_text(encoding="utf-8"))
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for m in HEADING.finditer(text):
+        slug = github_slug(m.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def links_of(text: str) -> list[str]:
+    stripped = INLINE_CODE.sub("", FENCED_CODE.sub("", text))
+    targets = [m.group(1) for m in INLINE_LINK.finditer(stripped)]
+    targets += [m.group(1) for m in REFERENCE_DEF.finditer(stripped)]
+    return targets
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    for target in links_of(md.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}: broken link target: {target}")
+                continue
+        else:
+            resolved = md.resolve()
+        if fragment and resolved.suffix == ".md":
+            # The fragment must match a generated anchor *exactly* —
+            # HTML fragments are case-sensitive and GitHub ids are
+            # lowercase, so '#Epoch-Lifecycle' is broken even when
+            # '#epoch-lifecycle' exists.
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{md}: missing anchor: {target}")
+    return errors
+
+
+def main() -> int:
+    files = [Path(arg) for arg in sys.argv[1:]]
+    if not files:
+        sys.exit("usage: check_links.py FILE.md [FILE.md ...]")
+    missing = [f for f in files if not f.exists()]
+    for f in missing:
+        print(f"check_links: no such file: {f}", file=sys.stderr)
+    errors = [e for f in files if f.exists() for e in check_file(f)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors or missing:
+        return 1
+    print(f"check_links: {len(files)} files, all local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

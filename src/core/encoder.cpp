@@ -10,21 +10,22 @@ circle_encoder::circle_encoder(std::size_t count, std::size_t dim,
                                hdc::flip_policy policy)
     : dim_(dim), hash_(&hash), seed_(seed) {
   xoshiro256 rng(seed);
-  circle_ = circular_set(count, dim, rng, policy);
-  step_bits_ = hdc::hamming_distance(circle_[0], circle_[1]);
+  circle_ = std::make_shared<const std::vector<hdc::hypervector>>(
+      circular_set(count, dim, rng, policy));
+  step_bits_ = hdc::hamming_distance((*circle_)[0], (*circle_)[1]);
 }
 
 std::size_t circle_encoder::slot_of(std::uint64_t x) const {
-  return static_cast<std::size_t>(hash_->hash_u64(x, seed_) % circle_.size());
+  return static_cast<std::size_t>(hash_->hash_u64(x, seed_) % circle_->size());
 }
 
 const hdc::hypervector& circle_encoder::encode(std::uint64_t x) const {
-  return circle_[slot_of(x)];
+  return (*circle_)[slot_of(x)];
 }
 
 const hdc::hypervector& circle_encoder::at(std::size_t slot) const {
-  HDHASH_REQUIRE(slot < circle_.size(), "slot out of range");
-  return circle_[slot];
+  HDHASH_REQUIRE(slot < circle_->size(), "slot out of range");
+  return (*circle_)[slot];
 }
 
 }  // namespace hdhash

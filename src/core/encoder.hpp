@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/circular.hpp"
@@ -18,6 +19,13 @@ namespace hdhash {
 /// The circle is generated once at construction from (count, dim, seed);
 /// two encoders constructed with identical parameters produce identical
 /// circles — the property the HD table's clone() relies on.
+///
+/// The circle itself is immutable after construction and held behind a
+/// shared pointer, so *copies* of an encoder (table clones, epoch
+/// snapshots) share one basis instead of duplicating count × dim bits —
+/// the dominant term of an HD table's footprint.  This mirrors how HDC
+/// accelerators treat C: rematerialized/shared read-only state, never
+/// per-replica working memory.
 class circle_encoder {
  public:
   /// \param count   n, the number of circle nodes (must exceed the maximum
@@ -40,7 +48,7 @@ class circle_encoder {
   /// The hypervector at a given slot.  \pre slot < size().
   const hdc::hypervector& at(std::size_t slot) const;
 
-  std::size_t size() const noexcept { return circle_.size(); }
+  std::size_t size() const noexcept { return circle_->size(); }
   std::size_t dim() const noexcept { return dim_; }
 
   /// Hamming distance between adjacent circle nodes — the similarity
@@ -53,7 +61,9 @@ class circle_encoder {
   std::size_t dim_;
   const hash64* hash_;
   std::uint64_t seed_;
-  std::vector<hdc::hypervector> circle_;
+  // Immutable after construction; shared (not copied) across encoder
+  // copies so table clones and snapshots reuse one circle.
+  std::shared_ptr<const std::vector<hdc::hypervector>> circle_;
   std::size_t step_bits_;
 };
 

@@ -28,6 +28,30 @@ hd_table::hd_table(const hash64& hash, hd_table_config config)
   }
 }
 
+hd_table::hd_table(const hd_table& other)
+    : hash_(other.hash_),
+      config_(other.config_),
+      encoder_(other.encoder_),
+      memory_(other.memory_),
+      members_(other.members_),
+      row_owner_(other.row_owner_),
+      cache_(other.cache_),
+      // A copy is independently mutable regardless of the source's
+      // snapshot state: membership maintenance must write its cache.
+      frozen_(false) {}
+
+hd_table& hd_table::operator=(const hd_table& other) {
+  hash_ = other.hash_;
+  config_ = other.config_;
+  encoder_ = other.encoder_;
+  memory_ = other.memory_;
+  members_ = other.members_;
+  row_owner_ = other.row_owner_;
+  cache_ = other.cache_;
+  frozen_ = false;  // same contract as the copy constructor
+  return *this;
+}
+
 void hd_table::join(server_id server, double weight) {
   HDHASH_REQUIRE(weight > 0.0, "weight must be positive");
   HDHASH_REQUIRE(!members_.contains(server), "server already in the pool");
@@ -56,10 +80,25 @@ void hd_table::join(server_id server, double weight) {
     row_owner_.emplace(key, server);
     info.row_keys.push_back(key);
   }
-  members_.emplace(server, std::move(info));
-  if (config_.slot_cache) {
-    cache_.assign(config_.capacity, std::nullopt);
+  // Incremental cache maintenance: a new row changes a slot's decision
+  // only if it beats the incumbent winner under the decode() rule, so
+  // one distance per (new row, cached slot) — O(n) per replica instead
+  // of the O(n·k) full rebuild — keeps every valid entry exact.
+  if (config_.slot_cache && !frozen_) {
+    for (const std::uint64_t key : info.row_keys) {
+      const hdc::hypervector& row = memory_.at(key);
+      for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
+        if (!cache_[slot].has_value()) {
+          continue;  // unresolved slots stay lazy
+        }
+        const std::uint64_t d = hdc::hamming_distance(row, encoder_.at(slot));
+        if (beats_cached(*cache_[slot], d, key)) {
+          cache_[slot] = cached_slot{server, key, d};
+        }
+      }
+    }
   }
+  members_.emplace(server, std::move(info));
 }
 
 void hd_table::leave(server_id server) {
@@ -70,8 +109,15 @@ void hd_table::leave(server_id server) {
     row_owner_.erase(key);
   }
   members_.erase(it);
-  if (config_.slot_cache) {
-    cache_.assign(config_.capacity, std::nullopt);
+  // Removing rows can only change slots the leaver was winning (the
+  // minimum over the remaining rows is unchanged elsewhere), so only
+  // those entries are re-decoded — lazily, on next touch or warm.
+  if (config_.slot_cache && !frozen_) {
+    for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
+      if (cache_[slot].has_value() && cache_[slot]->owner == server) {
+        cache_[slot] = std::nullopt;
+      }
+    }
   }
 }
 
@@ -83,30 +129,32 @@ server_id hd_table::owner_of(std::uint64_t row_key) const {
   return it == row_owner_.end() ? row_key : it->second;
 }
 
-hdc::query_result hd_table::decode(const hdc::hypervector& probe) const {
-  // A zero lattice step (degenerate circle: adjacent nodes identical)
-  // would make every measured distance snap to the same level; fall back
-  // to the raw argmax, as decode_slots does.
-  if (!config_.lattice_decode || encoder_.step_bits() == 0) {
-    return *memory_.query(probe);
-  }
+hdc::query_result hd_table::decode(const hdc::hypervector& probe,
+                                   std::uint64_t* winner_distance) const {
   // Maximum-likelihood lattice decoding: snap each measured distance to
   // the nearest circle level (the code's lattice) before comparing, so a
   // per-row perturbation below step/2 bits cannot change the decision.
-  const double step = static_cast<double>(encoder_.step_bits());
+  // With lattice decoding off — or a degenerate circle whose step is 0,
+  // where every distance would snap to one level — the step degrades to
+  // 1, making the level the distance itself: the raw Eq. 2 argmax with
+  // ties to the smaller key, exactly item_memory::query's rule.
+  const double step = config_.lattice_decode && encoder_.step_bits() > 0
+                          ? static_cast<double>(encoder_.step_bits())
+                          : 1.0;
   struct best_entry {
     std::uint64_t key = 0;
     long long level = 0;
     bool valid = false;
   };
   best_entry best;
+  std::uint64_t best_distance = 0;
   hdc::query_result result;
   result.best_score = -std::numeric_limits<double>::infinity();
   result.runner_up = -std::numeric_limits<double>::infinity();
   const auto dim = static_cast<double>(config_.dimension);
   memory_.visit([&](std::uint64_t key, const hdc::hypervector& row) {
-    const auto distance =
-        static_cast<double>(hdc::hamming_distance(row, probe));
+    const std::uint64_t raw_distance = hdc::hamming_distance(row, probe);
+    const auto distance = static_cast<double>(raw_distance);
     const auto level = static_cast<long long>(std::llround(distance / step));
     // Both metrics are affine in the Hamming distance; deriving the raw
     // score here avoids a second popcount pass over the row.
@@ -120,17 +168,22 @@ hdc::query_result hd_table::decode(const hdc::hypervector& probe) const {
         result.runner_up = std::max(result.runner_up, result.best_score);
       }
       best = best_entry{key, level, true};
+      best_distance = raw_distance;
       result.key = key;
       result.best_score = raw;
     } else {
       result.runner_up = std::max(result.runner_up, raw);
     }
   });
+  if (winner_distance != nullptr) {
+    *winner_distance = best_distance;
+  }
   return result;
 }
 
 void hd_table::decode_slots(std::span<const std::size_t> slots,
-                            std::span<server_id> winners) const {
+                            std::span<server_id> winners,
+                            cached_slot* detail) const {
   // One gather of the stored rows; scanning them in storage order keeps
   // the win/tie rule identical to the scalar decode().
   struct row_ref {
@@ -168,6 +221,7 @@ void hd_table::decode_slots(std::span<const std::size_t> slots,
   // changes, O(log) times per sweep in expectation.
   struct best_state {
     std::uint64_t key = 0;
+    std::uint64_t d = 0;   ///< winning row's exact distance
     std::uint64_t lo = 0;  ///< smallest distance that still ties
     std::uint64_t hi = 0;  ///< smallest distance that loses
     bool valid = false;
@@ -193,6 +247,7 @@ void hd_table::decode_slots(std::span<const std::size_t> slots,
           continue;  // loses outright, or ties against a smaller key
         }
         b.key = row.key;
+        b.d = d;
         b.valid = true;
         if (lattice) {
           // level = round-half-up(d / step), in exact integer form —
@@ -209,18 +264,45 @@ void hd_table::decode_slots(std::span<const std::size_t> slots,
     }
     for (std::size_t t = 0; t < tile; ++t) {
       winners[base + t] = owner_of(best[t].key);
+      if (detail != nullptr) {
+        detail[base + t] = cached_slot{winners[base + t], best[t].key,
+                                       best[t].d};
+      }
     }
   }
+}
+
+bool hd_table::beats_cached(const cached_slot& incumbent,
+                            std::uint64_t distance,
+                            std::uint64_t row_key) const {
+  // Same decision as decode()/decode_slots, in exact integer form:
+  // compare lattice levels (round-half-up of distance / step), ties to
+  // the smaller row key.  Step degrades to 1 when lattice decoding is
+  // off or the circle is degenerate, making the level the distance.
+  const std::uint64_t step = config_.lattice_decode && encoder_.step_bits() > 0
+                                 ? encoder_.step_bits()
+                                 : 1;
+  const std::uint64_t candidate_level = (2 * distance + step) / (2 * step);
+  const std::uint64_t incumbent_level =
+      (2 * incumbent.distance + step) / (2 * step);
+  return candidate_level < incumbent_level ||
+         (candidate_level == incumbent_level && row_key < incumbent.row_key);
 }
 
 server_id hd_table::lookup(request_id request) const {
   HDHASH_REQUIRE(!memory_.empty(), "lookup on an empty pool");
   if (config_.slot_cache) {
     const std::size_t slot = encoder_.slot_of(request);
-    if (!cache_[slot].has_value()) {
-      cache_[slot] = owner_of(decode(encoder_.at(slot)).key);
+    if (cache_[slot].has_value()) {
+      return cache_[slot]->owner;
     }
-    return *cache_[slot];
+    std::uint64_t distance = 0;
+    const std::uint64_t key = decode(encoder_.at(slot), &distance).key;
+    const server_id owner = owner_of(key);
+    if (!frozen_) {
+      cache_[slot] = cached_slot{owner, key, distance};
+    }
+    return owner;
   }
   return owner_of(decode(encoder_.encode(request)).key);
 }
@@ -247,18 +329,19 @@ void hd_table::lookup_batch(std::span<const request_id> requests,
       continue;
     }
     if (config_.slot_cache && cache_[slot_of[i]].has_value()) {
-      it->second = *cache_[slot_of[i]];
+      it->second = cache_[slot_of[i]]->owner;
     } else {
       pending.push_back(slot_of[i]);
     }
   }
 
   std::vector<server_id> winners(pending.size());
-  decode_slots(pending, winners);
+  std::vector<cached_slot> detail(pending.size());
+  decode_slots(pending, winners, detail.data());
   for (std::size_t i = 0; i < pending.size(); ++i) {
     resolved[pending[i]] = winners[i];
-    if (config_.slot_cache) {
-      cache_[pending[i]] = winners[i];
+    if (config_.slot_cache && !frozen_) {
+      cache_[pending[i]] = detail[i];
     }
   }
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -267,13 +350,26 @@ void hd_table::lookup_batch(std::span<const request_id> requests,
 }
 
 void hd_table::warm_slot_cache() const {
-  if (!config_.slot_cache || memory_.empty()) {
+  if (!config_.slot_cache || memory_.empty() || frozen_) {
     return;
   }
+  // Only unresolved slots are decoded: after a leave that is the n/k
+  // share the leaver owned, after a join it is nothing at all — the
+  // incremental maintenance already updated every valid entry.
+  std::vector<std::size_t> missing;
   for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
     if (!cache_[slot].has_value()) {
-      cache_[slot] = owner_of(decode(encoder_.at(slot)).key);
+      missing.push_back(slot);
     }
+  }
+  if (missing.empty()) {
+    return;
+  }
+  std::vector<server_id> winners(missing.size());
+  std::vector<cached_slot> detail(missing.size());
+  decode_slots(missing, winners, detail.data());
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    cache_[missing[i]] = detail[i];
   }
 }
 
@@ -294,7 +390,11 @@ table_stats hd_table::stats() const {
   table_stats s;
   const std::size_t words = (config_.dimension + 63) / 64;
   s.memory_bytes = memory_.size() * words * sizeof(std::uint64_t) +
-                   cache_.size() * sizeof(std::optional<server_id>);
+                   cache_.size() * sizeof(std::optional<cached_slot>);
+  // Rows held jointly with clones/snapshots cost this instance nothing
+  // beyond bookkeeping; epoch-snapshot marginal residency is
+  // memory_bytes - shared_bytes.
+  s.shared_bytes = memory_.shared_bytes();
   // Every stored row is popcount-compared word by word — unless the
   // accelerator model answers from the slot cache in O(1).
   s.expected_lookup_cost =
@@ -324,6 +424,17 @@ std::vector<server_id> hd_table::servers() const {
 
 std::unique_ptr<dynamic_table> hd_table::clone() const {
   return std::make_unique<hd_table>(*this);
+}
+
+std::shared_ptr<const dynamic_table> hd_table::snapshot() const {
+  // Publish the accelerator steady state: resolve any slots the last
+  // membership event invalidated, then share a frozen copy.  The circle
+  // and every row are shared copy-on-write, so the snapshot's marginal
+  // footprint is the member maps and the resolved slot array.
+  warm_slot_cache();
+  auto copy = std::make_shared<hd_table>(*this);
+  copy->freeze();
+  return copy;
 }
 
 std::vector<memory_region> hd_table::fault_regions() {

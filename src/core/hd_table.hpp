@@ -50,7 +50,12 @@ struct hd_table_config {
   /// Slot-result cache modelling an O(1) HDC accelerator lookup
   /// (Schmuck et al. 2019 do the query in one cycle; caching per circle
   /// slot is the software analogue because Enc has only n distinct
-  /// outputs).  Off by default: robustness experiments must exercise the
+  /// outputs).  The cache is maintained *incrementally* across
+  /// membership changes: a leave re-decodes only the slots the leaver
+  /// owned, and a join compares the newcomer's rows against each slot's
+  /// cached winner — O(n) row distances per event instead of an O(n·k)
+  /// full rebuild — always yielding exactly the answers of a cold
+  /// decode.  Off by default: robustness experiments must exercise the
   /// real associative query.
   bool slot_cache = false;
   /// Maximum-likelihood lattice decoding (default on).  Pairwise
@@ -97,6 +102,28 @@ class hd_table final : public dynamic_table {
   std::string_view name() const noexcept override { return "hd"; }
   std::unique_ptr<dynamic_table> clone() const override;
 
+  /// Epoch snapshot: warms the slot cache (when enabled), then shares a
+  /// frozen copy-on-write copy — the circle basis and every item-memory
+  /// row are shared with *this, so the snapshot's marginal footprint is
+  /// bookkeeping (maps + cache), not hypervectors.  The copy is frozen
+  /// (see freeze()), making concurrent lookups on it race-free.
+  std::shared_ptr<const dynamic_table> snapshot() const override;
+
+  /// Marks this instance immutable-for-memoization: lookups consult the
+  /// slot cache but never write it (a miss decodes without caching).
+  /// Published snapshots are frozen so that any number of shard workers
+  /// can resolve against one instance concurrently with no
+  /// synchronization.  Irreversible for this instance; copies (clones,
+  /// further snapshots) always start unfrozen — the copy constructor
+  /// resets the flag, preserving clone()'s independently-mutable
+  /// contract even for clones taken from a snapshot.
+  void freeze() noexcept { frozen_ = true; }
+
+  /// Copy shares the circle basis and item-memory rows copy-on-write;
+  /// the copy is never frozen (see freeze()).
+  hd_table(const hd_table& other);
+  hd_table& operator=(const hd_table& other);
+
   /// Fault surface: the stored server hypervectors — the (in hardware:
   /// SRAM) rows of the associative memory.  The circle set C is not
   /// exposed: accelerators rematerialize basis hypervectors on the fly
@@ -125,20 +152,42 @@ class hd_table final : public dynamic_table {
     std::vector<std::uint64_t> row_keys;
   };
 
+  /// One memoized slot decision.  Besides the resolved owner, the
+  /// winning row key and its exact Hamming distance are kept so
+  /// membership events can maintain the cache incrementally: a join
+  /// only needs (distance, key) of the incumbent to decide whether a
+  /// new row beats it under the same lattice/tie rule as decode().
+  struct cached_slot {
+    server_id owner = 0;
+    std::uint64_t row_key = 0;
+    std::uint64_t distance = 0;
+  };
+
   /// Decodes a probe to (winner row, raw scores) under the configured
   /// rule.  Winners are row keys; owner_of() maps them back to servers.
-  hdc::query_result decode(const hdc::hypervector& probe) const;
+  /// When non-null, `winner_distance` receives the winning row's exact
+  /// Hamming distance to the probe (the cache maintenance currency).
+  hdc::query_result decode(const hdc::hypervector& probe,
+                           std::uint64_t* winner_distance = nullptr) const;
 
   /// Decodes a block of circle slots to winning *owner* ids, scoring
   /// each item-memory row against a tile of probes through the
   /// dispatched SIMD Hamming kernel (simd/hamming_kernel.hpp); the
   /// win/tie rule runs on integer distance bands, bit-identical across
-  /// kernels and to the scalar decode().
+  /// kernels and to the scalar decode().  When non-null, `detail[i]`
+  /// receives the winning row key and distance for slots[i].
   void decode_slots(std::span<const std::size_t> slots,
-                    std::span<server_id> winners) const;
+                    std::span<server_id> winners,
+                    cached_slot* detail = nullptr) const;
 
   /// Maps a decoded row key to the member that owns it.
   server_id owner_of(std::uint64_t row_key) const;
+
+  /// True when a candidate row at `distance` beats the incumbent cache
+  /// entry under the exact decode() rule (lattice level compare, ties
+  /// to the smaller row key).
+  bool beats_cached(const cached_slot& incumbent, std::uint64_t distance,
+                    std::uint64_t row_key) const;
 
   const hash64* hash_;
   hd_table_config config_;
@@ -146,9 +195,12 @@ class hd_table final : public dynamic_table {
   hdc::item_memory memory_;
   std::unordered_map<server_id, member_info> members_;
   std::unordered_map<std::uint64_t, server_id> row_owner_;
-  // Slot-result cache (accelerator model): slot -> resolved server.
-  // Mutable because it is a pure memoization of lookup().
-  mutable std::vector<std::optional<server_id>> cache_;
+  // Slot-result cache (accelerator model): slot -> winning decision,
+  // maintained incrementally across join/leave.  Mutable because it is
+  // a pure memoization of lookup(); frozen_ gates all writes so a
+  // published snapshot is read-only shared state.
+  mutable std::vector<std::optional<cached_slot>> cache_;
+  bool frozen_ = false;
 };
 
 }  // namespace hdhash

@@ -123,6 +123,7 @@ table_stats hierarchical_hd_table::stats() const {
   for (const hd_table& shard : shards_) {
     const table_stats shard_stats = shard.stats();
     s.memory_bytes += shard_stats.memory_bytes;
+    s.shared_bytes += shard_stats.shared_bytes;
     if (shard.server_count() > 0) {
       occupied += 1.0;
       shard_cost += shard_stats.expected_lookup_cost;
@@ -153,6 +154,23 @@ std::vector<server_id> hierarchical_hd_table::servers() const {
 
 std::unique_ptr<dynamic_table> hierarchical_hd_table::clone() const {
   return std::unique_ptr<dynamic_table>(new hierarchical_hd_table(*this));
+}
+
+std::shared_ptr<const dynamic_table> hierarchical_hd_table::snapshot() const {
+  // Warm the originals first so consecutive snapshots only re-decode
+  // slots the intervening membership events invalidated, then freeze
+  // the copy's inner tables so shard workers can query it concurrently.
+  router_.warm_slot_cache();
+  for (const hd_table& shard : shards_) {
+    shard.warm_slot_cache();
+  }
+  std::shared_ptr<hierarchical_hd_table> copy(
+      new hierarchical_hd_table(*this));
+  copy->router_.freeze();
+  for (hd_table& shard : copy->shards_) {
+    shard.freeze();
+  }
+  return copy;
 }
 
 std::vector<memory_region> hierarchical_hd_table::fault_regions() {

@@ -58,6 +58,12 @@ class hierarchical_hd_table final : public dynamic_table {
   std::string_view name() const noexcept override { return "hd-hierarchical"; }
   std::unique_ptr<dynamic_table> clone() const override;
 
+  /// Epoch snapshot: warms the router's and every group's slot cache
+  /// (when enabled), then shares a frozen copy-on-write copy — all
+  /// circle bases and item-memory rows are shared with *this (see
+  /// hd_table::snapshot()).
+  std::shared_ptr<const dynamic_table> snapshot() const override;
+
   /// Fault surface: the router's rows plus every shard's rows.
   std::vector<memory_region> fault_regions() override;
 

@@ -31,11 +31,6 @@ run_stats merge(std::span<const run_stats> parts) {
   return merged;
 }
 
-namespace {
-
-/// Current reading of the configured request clock, as integer
-/// nanoseconds (subtracting in the integer domain keeps sub-batch
-/// deltas exact even when the clock's epoch offset is large).
 std::int64_t timing_now_ns(timing_mode timing) {
 #if defined(CLOCK_THREAD_CPUTIME_ID)
   if (timing == timing_mode::thread_cpu) {
@@ -49,6 +44,8 @@ std::int64_t timing_now_ns(timing_mode timing) {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+namespace {
 
 /// Answers one request sub-batch against the current table state and
 /// accounts load/mismatches; `answers`/`truth` are reused across calls.

@@ -67,6 +67,12 @@ enum class timing_mode : std::uint8_t {
   thread_cpu,
 };
 
+/// Current reading of the configured request clock, as integer
+/// nanoseconds (subtracting in the integer domain keeps sub-batch
+/// deltas exact even when the clock's epoch offset is large).  Shared
+/// by the plain and sharded emulators' per-sub-batch metering.
+std::int64_t timing_now_ns(timing_mode timing);
+
 /// Applies one drained event batch to `table` (and `shadow`, when
 /// non-null) in arrival order: membership events segment the batch, and
 /// each request sub-batch is answered through lookup_batch against the

@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "hashing/splitmix_hash.hpp"
 #include "util/require.hpp"
@@ -17,10 +18,13 @@ namespace {
 /// Bounded hand-off queue between the producer and one shard worker.
 /// Depth 2 is the double buffer: the worker decodes batch i while the
 /// producer fills batch i+1; the producer only blocks when the worker
-/// is more than one full batch behind.
+/// is more than one full batch behind.  The payload is the mode's batch
+/// type: a plain event vector (replicated) or an epoch-segmented
+/// request batch (snapshot).
+template <typename Batch>
 class batch_channel {
  public:
-  void push(std::vector<event>&& batch) {
+  void push(Batch&& batch) {
     std::unique_lock lock(mutex_);
     can_push_.wait(lock, [this] { return queue_.size() < kDepth; });
     queue_.push_back(std::move(batch));
@@ -29,7 +33,7 @@ class batch_channel {
 
   /// Blocks for the next batch; returns false once the channel is
   /// closed and drained.
-  bool pop(std::vector<event>& out) {
+  bool pop(Batch& out) {
     std::unique_lock lock(mutex_);
     can_pop_.wait(lock, [this] { return !queue_.empty() || closed_; });
     if (queue_.empty()) {
@@ -52,9 +56,98 @@ class batch_channel {
   std::mutex mutex_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
-  std::deque<std::vector<event>> queue_;
+  std::deque<Batch> queue_;
   bool closed_ = false;
 };
+
+/// One epoch's slice of a snapshot-mode batch: requests that arrived
+/// under `snap` and must be resolved against exactly that table state.
+struct epoch_segment {
+  std::shared_ptr<const table_snapshot> snap;
+  std::vector<request_id> requests;
+};
+
+/// Snapshot-mode batch: up to buffer_capacity requests, segmented at
+/// the membership epochs they arrived under.  Without churn this is a
+/// single full-width segment — the undivided slot-dedup window the
+/// replicated pipeline loses to broadcast membership events.
+using epoch_batch = std::vector<epoch_segment>;
+
+/// Resolves one epoch segment against its snapshot and accounts the
+/// per-shard statistics; `answers` is reused across calls.
+void answer_segment(const epoch_segment& segment, run_stats& stats,
+                    timing_mode timing, std::vector<server_id>& answers) {
+  if (segment.requests.empty()) {
+    return;
+  }
+  const dynamic_table& table = segment.snap->table();
+  answers.resize(segment.requests.size());
+  if (timing != timing_mode::off) {
+    const std::int64_t start = timing_now_ns(timing);
+    table.lookup_batch(segment.requests, answers);
+    stats.total_request_ns +=
+        static_cast<double>(timing_now_ns(timing) - start);
+  } else {
+    table.lookup_batch(segment.requests, answers);
+  }
+  ++stats.batches;
+  for (std::size_t i = 0; i < segment.requests.size(); ++i) {
+    ++stats.requests;
+    ++stats.load[answers[i]];
+  }
+}
+
+/// Spawns the shard workers, runs `produce`, then closes every channel
+/// and joins.  Shared by both membership modes; `decode(shard, batch)`
+/// is the per-batch worker body.  Worker exceptions are captured and
+/// rethrown on the calling thread after shutdown.
+template <typename Batch, typename Decode, typename Produce>
+void run_pipeline(std::size_t shards, Decode&& decode, Produce&& produce) {
+  std::vector<batch_channel<Batch>> channels(shards);
+  std::vector<std::exception_ptr> errors(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  // Joins every spawned worker after closing its feed; both the spawn
+  // loop and the producer run under this guard because destroying a
+  // joinable std::thread terminates the process.
+  auto shut_down = [&] {
+    for (auto& channel : channels) {
+      channel.close();
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  };
+  try {
+    for (std::size_t s = 0; s < shards; ++s) {
+      workers.emplace_back([s, &channels, &errors, &decode] {
+        try {
+          Batch batch;
+          while (channels[s].pop(batch)) {
+            decode(s, batch);
+          }
+        } catch (...) {
+          errors[s] = std::current_exception();
+          // Keep draining so the producer never deadlocks on a full
+          // channel after a worker fault.
+          Batch discard;
+          while (channels[s].pop(discard)) {
+          }
+        }
+      });
+    }
+    produce(channels);
+  } catch (...) {
+    shut_down();
+    throw;
+  }
+  shut_down();
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
 
 }  // namespace
 
@@ -82,6 +175,16 @@ sharded_emulator::sharded_emulator(table_factory factory,
   HDHASH_REQUIRE(config_.buffer_capacity >= 1,
                  "shard buffer capacity must be positive");
   HDHASH_REQUIRE(factory != nullptr, "table factory must be callable");
+  HDHASH_REQUIRE(
+      !(config_.shadow && config_.membership == membership_mode::snapshot),
+      "shadow oracles certify per-shard replication — use "
+      "membership_mode::replicated");
+  if (config_.membership == membership_mode::snapshot) {
+    auto table = factory(0);
+    HDHASH_REQUIRE(table != nullptr, "table factory returned null");
+    publisher_ = std::make_unique<snapshot_publisher>(std::move(table));
+    return;
+  }
   tables_.reserve(config_.shards);
   for (std::size_t shard = 0; shard < config_.shards; ++shard) {
     auto table = factory(shard);
@@ -92,17 +195,30 @@ sharded_emulator::sharded_emulator(table_factory factory,
 
 std::size_t sharded_emulator::shard_of(request_id request) const {
   return static_cast<std::size_t>(
-      splitmix_hash::mix(request ^ config_.partition_seed) % tables_.size());
+      splitmix_hash::mix(request ^ config_.partition_seed) % config_.shards);
+}
+
+dynamic_table& sharded_emulator::table(std::size_t shard) {
+  HDHASH_REQUIRE(shard < config_.shards, "shard index out of range");
+  if (config_.membership == membership_mode::snapshot) {
+    return publisher_->table();
+  }
+  return *tables_[shard];
 }
 
 sharded_report sharded_emulator::run(std::span<const event> events) {
+  return config_.membership == membership_mode::snapshot
+             ? run_snapshot(events)
+             : run_replicated(events);
+}
+
+sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
   using clock = std::chrono::steady_clock;
   const std::size_t shards = tables_.size();
 
   sharded_report report;
   report.per_shard.resize(shards);
 
-  std::vector<batch_channel> channels(shards);
   std::vector<std::unique_ptr<dynamic_table>> shadows(shards);
   if (config_.shadow) {
     for (std::size_t s = 0; s < shards; ++s) {
@@ -111,92 +227,56 @@ sharded_report sharded_emulator::run(std::span<const event> events) {
   }
 
   const auto start = clock::now();
-  std::vector<std::exception_ptr> errors(shards);
-  std::vector<std::thread> workers;
-  workers.reserve(shards);
-  // Joins every spawned worker after closing its feed; both the spawn
-  // loop and the producer run under this guard because destroying a
-  // joinable std::thread terminates the process.
-  auto shut_down = [&] {
-    for (batch_channel& channel : channels) {
-      channel.close();
-    }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
-  };
   std::size_t logical_joins = 0;
   std::size_t logical_leaves = 0;
-  try {
-    for (std::size_t s = 0; s < shards; ++s) {
-      workers.emplace_back([this, s, &channels, &shadows, &report, &errors] {
-        try {
-          std::vector<event> batch;
-          while (channels[s].pop(batch)) {
-            // Shard service time is metered on the worker's own CPU
-            // clock so preemption by sibling shards (oversubscribed
-            // machines) does not count against this shard's decode rate.
-            apply_event_batch(*tables_[s], shadows[s].get(), batch,
-                              report.per_shard[s],
-                              config_.timing ? timing_mode::thread_cpu
-                                             : timing_mode::off);
+  const timing_mode timing =
+      config_.timing ? timing_mode::thread_cpu : timing_mode::off;
+  run_pipeline<std::vector<event>>(
+      shards,
+      [&](std::size_t s, const std::vector<event>& batch) {
+        // Shard service time is metered on the worker's own CPU clock
+        // so preemption by sibling shards (oversubscribed machines)
+        // does not count against this shard's decode rate.
+        apply_event_batch(*tables_[s], shadows[s].get(), batch,
+                          report.per_shard[s], timing);
+      },
+      [&](auto& channels) {
+        // Producer: partition requests, broadcast membership, hand over
+        // each shard's batch as soon as it fills (the double-buffered
+        // overlap).
+        std::vector<std::vector<event>> pending(shards);
+        for (auto& p : pending) {
+          p.reserve(config_.buffer_capacity);
+        }
+        auto submit = [&](std::size_t s) {
+          channels[s].push(std::move(pending[s]));
+          pending[s] = {};
+          pending[s].reserve(config_.buffer_capacity);
+        };
+        for (const event& e : events) {
+          if (e.kind == event_kind::request) {
+            const std::size_t s = shard_of(e.id);
+            pending[s].push_back(e);
+            if (pending[s].size() >= config_.buffer_capacity) {
+              submit(s);
+            }
+            continue;
           }
-        } catch (...) {
-          errors[s] = std::current_exception();
-          // Keep draining so the producer never deadlocks on a full
-          // channel after a worker fault.
-          std::vector<event> discard;
-          while (channels[s].pop(discard)) {
+          (e.kind == event_kind::join ? logical_joins : logical_leaves) += 1;
+          for (std::size_t s = 0; s < shards; ++s) {
+            pending[s].push_back(e);
+            if (pending[s].size() >= config_.buffer_capacity) {
+              submit(s);
+            }
+          }
+        }
+        for (std::size_t s = 0; s < shards; ++s) {
+          if (!pending[s].empty()) {
+            submit(s);
           }
         }
       });
-    }
-
-    // Producer: partition requests, broadcast membership, hand over
-    // each shard's batch as soon as it fills (the double-buffered
-    // overlap).
-    std::vector<std::vector<event>> pending(shards);
-    for (auto& p : pending) {
-      p.reserve(config_.buffer_capacity);
-    }
-    auto submit = [&](std::size_t s) {
-      channels[s].push(std::move(pending[s]));
-      pending[s] = {};
-      pending[s].reserve(config_.buffer_capacity);
-    };
-    for (const event& e : events) {
-      if (e.kind == event_kind::request) {
-        const std::size_t s = shard_of(e.id);
-        pending[s].push_back(e);
-        if (pending[s].size() >= config_.buffer_capacity) {
-          submit(s);
-        }
-        continue;
-      }
-      (e.kind == event_kind::join ? logical_joins : logical_leaves) += 1;
-      for (std::size_t s = 0; s < shards; ++s) {
-        pending[s].push_back(e);
-        if (pending[s].size() >= config_.buffer_capacity) {
-          submit(s);
-        }
-      }
-    }
-    for (std::size_t s = 0; s < shards; ++s) {
-      if (!pending[s].empty()) {
-        submit(s);
-      }
-    }
-  } catch (...) {
-    shut_down();
-    throw;
-  }
-  shut_down();
   const auto stop = clock::now();
-  for (const std::exception_ptr& error : errors) {
-    if (error) {
-      std::rethrow_exception(error);
-    }
-  }
 
   report.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
@@ -207,6 +287,88 @@ sharded_report sharded_emulator::run(std::span<const event> events) {
   // single-table reference run.
   report.merged.joins = logical_joins;
   report.merged.leaves = logical_leaves;
+  for (const auto& table : tables_) {
+    report.table_memory_bytes += table->stats().memory_bytes;
+  }
+  return report;
+}
+
+sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t shards = config_.shards;
+
+  sharded_report report;
+  report.per_shard.resize(shards);
+
+  const auto start = clock::now();
+  std::size_t logical_joins = 0;
+  std::size_t logical_leaves = 0;
+  const timing_mode timing =
+      config_.timing ? timing_mode::thread_cpu : timing_mode::off;
+  run_pipeline<epoch_batch>(
+      shards,
+      [&](std::size_t s, const epoch_batch& batch) {
+        std::vector<server_id> answers;
+        for (const epoch_segment& segment : batch) {
+          answer_segment(segment, report.per_shard[s], timing, answers);
+        }
+      },
+      [&](auto& channels) {
+        // Producer: apply membership once to the publisher's table; tag
+        // every request with the snapshot of the epoch it arrived
+        // under.  A batch spans epochs as segments, so churn never
+        // truncates a batch — only subdivides it.
+        std::vector<epoch_batch> pending(shards);
+        std::vector<std::size_t> pending_requests(shards, 0);
+        auto submit = [&](std::size_t s) {
+          channels[s].push(std::move(pending[s]));
+          pending[s] = {};
+          pending_requests[s] = 0;
+        };
+        for (const event& e : events) {
+          if (e.kind != event_kind::request) {
+            if (e.kind == event_kind::join) {
+              publisher_->join(e.id);
+              ++logical_joins;
+            } else {
+              publisher_->leave(e.id);
+              ++logical_leaves;
+            }
+            continue;
+          }
+          const std::size_t s = shard_of(e.id);
+          auto snap = publisher_->current();
+          epoch_batch& batch = pending[s];
+          if (batch.empty() || batch.back().snap != snap) {
+            // No reserve: under churn a batch splits into many short
+            // segments, and buffer_capacity-sized reservations per
+            // segment would multiply the in-flight footprint.
+            batch.push_back(epoch_segment{std::move(snap), {}});
+          }
+          batch.back().requests.push_back(e.id);
+          if (++pending_requests[s] >= config_.buffer_capacity) {
+            submit(s);
+          }
+        }
+        for (std::size_t s = 0; s < shards; ++s) {
+          if (!pending[s].empty()) {
+            submit(s);
+          }
+        }
+      });
+  const auto stop = clock::now();
+
+  report.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  report.merged = merge(report.per_shard);
+  // Membership is applied once, by the producer; report it in the
+  // merged stats so they compare field-for-field with a single-table
+  // reference run.
+  report.merged.joins = logical_joins;
+  report.merged.leaves = logical_leaves;
+  report.table_memory_bytes = publisher_->memory_bytes();
+  report.snapshots_published = publisher_->published_epochs();
   return report;
 }
 

@@ -4,19 +4,30 @@
 /// ROADMAP's "millions of users" target.
 ///
 /// The generated event stream is partitioned across N shards by
-/// hash(request_id) % N; membership (join/leave) events are broadcast to
-/// every shard, so each shard's table replicates the full server pool
-/// and answers exactly the assignments the single-table reference would.
-/// Each shard runs its own dynamic_table on a dedicated worker thread,
-/// fed through a depth-2 batch channel: while the worker decodes batch
-/// i, the producer is already filling batch i+1 — the software analogue
-/// of overlapping GPU transfer with compute (double buffering).
+/// hash(request_id) % N; each shard worker decodes its requests on a
+/// dedicated thread, fed through a depth-2 batch channel: while the
+/// worker decodes batch i, the producer is already filling batch i+1 —
+/// the software analogue of overlapping GPU transfer with compute
+/// (double buffering).  Membership state reaches the workers in one of
+/// two modes (membership_mode):
 ///
-/// Determinism: requests are routed to exactly one shard and every
-/// shard applies membership events in stream order, so the merged load
-/// histogram is bit-identical to a single-shard (or plain emulator)
-/// reference run over the same events — the property the ctest suite
-/// asserts and BENCH_sharded_emulator.json records.
+///  * snapshot (default) — the producer owns the single mutable table
+///    behind a snapshot_publisher (emu/snapshot.hpp); join/leave apply
+///    once, each membership epoch publishes one immutable copy-on-write
+///    snapshot, and workers resolve every request against the snapshot
+///    of the epoch it arrived under.  Churn is O(1) per event and table
+///    memory is ~one replica regardless of shard count.
+///  * replicated — the PR-2 pipeline: join/leave broadcast to every
+///    shard, each worker owning a full table replica.  Kept for the
+///    shadow-oracle mismatch experiments (each shard replays against a
+///    pristine clone) and as the comparison baseline.
+///
+/// Determinism: requests are routed to exactly one shard and observe
+/// exactly the membership state that preceded them in the stream (per
+/// replica in replicated mode, per epoch snapshot in snapshot mode), so
+/// the merged load histogram is bit-identical to a single-shard (or
+/// plain emulator) reference run over the same events — the property
+/// the ctest suite asserts and BENCH_sharded_emulator.json records.
 #pragma once
 
 #include <cstdint>
@@ -27,22 +38,37 @@
 
 #include "emu/emulator.hpp"
 #include "emu/event.hpp"
+#include "emu/snapshot.hpp"
 #include "table/dynamic_table.hpp"
 
 namespace hdhash {
 
+/// How membership state is shared with the shard workers.
+enum class membership_mode : std::uint8_t {
+  /// One immutable epoch-published snapshot shared by all shards
+  /// (copy-on-write against the producer's single mutable table).
+  snapshot,
+  /// One full table replica per shard, join/leave broadcast to all.
+  replicated,
+};
+
 /// Configuration of the sharded pipeline.
 struct sharded_config {
-  /// Worker shards (>= 1); each owns one table replica and one thread.
+  /// Worker shards (>= 1); each runs one thread (and, in replicated
+  /// mode, owns one table replica).
   std::size_t shards = 4;
   /// Events buffered per shard before a batch is handed to its worker
   /// (the paper's batch size of 256 per shard).
   std::size_t buffer_capacity = 256;
+  /// How membership reaches the workers (see membership_mode).
+  membership_mode membership = membership_mode::snapshot;
   /// Measure per-sub-batch request time on each worker's own CPU clock
   /// (timing_mode::thread_cpu), so the per-shard service rate is not
   /// polluted by preemption when shards outnumber cores.
   bool timing = true;
   /// Give every shard a pristine shadow clone for mismatch accounting.
+  /// Requires membership_mode::replicated (the oracle certifies the
+  /// per-shard replication plumbing).
   bool shadow = false;
   /// Salt of the request partition hash.
   std::uint64_t partition_seed = 0x5A4D'ED01;
@@ -51,14 +77,24 @@ struct sharded_config {
 /// Result of one sharded run.
 struct sharded_report {
   /// Statistics merged across shards.  joins/leaves count *logical*
-  /// membership events (each broadcast event once), so the merged
-  /// report is comparable field-for-field with a single-table run.
+  /// membership events (each stream event once, however it was
+  /// delivered — broadcast or epoch publication), so the merged report
+  /// is comparable field-for-field with a single-table run.
   run_stats merged;
-  /// Raw per-shard statistics; here joins/leaves count per-shard
-  /// applications of the broadcast events.
+  /// Raw per-shard statistics.  In replicated mode joins/leaves count
+  /// per-shard applications of the broadcast events; in snapshot mode
+  /// they are zero (membership is applied once, by the producer).
   std::vector<run_stats> per_shard;
   /// End-to-end pipeline wall time (produce + decode, overlapped).
   double wall_seconds = 0.0;
+  /// Resident table bytes at end of run: the sum over all replicas in
+  /// replicated mode; the producer table plus the live snapshot's
+  /// non-shared bookkeeping in snapshot mode (~independent of the
+  /// shard count).
+  std::size_t table_memory_bytes = 0;
+  /// Snapshots actually published (snapshot mode; 0 otherwise).  At
+  /// most one per membership epoch that a request observed.
+  std::size_t snapshots_published = 0;
 
   /// Aggregate service rate: the sum of each shard's requests divided
   /// by the time that shard spent inside lookup_batch on its own
@@ -71,14 +107,17 @@ struct sharded_report {
   double wall_requests_per_second() const;
 };
 
-/// Runs an event stream through N single-owner table replicas, one
-/// worker thread each, with double-buffered batch hand-off.
+/// Runs an event stream through N shard workers with double-buffered
+/// batch hand-off — against epoch-published snapshots of one table
+/// (snapshot mode) or one single-owner replica per shard (replicated
+/// mode).
 class sharded_emulator {
  public:
-  /// Builds the table replica for one shard.  Called once per shard at
-  /// construction, on the caller's thread; every shard must be built
-  /// with identical parameters (the determinism guarantee needs all
-  /// replicas to map requests identically).
+  /// Builds a table instance.  In replicated mode it is called once per
+  /// shard (with the shard index); in snapshot mode once, with shard 0,
+  /// for the producer-owned table.  Every call must use identical
+  /// parameters (the determinism guarantee needs all instances to map
+  /// requests identically).
   using table_factory =
       std::function<std::unique_ptr<dynamic_table>(std::size_t shard)>;
 
@@ -86,23 +125,29 @@ class sharded_emulator {
 
   /// Runs the event stream to completion across all shards and merges
   /// the per-shard statistics.  Worker exceptions are rethrown here.
-  /// One emulator instance runs one workload: the table replicas keep
-  /// their end-of-run state (inspect via table()), so replaying a
-  /// stream whose join burst repeats ids would fault on the second
-  /// run — construct a fresh emulator per workload instead.
+  /// One emulator instance runs one workload: the tables keep their
+  /// end-of-run state (inspect via table()), so replaying a stream
+  /// whose join burst repeats ids would fault on the second run —
+  /// construct a fresh emulator per workload instead.
   sharded_report run(std::span<const event> events);
 
   /// Shard a request id is routed to.
   std::size_t shard_of(request_id request) const;
 
   const sharded_config& config() const noexcept { return config_; }
-  std::size_t shards() const noexcept { return tables_.size(); }
-  /// The shard's table replica (valid for the emulator's lifetime).
-  dynamic_table& table(std::size_t shard) { return *tables_[shard]; }
+  std::size_t shards() const noexcept { return config_.shards; }
+  /// The shard's table replica (replicated mode) or the producer's
+  /// single mutable table (snapshot mode, same object for every shard).
+  /// Valid for the emulator's lifetime.  \pre shard < shards().
+  dynamic_table& table(std::size_t shard);
 
  private:
+  sharded_report run_replicated(std::span<const event> events);
+  sharded_report run_snapshot(std::span<const event> events);
+
   sharded_config config_;
-  std::vector<std::unique_ptr<dynamic_table>> tables_;
+  std::vector<std::unique_ptr<dynamic_table>> tables_;  // replicated mode
+  std::unique_ptr<snapshot_publisher> publisher_;       // snapshot mode
 };
 
 }  // namespace hdhash

@@ -1,0 +1,55 @@
+#include "emu/snapshot.hpp"
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+table_snapshot::table_snapshot(std::uint64_t epoch,
+                               std::shared_ptr<const dynamic_table> table)
+    : epoch_(epoch), table_(std::move(table)) {
+  HDHASH_REQUIRE(table_ != nullptr, "snapshot needs a table");
+}
+
+std::size_t table_snapshot::marginal_bytes() const {
+  const table_stats stats = table_->stats();
+  return stats.memory_bytes - stats.shared_bytes;
+}
+
+snapshot_publisher::snapshot_publisher(std::unique_ptr<dynamic_table> table)
+    : table_(std::move(table)) {
+  HDHASH_REQUIRE(table_ != nullptr, "publisher needs a table");
+}
+
+void snapshot_publisher::join(server_id server, double weight) {
+  table_->join(server, weight);
+  ++epoch_;
+  // Lazy publication: drop the stale snapshot now, build the new one
+  // only when a request actually observes this epoch — consecutive
+  // membership events then collapse into one publication.
+  current_.reset();
+}
+
+void snapshot_publisher::leave(server_id server) {
+  table_->leave(server);
+  ++epoch_;
+  current_.reset();
+}
+
+std::shared_ptr<const table_snapshot> snapshot_publisher::current() {
+  if (current_ == nullptr) {
+    current_ = std::make_shared<const table_snapshot>(epoch_,
+                                                      table_->snapshot());
+    ++published_;
+  }
+  return current_;
+}
+
+std::size_t snapshot_publisher::memory_bytes() const {
+  std::size_t bytes = table_->stats().memory_bytes;
+  if (current_ != nullptr) {
+    bytes += current_->marginal_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace hdhash

@@ -35,6 +35,15 @@ std::size_t parse_positive_value(const char* text) {
   return static_cast<std::size_t>(value);
 }
 
+bool parse_replicated_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicated") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 shards_flag parse_shards_flag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
@@ -67,12 +76,29 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
   const generator gen(workload);
   const auto events = gen.generate();
 
-  // Single-table reference: the plain emulator over the same events.
+  // Single-table reference: the plain emulator over the same events,
+  // with the caller's unmodified options (real associative query).
   // Determinism of the sharded pipeline means reproducing this run's
   // load histogram bit for bit at every shard count.
   auto reference_table = make_table(algorithm, opts);
   emulator reference(*reference_table, config.buffer_capacity);
   const run_stats expected = reference.run(events);
+
+  // Shadow oracles mirror per-shard replicas; snapshot mode has none.
+  const membership_mode membership =
+      config.shadow ? membership_mode::replicated : config.membership;
+  // Snapshot mode publishes the accelerator steady state per epoch: the
+  // hd slot cache is maintained incrementally by the producer and every
+  // shard resolves from the shared frozen slot array.  The reference
+  // above keeps the cache off, so matches_reference also certifies the
+  // maintained cache against cold decoding.  Note the replicated mode
+  // deliberately keeps the caller's cache setting (PR-2 pipeline as it
+  // shipped): the two modes are compared as architectures, not as a
+  // single-variable ablation — see docs/BENCHMARKS.md.
+  table_options sharded_opts = opts;
+  if (membership == membership_mode::snapshot) {
+    sharded_opts.hd.slot_cache = true;
+  }
 
   std::vector<shard_sweep_point> series;
   series.reserve(config.shard_counts.size());
@@ -80,9 +106,11 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
     sharded_config emu_config;
     emu_config.shards = shards;
     emu_config.buffer_capacity = config.buffer_capacity;
+    emu_config.membership = membership;
     emu_config.shadow = config.shadow;
     sharded_emulator emu(
-        [&](std::size_t) { return make_table(algorithm, opts); }, emu_config);
+        [&](std::size_t) { return make_table(algorithm, sharded_opts); },
+        emu_config);
     const sharded_report report = emu.run(events);
 
     shard_sweep_point point;
@@ -92,6 +120,8 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
     point.aggregate_requests_per_second =
         report.aggregate_requests_per_second();
     point.wall_requests_per_second = report.wall_requests_per_second();
+    point.table_memory_bytes = report.table_memory_bytes;
+    point.snapshots_published = report.snapshots_published;
     point.matches_reference = report.merged.load == expected.load &&
                               report.merged.requests == expected.requests &&
                               report.merged.joins == expected.joins &&

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "emu/emulator.hpp"
+#include "emu/sharded_emulator.hpp"
 #include "exp/factory.hpp"
 
 namespace hdhash {
@@ -27,6 +28,11 @@ struct shard_sweep_config {
   std::size_t requests = 40'000;   ///< requests per point
   double churn_rate = 0.0;         ///< join/leave probability per slot
   std::size_t buffer_capacity = 256;  ///< per-shard batch size
+  /// Membership mode of the sharded runs (the reference run is always a
+  /// plain single-table emulator).  Snapshot by default — epoch-
+  /// published shared state; forced to replicated when `shadow` is set
+  /// (the oracle certifies per-shard replication).
+  membership_mode membership = membership_mode::snapshot;
   bool shadow = false;             ///< per-shard pristine mismatch oracle
   std::uint64_t seed = 42;
 };
@@ -42,14 +48,24 @@ struct shard_sweep_point {
   double wall_requests_per_second = 0.0;
   /// aggregate rate relative to this sweep's first point.
   double aggregate_speedup = 0.0;
+  /// End-of-run resident table bytes (N replicas in replicated mode;
+  /// ~one table plus snapshot bookkeeping in snapshot mode).
+  std::size_t table_memory_bytes = 0;
+  /// Epoch snapshots actually published (snapshot mode; 0 otherwise).
+  std::size_t snapshots_published = 0;
   /// Merged load histogram (and request/join/leave counts) identical to
   /// the plain single-table emulator run over the same events.
   bool matches_reference = false;
 };
 
-/// Runs the sweep for one algorithm.  Every shard builds an identical
-/// table replica; the reference run uses one more instance of the same
-/// construction.
+/// Runs the sweep for one algorithm.  In replicated mode every shard
+/// builds an identical table replica; in snapshot mode one producer
+/// table is built per point — with the hd slot cache enabled, so each
+/// published epoch carries the fully resolved accelerator-steady-state
+/// slot array that all shards share.  The reference run uses one more
+/// instance of the caller's *unmodified* options (the real associative
+/// query), so the determinism check also certifies that the maintained
+/// slot cache answers bit-identically to cold decoding.
 std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
                                                const shard_sweep_config& config,
                                                const table_options& options);
@@ -70,6 +86,11 @@ struct shards_flag {
 /// Parses `--shards=N` / `--shards N` from argv (strictly: a positive
 /// decimal integer, no trailing garbage).
 shards_flag parse_shards_flag(int argc, char** argv);
+
+/// True when `--replicated` appears in argv: drivers and examples
+/// default to snapshot mode and expose the PR-2 replicated pipeline
+/// behind this flag.
+bool parse_replicated_flag(int argc, char** argv);
 
 /// Strict positive-integer parse for CLI values: rejects empty input,
 /// trailing garbage ("1e3"), out-of-range and non-positive values by

@@ -22,7 +22,7 @@ std::size_t item_memory::find_index(std::uint64_t key) const noexcept {
 void item_memory::insert(std::uint64_t key, hypervector hv) {
   HDHASH_REQUIRE(hv.dim() == dim_, "dimension mismatch on insert");
   HDHASH_REQUIRE(find_index(key) == entries_.size(), "key already present");
-  entries_.push_back(entry{key, std::move(hv)});
+  entries_.push_back(entry{key, std::make_shared<hypervector>(std::move(hv))});
 }
 
 void item_memory::erase(std::uint64_t key) {
@@ -38,7 +38,7 @@ bool item_memory::contains(std::uint64_t key) const noexcept {
 const hypervector& item_memory::at(std::uint64_t key) const {
   const std::size_t index = find_index(key);
   HDHASH_REQUIRE(index != entries_.size(), "key not present");
-  return entries_[index].hv;
+  return *entries_[index].hv;
 }
 
 std::optional<query_result> item_memory::query(const hypervector& probe) const {
@@ -50,7 +50,7 @@ std::optional<query_result> item_memory::query(const hypervector& probe) const {
   best.best_score = -std::numeric_limits<double>::infinity();
   best.runner_up = -std::numeric_limits<double>::infinity();
   for (const entry& e : entries_) {
-    const double s = score(metric_, e.hv, probe);
+    const double s = score(metric_, *e.hv, probe);
     const bool wins =
         s > best.best_score || (s == best.best_score && e.key < best.key);
     if (wins) {
@@ -77,9 +77,25 @@ std::vector<std::span<std::uint64_t>> item_memory::storage() {
   std::vector<std::span<std::uint64_t>> regions;
   regions.reserve(entries_.size());
   for (entry& e : entries_) {
-    regions.push_back(e.hv.words_mut());
+    // Copy-on-write break: a row also held by a clone or snapshot must
+    // be un-shared before anyone can write through the view, or fault
+    // injection on this table would corrupt the published copy too.
+    if (e.hv.use_count() > 1) {
+      e.hv = std::make_shared<hypervector>(*e.hv);
+    }
+    regions.push_back(e.hv->words_mut());
   }
   return regions;
+}
+
+std::size_t item_memory::shared_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const entry& e : entries_) {
+    if (e.hv.use_count() > 1) {
+      bytes += e.hv->word_count() * sizeof(std::uint64_t);
+    }
+  }
+  return bytes;
 }
 
 }  // namespace hdhash::hdc

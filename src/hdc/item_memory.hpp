@@ -10,10 +10,18 @@
 /// The stored hypervectors are the natural *fault surface* of an HDC
 /// system — in hardware they sit in (potentially faulty) SRAM — so the
 /// class exposes its raw storage for the fault injector.
+///
+/// Rows are held behind shared pointers with copy-on-write semantics:
+/// copying an item_memory (table clone, epoch snapshot) shares every
+/// row instead of duplicating size() × dim bits, and the only mutating
+/// entry point into row *contents* — storage(), the fault surface —
+/// un-shares a row before handing out a writable view.  A published
+/// snapshot therefore can never be corrupted through its source table.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -74,18 +82,30 @@ class item_memory {
   template <typename Fn>
   void visit(Fn&& fn) const {
     for (const entry& e : entries_) {
-      fn(e.key, e.hv);
+      fn(e.key, *e.hv);
     }
   }
 
   /// Mutable views of each stored hypervector's backing words, for fault
-  /// injection.  Invalidated by insert/erase.
+  /// injection.  Rows shared with other item_memory copies (clones,
+  /// snapshots) are un-shared first (copy-on-write), so writes through
+  /// the views never reach a published snapshot.  Invalidated by
+  /// insert/erase and by the next storage() call.
   std::vector<std::span<std::uint64_t>> storage();
+
+  /// Bytes of row storage shared with at least one other item_memory
+  /// copy (a clone or snapshot also holds the row).  Subtracting this
+  /// from the logical row footprint gives the bytes this instance
+  /// uniquely keeps resident — what epoch snapshots report as their
+  /// marginal cost.
+  std::size_t shared_bytes() const noexcept;
 
  private:
   struct entry {
     std::uint64_t key;
-    hypervector hv;
+    // Shared, copy-on-write: multiple item_memory copies may point at
+    // one row; storage() un-shares before mutation.
+    std::shared_ptr<hypervector> hv;
   };
 
   std::size_t find_index(std::uint64_t key) const noexcept;  // size() if absent

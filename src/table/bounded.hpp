@@ -78,6 +78,13 @@ class bounded_consistent_table final : public dynamic_table {
   std::string_view name() const noexcept override { return "bounded"; }
   std::unique_ptr<dynamic_table> clone() const override;
 
+  /// Shared immutable snapshot: the state is plain value members
+  /// and const lookups are pure, so one shared deep copy is already
+  /// a safe concurrently-readable snapshot (see dynamic_table).
+  std::shared_ptr<const dynamic_table> snapshot() const override {
+    return std::make_shared<const bounded_consistent_table>(*this);
+  }
+
   std::vector<memory_region> fault_regions() override;
 
  private:

@@ -68,6 +68,13 @@ class consistent_table final : public dynamic_table {
   }
   std::unique_ptr<dynamic_table> clone() const override;
 
+  /// Shared immutable snapshot: the state is plain value members
+  /// and const lookups are pure, so one shared deep copy is already
+  /// a safe concurrently-readable snapshot (see dynamic_table).
+  std::shared_ptr<const dynamic_table> snapshot() const override {
+    return std::make_shared<const consistent_table>(*this);
+  }
+
   std::vector<memory_region> fault_regions() override;
 
   std::size_t virtual_nodes() const noexcept { return virtual_nodes_; }

@@ -44,6 +44,11 @@ struct table_stats {
   /// Bytes of live routing state (the fault surface plus caches) —
   /// what a production deployment keeps resident per table instance.
   std::size_t memory_bytes = 0;
+  /// Of memory_bytes, the bytes currently shared copy-on-write with
+  /// other instances (clones or published snapshots of this table).
+  /// memory_bytes - shared_bytes is the instance's marginal residency —
+  /// what one more epoch snapshot actually costs.
+  std::size_t shared_bytes = 0;
   /// Expected elemental operations per scalar lookup: hash evaluations
   /// for the classic algorithms, 64-bit word operations for the HD
   /// associative query.  Comparable within an algorithm across pool
@@ -60,11 +65,20 @@ class dynamic_table : public fault_surface {
   /// weighted-rendezvous, ring-point multiplicity in consistent, circle-
   /// slot replication in hd; the unweighted algorithms (modular, jump,
   /// maglev, rendezvous, bounded) require weight == 1.
+  /// \param server  identifier to add.
+  /// \param weight  relative capacity; algorithms that realize weights by
+  ///                discrete replication serve round(weight) (see weight()).
   /// \pre the server is not already present; weight > 0 (and == 1 for
   /// unweighted algorithms); pool below capacity (HD).
+  /// \post contains(server); weight(server) reports the effective weight;
+  /// previously published snapshots are unaffected.
   virtual void join(server_id server, double weight = 1.0) = 0;
 
-  /// Removes a server from the pool.  \pre the server is present.
+  /// Removes a server from the pool.
+  /// \pre the server is present.
+  /// \post !contains(server); requests previously mapped to it remap to
+  /// surviving members under each algorithm's disruption behaviour;
+  /// previously published snapshots are unaffected.
   virtual void leave(server_id server) = 0;
 
   /// Maps a request to a server.  \pre the pool is non-empty.
@@ -79,8 +93,11 @@ class dynamic_table : public fault_surface {
   /// lookup(); overrides exist purely for throughput (hd_table and
   /// hd-hierarchical amortize probe encoding and sweep their item
   /// memories word-parallel across the block).
+  /// \param requests  block of request identifiers to map.
+  /// \param out       receives the assignment of each request, in order.
   /// \pre out.size() == requests.size(); pool non-empty unless the block
   /// is empty.
+  /// \post out[i] == lookup(requests[i]) for every i, bit-identically.
   virtual void lookup_batch(std::span<const request_id> requests,
                             std::span<server_id> out) const {
     HDHASH_REQUIRE(requests.size() == out.size(),
@@ -100,16 +117,24 @@ class dynamic_table : public fault_surface {
 
   /// The weight a member carries (1 for unweighted algorithms).
   /// Algorithms that realize weights by discrete replication report the
-  /// *effective* weight actually served — hd stores round(w) circle
-  /// slots and reports that — so this may differ from the raw value
-  /// passed to join() (weights 1.0 and 1.4 are the same hd table).
+  /// *effective* weight actually served — hd stores max(1, round(w))
+  /// circle slots and reports that — so this may differ from the raw
+  /// value passed to join() (weights 1.0 and 1.4 are the same hd table,
+  /// and both report 1).  Uniformity expectations must be computed from
+  /// this value, not the requested one.
+  /// \param server  member to query.
   /// \pre the server is present.
+  /// \post the returned value is > 0 and stable until the next
+  /// join/leave.
   virtual double weight(server_id server) const {
     HDHASH_REQUIRE(contains(server), "server not in the pool");
     return 1.0;
   }
 
   /// Resource profile of the current state (see table_stats).
+  /// \post memory_bytes covers the live routing state (fault surface
+  /// plus caches); shared_bytes ≤ memory_bytes counts the portion
+  /// shared copy-on-write with clones/snapshots of this table.
   virtual table_stats stats() const = 0;
 
   /// True when `server` is in the pool.
@@ -126,7 +151,26 @@ class dynamic_table : public fault_surface {
 
   /// Deep copy with identical mapping behaviour; the emulator uses clones
   /// as pristine shadow oracles while the original is fault-injected.
+  /// \post the clone is independently mutable; subsequent join/leave or
+  /// fault injection on either table never affects the other.
   virtual std::unique_ptr<dynamic_table> clone() const = 0;
+
+  /// Immutable published snapshot of the current mapping — the unit of
+  /// epoch-based state sharing in the sharded emulator (emu/snapshot.hpp).
+  ///
+  /// The default implementation deep-copies via clone(); implementations
+  /// with large immutable state override it to share that state
+  /// copy-on-write (hd shares the circle basis and the item-memory rows,
+  /// so a snapshot's marginal footprint is bookkeeping, not
+  /// hypervectors).
+  /// \post the returned table maps every request exactly as *this does
+  /// at the time of the call, concurrent lookup()/lookup_batch() calls
+  /// on it from multiple threads are safe (it is never mutated), and
+  /// later join/leave/fault injection on *this never changes its
+  /// answers.
+  virtual std::shared_ptr<const dynamic_table> snapshot() const {
+    return std::shared_ptr<const dynamic_table>(clone());
+  }
 };
 
 }  // namespace hdhash

@@ -39,6 +39,13 @@ class maglev_table final : public dynamic_table {
   std::string_view name() const noexcept override { return "maglev"; }
   std::unique_ptr<dynamic_table> clone() const override;
 
+  /// Shared immutable snapshot: the state is plain value members
+  /// and const lookups are pure, so one shared deep copy is already
+  /// a safe concurrently-readable snapshot (see dynamic_table).
+  std::shared_ptr<const dynamic_table> snapshot() const override {
+    return std::make_shared<const maglev_table>(*this);
+  }
+
   std::vector<memory_region> fault_regions() override;
 
   std::size_t table_size() const noexcept { return table_size_; }

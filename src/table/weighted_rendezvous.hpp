@@ -51,6 +51,13 @@ class weighted_rendezvous_table final : public dynamic_table {
   }
   std::unique_ptr<dynamic_table> clone() const override;
 
+  /// Shared immutable snapshot: the state is plain value members
+  /// and const lookups are pure, so one shared deep copy is already
+  /// a safe concurrently-readable snapshot (see dynamic_table).
+  std::shared_ptr<const dynamic_table> snapshot() const override {
+    return std::make_shared<const weighted_rendezvous_table>(*this);
+  }
+
   /// Fault surface: the (id, weight) entries — both fields are live
   /// routing state.
   std::vector<memory_region> fault_regions() override;

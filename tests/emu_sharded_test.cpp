@@ -46,22 +46,28 @@ TEST(ShardedEmulatorTest, MergedStatsEqualSingleTableReference) {
     emulator reference(*reference_table, 256);
     const run_stats expected = reference.run(events);
 
-    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
-                                     std::size_t{4}}) {
-      sharded_config config;
-      config.shards = shards;
-      sharded_emulator emu(factory_for(algorithm), config);
-      const sharded_report report = emu.run(events);
-      EXPECT_EQ(report.merged.requests, expected.requests)
-          << algorithm << " shards=" << shards;
-      EXPECT_EQ(report.merged.joins, expected.joins)
-          << algorithm << " shards=" << shards;
-      EXPECT_EQ(report.merged.leaves, expected.leaves)
-          << algorithm << " shards=" << shards;
-      // The headline determinism guarantee: the merged per-server load
-      // histogram is bit-identical to the single-table run.
-      EXPECT_EQ(report.merged.load, expected.load)
-          << algorithm << " shards=" << shards;
+    for (const auto membership : {membership_mode::snapshot,
+                                  membership_mode::replicated}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                       std::size_t{4}}) {
+        sharded_config config;
+        config.shards = shards;
+        config.membership = membership;
+        sharded_emulator emu(factory_for(algorithm), config);
+        const sharded_report report = emu.run(events);
+        const char* mode =
+            membership == membership_mode::snapshot ? "snapshot" : "replicated";
+        EXPECT_EQ(report.merged.requests, expected.requests)
+            << algorithm << " " << mode << " shards=" << shards;
+        EXPECT_EQ(report.merged.joins, expected.joins)
+            << algorithm << " " << mode << " shards=" << shards;
+        EXPECT_EQ(report.merged.leaves, expected.leaves)
+            << algorithm << " " << mode << " shards=" << shards;
+        // The headline determinism guarantee: the merged per-server load
+        // histogram is bit-identical to the single-table run.
+        EXPECT_EQ(report.merged.load, expected.load)
+            << algorithm << " " << mode << " shards=" << shards;
+      }
     }
   }
 }
@@ -71,6 +77,7 @@ TEST(ShardedEmulatorTest, EveryShardReplicatesTheFullPool) {
   const auto events = gen.generate();
   sharded_config config;
   config.shards = 3;
+  config.membership = membership_mode::replicated;
   sharded_emulator emu(factory_for("consistent"), config);
   const sharded_report report = emu.run(events);
   ASSERT_EQ(report.per_shard.size(), 3u);
@@ -93,6 +100,7 @@ TEST(ShardedEmulatorTest, ShadowOraclesSeeNoMismatch) {
   sharded_config config;
   config.shards = 4;
   config.shadow = true;
+  config.membership = membership_mode::replicated;
   sharded_emulator emu(factory_for("hd-hierarchical"), config);
   const sharded_report report = emu.run(events);
   EXPECT_GT(report.merged.requests, 0u);
@@ -110,13 +118,17 @@ TEST(ShardedEmulatorTest, DegenerateConfigurationsStillComplete) {
   emulator reference(*reference_table, 256);
   const run_stats expected = reference.run(events);
 
-  for (const std::size_t buffer : {std::size_t{1}, std::size_t{7}}) {
-    sharded_config config;
-    config.shards = 2;
-    config.buffer_capacity = buffer;  // every event its own batch, odd size
-    sharded_emulator emu(factory_for("consistent"), config);
-    const sharded_report report = emu.run(events);
-    EXPECT_EQ(report.merged.load, expected.load) << "buffer=" << buffer;
+  for (const auto membership : {membership_mode::snapshot,
+                                membership_mode::replicated}) {
+    for (const std::size_t buffer : {std::size_t{1}, std::size_t{7}}) {
+      sharded_config config;
+      config.shards = 2;
+      config.buffer_capacity = buffer;  // every event its own batch, odd size
+      config.membership = membership;
+      sharded_emulator emu(factory_for("consistent"), config);
+      const sharded_report report = emu.run(events);
+      EXPECT_EQ(report.merged.load, expected.load) << "buffer=" << buffer;
+    }
   }
 }
 
@@ -149,6 +161,13 @@ TEST(ShardedEmulatorTest, RejectsInvalidConfiguration) {
   sharded_config zero_buffer;
   zero_buffer.buffer_capacity = 0;
   EXPECT_THROW(sharded_emulator(factory_for("consistent"), zero_buffer),
+               precondition_error);
+  // Shadow oracles certify per-shard replication; snapshot mode has no
+  // per-shard tables to mirror.
+  sharded_config shadow_snapshot;
+  shadow_snapshot.shadow = true;
+  shadow_snapshot.membership = membership_mode::snapshot;
+  EXPECT_THROW(sharded_emulator(factory_for("consistent"), shadow_snapshot),
                precondition_error);
 }
 
