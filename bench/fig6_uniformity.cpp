@@ -59,5 +59,37 @@ int main() {
       "\nShape check (paper): HD is more uniform than consistent hashing\n"
       "without errors; 10 bit errors worsen consistent hashing's\n"
       "uniformity further while HD's distribution remains intact.\n");
+
+  // Heterogeneous-pool extension (ROADMAP): servers join with weights
+  // cycling 1/2/4 and chi-squared is computed against the
+  // weight-proportional expectation E_i = |R| * w_i / sum(w).
+  std::printf(
+      "\n== Weighted uniformity: heterogeneous pool, weights cycling "
+      "1/2/4 ==\n(chi-squared vs weight-proportional expectation; "
+      "chi^2/dof ~ 1 is ideal)\n\n");
+  weighted_uniformity_config wconfig;
+  const auto w_consistent =
+      run_weighted_uniformity("consistent", wconfig, options);
+  const auto w_rendezvous =
+      run_weighted_uniformity("weighted-rendezvous", wconfig, options);
+  const auto w_hd = run_weighted_uniformity("hd", wconfig, options);
+
+  table_printer weighted({"servers", "consistent chi2/dof",
+                          "w-rendezvous chi2/dof", "hd chi2/dof",
+                          "hd max share err"});
+  for (std::size_t i = 0; i < wconfig.server_counts.size(); ++i) {
+    weighted.add_row({std::to_string(w_consistent[i].servers),
+                      format_double(w_consistent[i].chi_over_dof, 2),
+                      format_double(w_rendezvous[i].chi_over_dof, 2),
+                      format_double(w_hd[i].chi_over_dof, 2),
+                      format_double(w_hd[i].max_share_error, 4)});
+  }
+  weighted.print(std::cout);
+  std::printf(
+      "\nWeighted shape check: hd realizes weights as replicated circle\n"
+      "slots and weighted-rendezvous natively; both should track the\n"
+      "weight-proportional expectation (chi^2/dof near 1), while\n"
+      "consistent hashing's ring-point multiplicity adds variance on\n"
+      "top of its already imperfect uniformity.\n");
   return 0;
 }

@@ -3,7 +3,8 @@
 /// merged load histogram is bit-identical to the single-table reference
 /// run.  Emits BENCH_sharded_emulator.json for the perf trajectory.
 ///
-/// Four series are recorded, crossing membership mode × churn:
+/// Five series are recorded, crossing membership mode × churn ×
+/// placement:
 ///  * results / results_churn — epoch-published snapshot mode (the
 ///    default architecture since PR 4): one producer-owned table,
 ///    membership applied once per event, each epoch published as an
@@ -11,19 +12,28 @@
 ///    cache that every shard shares.  Churn subdivides batches into
 ///    epoch segments instead of truncating them, and the slot array is
 ///    maintained incrementally (O(n) row distances per event), so the
-///    churn series tracks the clean one closely.
+///    churn series tracks the clean one closely.  Workers run under the
+///    default placement policy (compact — pinned one per allowed CPU in
+///    NUMA-node order; --pin/HDHASH_PIN override).
 ///  * results_replicated / results_replicated_churn — the PR-2 pipeline
 ///    (one full replica per shard, membership broadcast): the baseline
-///    that pays the churn tax, kept for comparison.  Its clean series
-///    exercises the real per-batch associative query.
+///    that pays the churn tax, kept for comparison.
+///  * results_unpinned — the snapshot clean sweep re-run under policy
+///    `none` (OS scheduler placement): together with `results` this is
+///    the delivered-vs-service scaling comparison per placement policy,
+///    summarized in `placement_scaling`.  When the main series already
+///    runs unpinned (--pin=none), the ablation collapses onto it
+///    instead of running the identical sweep twice.
 ///
 /// Two rates per point:
 ///  * aggregate_rps — the sum of per-shard service rates, each metered
 ///    on the worker's own CPU clock inside lookup_batch: the pipeline's
 ///    capacity with one core per shard;
 ///  * wall_rps — delivered end-to-end rate, which saturates at the
-///    machine's physical core count (the JSON records the core count so
-///    a 1-core CI box is readable as such).
+///    machine's core count.  The JSON records the full discovered
+///    topology — including the allowed-cpuset size, which on a
+///    cgroup-restricted CI runner is what actually bounds delivered
+///    scaling — so a 1-core box is readable as such.
 /// Plus table_memory_bytes: N full replicas in replicated mode versus
 /// ~one table + snapshot bookkeeping in snapshot mode.
 #include <cstdio>
@@ -35,6 +45,7 @@
 #include <vector>
 
 #include "exp/sharded.hpp"
+#include "runtime/worker_pool.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -42,13 +53,15 @@ namespace {
 using namespace hdhash;
 
 shard_sweep_config sweep_config(std::size_t requests, double churn,
-                                membership_mode membership) {
+                                membership_mode membership,
+                                runtime::placement_policy placement) {
   shard_sweep_config config;
   config.shard_counts = {1, 2, 4, 8, 16};
   config.servers = 128;
   config.requests = requests;
   config.churn_rate = churn;
   config.membership = membership;
+  config.placement = placement;
   return config;
 }
 
@@ -61,10 +74,11 @@ std::vector<shard_sweep_point> run_and_print(const shard_sweep_config& config,
   const char* mode = config.membership == membership_mode::snapshot
                          ? "snapshot"
                          : "replicated";
-  std::printf("\n-- %s (%s membership, %.1f%% churn) --\n", title, mode,
-              100.0 * config.churn_rate);
+  std::printf("\n-- %s (%s membership, %.1f%% churn, placement %s) --\n",
+              title, mode, 100.0 * config.churn_rate,
+              std::string(runtime::to_string(config.placement)).c_str());
   table_printer table({"shards", "aggregate req/s", "speedup", "wall req/s",
-                       "table MiB", "deterministic"});
+                       "table MiB", "pinned", "deterministic"});
   for (const shard_sweep_point& p : series) {
     table.add_row({std::to_string(p.shards),
                    format_double(p.aggregate_requests_per_second, 0),
@@ -73,6 +87,8 @@ std::vector<shard_sweep_point> run_and_print(const shard_sweep_config& config,
                    format_double(static_cast<double>(p.table_memory_bytes) /
                                      (1024.0 * 1024.0),
                                  2),
+                   std::to_string(p.pinned_workers) + "/" +
+                       std::to_string(p.shards),
                    p.matches_reference ? "yes" : "NO"});
   }
   table.print(std::cout);
@@ -89,14 +105,40 @@ void emit_series(std::FILE* out, const char* key,
                  "    {\"shards\": %zu, \"aggregate_rps\": %.0f, "
                  "\"aggregate_speedup\": %.2f, \"wall_rps\": %.0f, "
                  "\"table_memory_bytes\": %zu, \"snapshots_published\": %zu, "
+                 "\"placement_policy\": \"%s\", \"pinned_workers\": %zu, "
                  "\"deterministic\": %s}%s\n",
                  p.shards, p.aggregate_requests_per_second,
                  p.aggregate_speedup, p.wall_requests_per_second,
                  p.table_memory_bytes, p.snapshots_published,
-                 p.matches_reference ? "true" : "false",
+                 std::string(runtime::to_string(p.placement)).c_str(),
+                 p.pinned_workers, p.matches_reference ? "true" : "false",
                  i + 1 < series.size() ? "," : "");
   }
   std::fprintf(out, "  ]%s\n", trailer);
+}
+
+/// Delivered-vs-service scaling at the deepest shard count of a series:
+/// how much of the pipeline's capacity growth the wall clock delivered.
+void emit_scaling_entry(std::FILE* out, const char* policy,
+                        const std::vector<shard_sweep_point>& series,
+                        const char* trailer) {
+  const shard_sweep_point& first = series.front();
+  const shard_sweep_point& last = series.back();
+  const double service = last.aggregate_speedup;
+  const double delivered =
+      first.wall_requests_per_second > 0.0
+          ? last.wall_requests_per_second / first.wall_requests_per_second
+          : 0.0;
+  std::fprintf(out,
+               "    {\"policy\": \"%s\", \"shards\": %zu, "
+               "\"service_speedup\": %.2f, \"delivered_speedup\": %.2f, "
+               "\"pinned_workers\": %zu}%s\n",
+               policy, last.shards, service, delivered, last.pinned_workers,
+               trailer);
+  std::printf("  %-9s service x%.2f, delivered x%.2f at %zu shards "
+              "(%zu/%zu workers pinned)\n",
+              policy, service, delivered, last.shards, last.pinned_workers,
+              last.shards);
 }
 
 }  // namespace
@@ -116,19 +158,33 @@ int main(int argc, char** argv) {
       }
     }
   }
+  const pin_flag pin = parse_pin_flag(argc, argv);
+  if (pin.present && !pin.valid) {
+    std::fprintf(stderr, "--pin needs one of none|compact|scatter|smt-aware\n");
+    return 1;
+  }
+  const runtime::placement_policy policy =
+      pin.present ? pin.policy : runtime::default_placement_policy();
 
-  const auto snap = sweep_config(requests, 0.0, membership_mode::snapshot);
+  const runtime::cpu_topology& topo = runtime::host_topology();
+  const auto snap =
+      sweep_config(requests, 0.0, membership_mode::snapshot, policy);
   std::printf(
       "== Sharded emulator throughput (hd-hierarchical, %zu servers,\n"
-      "   %zu requests, per-shard batch %zu, %u hardware cores) ==\n",
-      snap.servers, snap.requests, snap.buffer_capacity,
-      std::thread::hardware_concurrency());
+      "   %zu requests, per-shard batch %zu) ==\n"
+      "topology: %zu package(s), %zu NUMA node(s), %zu physical core(s),\n"
+      "   %zu logical CPU(s), %zu allowed by cpuset; pinning %s\n",
+      snap.servers, snap.requests, snap.buffer_capacity, topo.packages(),
+      topo.numa_nodes(), topo.physical_cores(), topo.logical_cpus(),
+      topo.allowed_cpus().size(),
+      runtime::worker_pool::pinning_supported() ? "supported" : "unsupported");
 
   const auto snap_churn =
-      sweep_config(requests, 0.01, membership_mode::snapshot);
-  const auto repl = sweep_config(requests, 0.0, membership_mode::replicated);
+      sweep_config(requests, 0.01, membership_mode::snapshot, policy);
+  const auto repl =
+      sweep_config(requests, 0.0, membership_mode::replicated, policy);
   const auto repl_churn =
-      sweep_config(requests, 0.01, membership_mode::replicated);
+      sweep_config(requests, 0.01, membership_mode::replicated, policy);
 
   const auto snap_series = run_and_print(snap, "request traffic only");
   const auto snap_churn_series =
@@ -136,16 +192,29 @@ int main(int argc, char** argv) {
   const auto repl_series = run_and_print(repl, "request traffic only");
   const auto repl_churn_series =
       run_and_print(repl_churn, "with membership churn");
+  // The pinning ablation: the snapshot clean sweep under `none`.  When
+  // the main series already runs unpinned (--pin=none / HDHASH_PIN),
+  // re-running it would duplicate both the work and the JSON entry, so
+  // the ablation collapses onto the main series.
+  const bool main_is_unpinned = policy == runtime::placement_policy::none;
+  const auto unpinned_series =
+      main_is_unpinned
+          ? snap_series
+          : run_and_print(sweep_config(requests, 0.0,
+                                       membership_mode::snapshot,
+                                       runtime::placement_policy::none),
+                          "request traffic only, unpinned");
   std::printf(
       "\nAggregate req/s sums each shard's service rate on its own CPU\n"
       "clock (the capacity of one core per shard); wall req/s is the\n"
-      "delivered rate and saturates at the hardware core count.  In\n"
+      "delivered rate and saturates at the allowed-cpuset size.  In\n"
       "snapshot mode all shards resolve against one epoch-published\n"
       "copy-on-write snapshot (table memory ~independent of the shard\n"
       "count) and churn only subdivides batches into epoch segments; in\n"
       "replicated mode broadcast membership events segment every\n"
       "shard's batches and table memory grows N-fold — the churn tax\n"
-      "the snapshot architecture retires.\n");
+      "the snapshot architecture retires.\n"
+      "\nDelivered-vs-service scaling per placement policy:\n");
 
   std::FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
@@ -161,13 +230,32 @@ int main(int argc, char** argv) {
                "  \"results_membership_mode\": \"snapshot\",\n"
                "  \"results_churn_rate\": %.4f,\n"
                "  \"shard_buffer_capacity\": %zu,\n"
-               "  \"hardware_cores\": %u,\n",
+               "  \"placement_policy\": \"%s\",\n"
+               "  \"hardware_cores\": %u,\n"
+               "  \"topology\": {\"packages\": %zu, \"numa_nodes\": %zu, "
+               "\"physical_cores\": %zu, \"logical_cpus\": %zu, "
+               "\"allowed_cpus\": %zu, \"smt_per_core\": %zu, "
+               "\"pinning_supported\": %s, \"from_sysfs\": %s},\n",
                snap.servers, snap.requests, snap_churn.churn_rate,
-               snap.buffer_capacity, std::thread::hardware_concurrency());
+               snap.buffer_capacity,
+               std::string(runtime::to_string(policy)).c_str(),
+               std::thread::hardware_concurrency(), topo.packages(),
+               topo.numa_nodes(), topo.physical_cores(), topo.logical_cpus(),
+               topo.allowed_cpus().size(), topo.smt_per_core(),
+               runtime::worker_pool::pinning_supported() ? "true" : "false",
+               topo.from_sysfs_tree() ? "true" : "false");
+  std::fprintf(out, "  \"placement_scaling\": [\n");
+  emit_scaling_entry(out, std::string(runtime::to_string(policy)).c_str(),
+                     snap_series, main_is_unpinned ? "" : ",");
+  if (!main_is_unpinned) {
+    emit_scaling_entry(out, "none", unpinned_series, "");
+  }
+  std::fprintf(out, "  ],\n");
   emit_series(out, "results", snap_series, ",");
   emit_series(out, "results_churn", snap_churn_series, ",");
   emit_series(out, "results_replicated", repl_series, ",");
-  emit_series(out, "results_replicated_churn", repl_churn_series, "");
+  emit_series(out, "results_replicated_churn", repl_churn_series, ",");
+  emit_series(out, "results_unpinned", unpinned_series, "");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_path.c_str());

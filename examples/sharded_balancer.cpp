@@ -29,11 +29,37 @@ int main(int argc, char** argv) {
   const bool replicated = parse_replicated_flag(argc, argv);
   const membership_mode membership =
       replicated ? membership_mode::replicated : membership_mode::snapshot;
+  // --pin <none|compact|scatter|smt-aware>: worker placement policy
+  // (default compact — pinned where the platform supports it).
+  const pin_flag pin = parse_pin_flag(argc, argv);
+  if (pin.present && !pin.valid) {
+    std::fprintf(stderr,
+                 "--pin needs one of none|compact|scatter|smt-aware\n");
+    return 1;
+  }
+  const runtime::placement_policy placement =
+      pin.present ? pin.policy : runtime::default_placement_policy();
+  // --shards N | auto: deepest shard count of the sweep; `auto` sizes
+  // to the allowed physical cores of the discovered topology.
+  const shards_flag shards = parse_shards_flag(argc, argv);
+  if (shards.present && shards.value == 0) {
+    std::fprintf(stderr, "--shards needs a positive integer or 'auto'\n");
+    return 1;
+  }
+  const std::vector<std::size_t> shard_counts =
+      shards.present ? shard_count_sweep(shards.value)
+                     : std::vector<std::size_t>{1, 2, 4, 8};
+
+  const runtime::cpu_topology& topo = runtime::host_topology();
   std::printf(
       "== Sharded balancer: Zipf traffic, 1%% churn, hd-hierarchical,\n"
-      "   %s membership%s ==\n\n",
+      "   %s membership%s, placement %s ==\n"
+      "   (topology: %zu core(s), %zu allowed CPU(s), %zu NUMA node(s)%s)\n\n",
       replicated ? "replicated" : "snapshot",
-      replicated ? "" : " (pass --replicated for the PR-2 pipeline)");
+      replicated ? "" : " (pass --replicated for the PR-2 pipeline)",
+      std::string(runtime::to_string(placement)).c_str(),
+      topo.physical_cores(), topo.allowed_cpus().size(), topo.numa_nodes(),
+      shards.auto_sized ? ", --shards auto" : "");
 
   workload_config workload;
   workload.initial_servers = 48;
@@ -67,13 +93,18 @@ int main(int argc, char** argv) {
 
   table_printer table({"shards", "requests", "joins", "leaves",
                        "peak/mean load", "aggregate req/s", "table KiB",
-                       "identical"});
-  for (const std::size_t shards : {1, 2, 4, 8}) {
+                       "pinned", "identical"});
+  for (const std::size_t shard_count : shard_counts) {
     sharded_config config;
-    config.shards = shards;
+    config.shards = shard_count;
     config.membership = membership;
+    config.placement = placement;
     sharded_emulator balancer(factory, config);
     const sharded_report report = balancer.run(events);
+    std::size_t pinned = 0;
+    for (const runtime::worker_info& worker : report.workers) {
+      pinned += worker.pinned ? 1 : 0;
+    }
 
     std::uint64_t peak = 0;
     for (const auto& [server, count] : report.merged.load) {
@@ -82,12 +113,13 @@ int main(int argc, char** argv) {
     const double mean = static_cast<double>(report.merged.requests) /
                         static_cast<double>(report.merged.load.size());
     table.add_row(
-        {std::to_string(shards), std::to_string(report.merged.requests),
+        {std::to_string(shard_count), std::to_string(report.merged.requests),
          std::to_string(report.merged.joins),
          std::to_string(report.merged.leaves),
          format_double(static_cast<double>(peak) / mean, 2),
          format_double(report.aggregate_requests_per_second(), 0),
          std::to_string(report.table_memory_bytes / 1024),
+         std::to_string(pinned) + "/" + std::to_string(shard_count),
          report.merged.load == expected.load ? "yes" : "NO"});
   }
   table.print(std::cout);

@@ -5,6 +5,14 @@ Compares a freshly emitted benchmark JSON (``bench_micro_ops
 --batch-json``) against the committed baseline and fails (exit 1) when
 any batch panel regresses by more than the threshold.
 
+``BENCH_sharded_emulator.json`` files (``bench_sharded_throughput``)
+are *accepted but never gated*: thread scheduling on shared CI runners
+is too noisy to fail a job over, so when either input identifies
+itself as the sharded benchmark the script prints a report-only
+comparison (per-series aggregate speedups, placement scaling, the
+recorded topology) and exits 0.  This lets CI run one check step over
+both trajectory files and upload both as artifacts.
+
 Two comparison modes:
 
 * ``speedup`` (default) — compares the *ratios* recorded in the JSON:
@@ -53,6 +61,64 @@ def panel_by_key(doc: dict) -> dict:
     }
 
 
+SHARDED_BENCHMARK = "sharded_emulator_throughput"
+
+
+def is_sharded(doc: dict) -> bool:
+    return doc.get("benchmark") == SHARDED_BENCHMARK
+
+
+def report_sharded(base: dict, fresh: dict) -> int:
+    """Report-only comparison of two sharded-emulator JSONs (exit 0)."""
+    print("check_bench: sharded-emulator trajectory — report only, "
+          "never gated (scheduling noise on shared runners)")
+    topo = fresh.get("topology", {})
+    if topo:
+        print(
+            "  fresh topology: "
+            f"{topo.get('packages', '?')} package(s), "
+            f"{topo.get('numa_nodes', '?')} NUMA node(s), "
+            f"{topo.get('physical_cores', '?')} physical core(s), "
+            f"{topo.get('allowed_cpus', '?')} allowed CPU(s), "
+            f"placement {fresh.get('placement_policy', '?')}"
+        )
+    for key in sorted(set(base) | set(fresh)):
+        base_series = base.get(key)
+        fresh_series = fresh.get(key)
+        if not (isinstance(base_series, list) and base_series
+                and isinstance(base_series[0], dict)
+                and "aggregate_speedup" in base_series[0]):
+            continue
+        if not isinstance(fresh_series, list):
+            print(f"  note: fresh run lacks series {key}")
+            continue
+        fresh_by_shards = {e.get("shards"): e for e in fresh_series}
+        for base_entry in base_series:
+            fresh_entry = fresh_by_shards.get(base_entry.get("shards"))
+            if fresh_entry is None:
+                continue
+            b = base_entry.get("aggregate_speedup", 0.0)
+            f = fresh_entry.get("aggregate_speedup", 0.0)
+            delta = (f - b) / b if b else 0.0
+            pinned = fresh_entry.get("pinned_workers")
+            pinned_note = (
+                f", {pinned} pinned" if pinned is not None else ""
+            )
+            print(
+                f"  [info] {key} shards={base_entry.get('shards')}: "
+                f"speedup {b:.2f} -> {f:.2f} ({delta:+.1%}{pinned_note})"
+            )
+    for entry in fresh.get("placement_scaling", []):
+        print(
+            f"  [info] placement {entry.get('policy', '?')}: "
+            f"service x{entry.get('service_speedup', 0.0):.2f}, "
+            f"delivered x{entry.get('delivered_speedup', 0.0):.2f} "
+            f"at {entry.get('shards', '?')} shards"
+        )
+    print("check_bench: sharded trajectory accepted (not gated)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_batch_lookup.json")
@@ -73,6 +139,13 @@ def main() -> int:
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+    if is_sharded(base) or is_sharded(fresh):
+        if is_sharded(base) != is_sharded(fresh):
+            sys.exit(
+                "check_bench: cannot compare a sharded-emulator JSON "
+                "against a batch-lookup JSON"
+            )
+        return report_sharded(base, fresh)
     base_kernel = base.get("kernel", "?")
     fresh_kernel = fresh.get("kernel", "?")
     print(

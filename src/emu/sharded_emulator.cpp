@@ -5,7 +5,6 @@
 #include <deque>
 #include <exception>
 #include <mutex>
-#include <thread>
 #include <utility>
 
 #include "hashing/splitmix_hash.hpp"
@@ -21,6 +20,14 @@ namespace {
 /// is more than one full batch behind.  The payload is the mode's batch
 /// type: a plain event vector (replicated) or an epoch-segmented
 /// request batch (snapshot).
+///
+/// Alongside the hand-off queue runs a recycle stack: the worker
+/// returns each drained batch's memory, and the producer refills
+/// recycled buffers instead of allocating fresh ones.  Because the
+/// worker *allocated and wrote* those buffers first (the pool's
+/// first-touch init job), their pages live on the worker's own NUMA
+/// node — the producer streams into remote memory once, the worker
+/// decodes out of local memory every batch.
 template <typename Batch>
 class batch_channel {
  public:
@@ -51,6 +58,23 @@ class batch_channel {
     can_pop_.notify_all();
   }
 
+  /// Worker → producer: returns a drained batch's buffers for reuse.
+  void recycle(Batch&& batch) {
+    const std::lock_guard lock(recycle_mutex_);
+    recycled_.push_back(std::move(batch));
+  }
+
+  /// Producer: takes a recycled buffer if one is available.
+  bool take_recycled(Batch& out) {
+    const std::lock_guard lock(recycle_mutex_);
+    if (recycled_.empty()) {
+      return false;
+    }
+    out = std::move(recycled_.back());
+    recycled_.pop_back();
+    return true;
+  }
+
  private:
   static constexpr std::size_t kDepth = 2;
   std::mutex mutex_;
@@ -58,6 +82,9 @@ class batch_channel {
   std::condition_variable can_pop_;
   std::deque<Batch> queue_;
   bool closed_ = false;
+  // Separate lock: recycling must never contend the hand-off path.
+  std::mutex recycle_mutex_;
+  std::vector<Batch> recycled_;
 };
 
 /// One epoch's slice of a snapshot-mode batch: requests that arrived
@@ -71,7 +98,37 @@ struct epoch_segment {
 /// the membership epochs they arrived under.  Without churn this is a
 /// single full-width segment — the undivided slot-dedup window the
 /// replicated pipeline loses to broadcast membership events.
-using epoch_batch = std::vector<epoch_segment>;
+///
+/// Segments are reused in place across recycles (only segments[0..used)
+/// are live): reset() drops the snapshot references but keeps every
+/// request vector's capacity, so a recycled batch refills without
+/// reallocating — and without losing the first-touch placement of its
+/// pages.
+struct epoch_batch {
+  std::vector<epoch_segment> segments;
+  std::size_t used = 0;
+
+  epoch_segment& append() {
+    if (used == segments.size()) {
+      segments.emplace_back();
+    }
+    return segments[used++];
+  }
+  epoch_segment* current() {
+    return used == 0 ? nullptr : &segments[used - 1];
+  }
+  bool empty() const { return used == 0; }
+
+  /// Releases epoch snapshots (so retired epochs free promptly) and
+  /// clears requests, keeping all capacity for the next fill.
+  void reset() {
+    for (std::size_t i = 0; i < used; ++i) {
+      segments[i].snap.reset();
+      segments[i].requests.clear();
+    }
+    used = 0;
+  }
+};
 
 /// Resolves one epoch segment against its snapshot and accounts the
 /// per-shard statistics; `answers` is reused across calls.
@@ -97,45 +154,74 @@ void answer_segment(const epoch_segment& segment, run_stats& stats,
   }
 }
 
-/// Spawns the shard workers, runs `produce`, then closes every channel
-/// and joins.  Shared by both membership modes; `decode(shard, batch)`
-/// is the per-batch worker body.  Worker exceptions are captured and
-/// rethrown on the calling thread after shutdown.
-template <typename Batch, typename Decode, typename Produce>
-void run_pipeline(std::size_t shards, Decode&& decode, Produce&& produce) {
+/// Runs one pipeline generation on the pinned worker pool: a
+/// first-touch pass (each worker allocates its channel's recycled batch
+/// buffers on its own thread, hence its own NUMA node), then the
+/// decode loops, then `produce` on the calling thread, then shutdown.
+/// `make_recycled(shard)` builds one pre-touched empty batch (and may
+/// touch other per-shard scratch); `decode(shard, batch)` is the
+/// per-batch worker body; drained batches are reset via `reset(batch)`
+/// and recycled.  Worker exceptions are
+/// captured and rethrown on the calling thread after shutdown (the
+/// faulted worker keeps draining so the producer never deadlocks on a
+/// full channel).
+template <typename Batch, typename MakeRecycled, typename Reset,
+          typename Decode, typename Produce>
+void run_pipeline(runtime::worker_pool& pool, MakeRecycled&& make_recycled,
+                  Reset&& reset, Decode&& decode, Produce&& produce) {
+  const std::size_t shards = pool.size();
   std::vector<batch_channel<Batch>> channels(shards);
   std::vector<std::exception_ptr> errors(shards);
-  std::vector<std::thread> workers;
-  workers.reserve(shards);
-  // Joins every spawned worker after closing its feed; both the spawn
-  // loop and the producer run under this guard because destroying a
-  // joinable std::thread terminates the process.
+
+  // First-touch generation: two buffers in flight (channel depth) plus
+  // one being filled by the producer.
+  for (std::size_t s = 0; s < shards; ++s) {
+    pool.submit(s, [s, &channels, &make_recycled] {
+      for (int i = 0; i < 3; ++i) {
+        channels[s].recycle(make_recycled(s));
+      }
+    });
+  }
+  pool.wait_idle();
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    pool.submit(s, [s, &channels, &errors, &decode, &reset] {
+      try {
+        Batch batch;
+        while (channels[s].pop(batch)) {
+          try {
+            decode(s, batch);
+          } catch (...) {
+            if (!errors[s]) {
+              errors[s] = std::current_exception();
+            }
+            // Keep looping so the producer never blocks on a full
+            // channel after a decode fault.
+          }
+          reset(batch);
+          channels[s].recycle(std::move(batch));
+          batch = Batch{};
+        }
+      } catch (...) {
+        // reset/recycle themselves faulted (allocation failure): the
+        // drain guarantee still has to hold, so swallow and keep
+        // popping until the channel closes.
+        if (!errors[s]) {
+          errors[s] = std::current_exception();
+        }
+        Batch discard;
+        while (channels[s].pop(discard)) {
+        }
+      }
+    });
+  }
   auto shut_down = [&] {
     for (auto& channel : channels) {
       channel.close();
     }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
+    pool.wait_idle();
   };
   try {
-    for (std::size_t s = 0; s < shards; ++s) {
-      workers.emplace_back([s, &channels, &errors, &decode] {
-        try {
-          Batch batch;
-          while (channels[s].pop(batch)) {
-            decode(s, batch);
-          }
-        } catch (...) {
-          errors[s] = std::current_exception();
-          // Keep draining so the producer never deadlocks on a full
-          // channel after a worker fault.
-          Batch discard;
-          while (channels[s].pop(discard)) {
-          }
-        }
-      });
-    }
     produce(channels);
   } catch (...) {
     shut_down();
@@ -147,6 +233,18 @@ void run_pipeline(std::size_t shards, Decode&& decode, Produce&& produce) {
       std::rethrow_exception(error);
     }
   }
+}
+
+/// Producer-side refill: reuse a worker-touched recycled buffer when
+/// one is back, else allocate fresh (start-up, or the worker is still
+/// holding all three).
+template <typename Batch, typename Channel, typename MakeFresh>
+Batch next_buffer(Channel& channel, MakeFresh&& make_fresh) {
+  Batch batch;
+  if (!channel.take_recycled(batch)) {
+    batch = make_fresh();
+  }
+  return batch;
 }
 
 }  // namespace
@@ -179,6 +277,8 @@ sharded_emulator::sharded_emulator(table_factory factory,
       !(config_.shadow && config_.membership == membership_mode::snapshot),
       "shadow oracles certify per-shard replication — use "
       "membership_mode::replicated");
+  pool_ = std::make_unique<runtime::worker_pool>(config_.shards,
+                                                 config_.placement);
   if (config_.membership == membership_mode::snapshot) {
     auto table = factory(0);
     HDHASH_REQUIRE(table != nullptr, "table factory returned null");
@@ -207,9 +307,15 @@ dynamic_table& sharded_emulator::table(std::size_t shard) {
 }
 
 sharded_report sharded_emulator::run(std::span<const event> events) {
-  return config_.membership == membership_mode::snapshot
-             ? run_snapshot(events)
-             : run_replicated(events);
+  sharded_report report = config_.membership == membership_mode::snapshot
+                              ? run_snapshot(events)
+                              : run_replicated(events);
+  report.placement = pool_->policy();
+  report.workers.reserve(pool_->size());
+  for (std::size_t s = 0; s < pool_->size(); ++s) {
+    report.workers.push_back(pool_->info(s));
+  }
+  return report;
 }
 
 sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
@@ -231,8 +337,17 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
   std::size_t logical_leaves = 0;
   const timing_mode timing =
       config_.timing ? timing_mode::thread_cpu : timing_mode::off;
+  const std::size_t capacity = config_.buffer_capacity;
   run_pipeline<std::vector<event>>(
-      shards,
+      *pool_,
+      [capacity](std::size_t) {
+        // resize-then-clear: writes every slot (first-touch on the
+        // worker's node) and keeps the capacity for refills.
+        std::vector<event> batch(capacity);
+        batch.clear();
+        return batch;
+      },
+      [](std::vector<event>& batch) { batch.clear(); },
       [&](std::size_t s, const std::vector<event>& batch) {
         // Shard service time is metered on the worker's own CPU clock
         // so preemption by sibling shards (oversubscribed machines)
@@ -244,20 +359,24 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
         // Producer: partition requests, broadcast membership, hand over
         // each shard's batch as soon as it fills (the double-buffered
         // overlap).
+        const auto fresh = [capacity] {
+          std::vector<event> batch;
+          batch.reserve(capacity);
+          return batch;
+        };
         std::vector<std::vector<event>> pending(shards);
-        for (auto& p : pending) {
-          p.reserve(config_.buffer_capacity);
+        for (std::size_t s = 0; s < shards; ++s) {
+          pending[s] = next_buffer<std::vector<event>>(channels[s], fresh);
         }
         auto submit = [&](std::size_t s) {
           channels[s].push(std::move(pending[s]));
-          pending[s] = {};
-          pending[s].reserve(config_.buffer_capacity);
+          pending[s] = next_buffer<std::vector<event>>(channels[s], fresh);
         };
         for (const event& e : events) {
           if (e.kind == event_kind::request) {
             const std::size_t s = shard_of(e.id);
             pending[s].push_back(e);
-            if (pending[s].size() >= config_.buffer_capacity) {
+            if (pending[s].size() >= capacity) {
               submit(s);
             }
             continue;
@@ -265,7 +384,7 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
           (e.kind == event_kind::join ? logical_joins : logical_leaves) += 1;
           for (std::size_t s = 0; s < shards; ++s) {
             pending[s].push_back(e);
-            if (pending[s].size() >= config_.buffer_capacity) {
+            if (pending[s].size() >= capacity) {
               submit(s);
             }
           }
@@ -300,17 +419,38 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   sharded_report report;
   report.per_shard.resize(shards);
 
+  // Per-worker answer scratch, first-touched by its owner inside the
+  // pipeline's init generation (the lookup_batch output is the hottest
+  // repeatedly written buffer each worker owns).
+  std::vector<std::vector<server_id>> answers(shards);
+
   const auto start = clock::now();
   std::size_t logical_joins = 0;
   std::size_t logical_leaves = 0;
   const timing_mode timing =
       config_.timing ? timing_mode::thread_cpu : timing_mode::off;
+  const std::size_t capacity = config_.buffer_capacity;
   run_pipeline<epoch_batch>(
-      shards,
+      *pool_,
+      [capacity, &answers](std::size_t s) {
+        // One pre-touched segment per recycled batch; under churn a
+        // batch grows more segments on demand (reused in place after
+        // the first recycle round-trip).  The worker's answer scratch
+        // rides the same init generation (idempotent across the three
+        // calls) so the hottest repeatedly written buffer is local too.
+        epoch_batch batch;
+        batch.segments.emplace_back();
+        batch.segments.back().requests.resize(capacity);
+        batch.segments.back().requests.clear();
+        answers[s].resize(capacity);
+        answers[s].clear();
+        return batch;
+      },
+      [](epoch_batch& batch) { batch.reset(); },
       [&](std::size_t s, const epoch_batch& batch) {
-        std::vector<server_id> answers;
-        for (const epoch_segment& segment : batch) {
-          answer_segment(segment, report.per_shard[s], timing, answers);
+        for (std::size_t i = 0; i < batch.used; ++i) {
+          answer_segment(batch.segments[i], report.per_shard[s], timing,
+                         answers[s]);
         }
       },
       [&](auto& channels) {
@@ -318,11 +458,15 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
         // every request with the snapshot of the epoch it arrived
         // under.  A batch spans epochs as segments, so churn never
         // truncates a batch — only subdivides it.
+        const auto fresh = [] { return epoch_batch{}; };
         std::vector<epoch_batch> pending(shards);
         std::vector<std::size_t> pending_requests(shards, 0);
+        for (std::size_t s = 0; s < shards; ++s) {
+          pending[s] = next_buffer<epoch_batch>(channels[s], fresh);
+        }
         auto submit = [&](std::size_t s) {
           channels[s].push(std::move(pending[s]));
-          pending[s] = {};
+          pending[s] = next_buffer<epoch_batch>(channels[s], fresh);
           pending_requests[s] = 0;
         };
         for (const event& e : events) {
@@ -339,14 +483,13 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
           const std::size_t s = shard_of(e.id);
           auto snap = publisher_->current();
           epoch_batch& batch = pending[s];
-          if (batch.empty() || batch.back().snap != snap) {
-            // No reserve: under churn a batch splits into many short
-            // segments, and buffer_capacity-sized reservations per
-            // segment would multiply the in-flight footprint.
-            batch.push_back(epoch_segment{std::move(snap), {}});
+          epoch_segment* segment = batch.current();
+          if (segment == nullptr || segment->snap != snap) {
+            segment = &batch.append();
+            segment->snap = std::move(snap);
           }
-          batch.back().requests.push_back(e.id);
-          if (++pending_requests[s] >= config_.buffer_capacity) {
+          segment->requests.push_back(e.id);
+          if (++pending_requests[s] >= capacity) {
             submit(s);
           }
         }

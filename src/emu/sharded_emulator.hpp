@@ -5,11 +5,14 @@
 ///
 /// The generated event stream is partitioned across N shards by
 /// hash(request_id) % N; each shard worker decodes its requests on a
-/// dedicated thread, fed through a depth-2 batch channel: while the
-/// worker decodes batch i, the producer is already filling batch i+1 —
-/// the software analogue of overlapping GPU transfer with compute
-/// (double buffering).  Membership state reaches the workers in one of
-/// two modes (membership_mode):
+/// dedicated thread of a pinned runtime::worker_pool (placement policy
+/// per sharded_config::placement — compact by default, so workers sit
+/// on distinct CPUs in NUMA-node order and first-touch their channel
+/// buffers and scratch on their own node), fed through a depth-2 batch
+/// channel: while the worker decodes batch i, the producer is already
+/// filling batch i+1 — the software analogue of overlapping GPU
+/// transfer with compute (double buffering).  Membership state reaches
+/// the workers in one of two modes (membership_mode):
 ///
 ///  * snapshot (default) — the producer owns the single mutable table
 ///    behind a snapshot_publisher (emu/snapshot.hpp); join/leave apply
@@ -39,6 +42,7 @@
 #include "emu/emulator.hpp"
 #include "emu/event.hpp"
 #include "emu/snapshot.hpp"
+#include "runtime/worker_pool.hpp"
 #include "table/dynamic_table.hpp"
 
 namespace hdhash {
@@ -70,6 +74,14 @@ struct sharded_config {
   /// Requires membership_mode::replicated (the oracle certifies the
   /// per-shard replication plumbing).
   bool shadow = false;
+  /// How shard workers are placed on the host topology (runtime layer,
+  /// src/runtime/).  Default: `compact` — pin where the platform
+  /// supports it, one worker per allowed CPU in NUMA-node order —
+  /// overridable process-wide with HDHASH_PIN; workers degrade to
+  /// unpinned (policy `none` behaviour) wherever the affinity call is
+  /// unavailable or refused.  Placement never changes assignments:
+  /// the merged histogram is bit-identical under every policy.
+  runtime::placement_policy placement = runtime::default_placement_policy();
   /// Salt of the request partition hash.
   std::uint64_t partition_seed = 0x5A4D'ED01;
 };
@@ -95,6 +107,11 @@ struct sharded_report {
   /// Snapshots actually published (snapshot mode; 0 otherwise).  At
   /// most one per membership epoch that a request observed.
   std::size_t snapshots_published = 0;
+  /// Placement policy the worker pool ran under.
+  runtime::placement_policy placement = runtime::placement_policy::none;
+  /// Post-pinning outcome per shard worker (cpu/node are -1 and pinned
+  /// false wherever affinity was skipped or refused).
+  std::vector<runtime::worker_info> workers;
 
   /// Aggregate service rate: the sum of each shard's requests divided
   /// by the time that shard spent inside lookup_batch on its own
@@ -141,6 +158,11 @@ class sharded_emulator {
   /// Valid for the emulator's lifetime.  \pre shard < shards().
   dynamic_table& table(std::size_t shard);
 
+  /// The pinned worker pool the shards run on (one worker per shard;
+  /// placement per config().placement).  Exposed so callers can report
+  /// delivered placement (bench drivers record cpu/node per shard).
+  const runtime::worker_pool& pool() const noexcept { return *pool_; }
+
  private:
   sharded_report run_replicated(std::span<const event> events);
   sharded_report run_snapshot(std::span<const event> events);
@@ -148,6 +170,7 @@ class sharded_emulator {
   sharded_config config_;
   std::vector<std::unique_ptr<dynamic_table>> tables_;  // replicated mode
   std::unique_ptr<snapshot_publisher> publisher_;       // snapshot mode
+  std::unique_ptr<runtime::worker_pool> pool_;          // one worker/shard
 };
 
 }  // namespace hdhash

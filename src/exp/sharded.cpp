@@ -44,19 +44,54 @@ bool parse_replicated_flag(int argc, char** argv) {
   return false;
 }
 
+namespace {
+
+shards_flag parse_shards_value(const char* text) {
+  if (std::strcmp(text, "auto") == 0) {
+    // Sized to the discovered topology: one worker per allowed
+    // physical core, one core reserved for the producer.
+    return shards_flag{true, runtime::auto_shard_count(runtime::host_topology()),
+                       true};
+  }
+  return shards_flag{true, parse_positive_value(text), false};
+}
+
+}  // namespace
+
 shards_flag parse_shards_flag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-      return shards_flag{true, parse_positive_value(argv[i] + 9)};
+      return parse_shards_value(argv[i] + 9);
     }
     if (std::strcmp(argv[i], "--shards") == 0) {
       // A bare trailing "--shards" is present-but-invalid, not absent:
       // the caller must error loudly rather than skip the panel.
-      return shards_flag{
-          true, i + 1 < argc ? parse_positive_value(argv[i + 1]) : 0};
+      return i + 1 < argc ? parse_shards_value(argv[i + 1])
+                          : shards_flag{true, 0, false};
     }
   }
   return shards_flag{};
+}
+
+pin_flag parse_pin_flag(int argc, char** argv) {
+  const auto parse = [](const char* text) {
+    pin_flag flag;
+    flag.present = true;
+    if (const auto policy = runtime::parse_placement_policy(text)) {
+      flag.valid = true;
+      flag.policy = *policy;
+    }
+    return flag;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--pin=", 6) == 0) {
+      return parse(argv[i] + 6);
+    }
+    if (std::strcmp(argv[i], "--pin") == 0) {
+      return i + 1 < argc ? parse(argv[i + 1]) : pin_flag{true, false, {}};
+    }
+  }
+  return pin_flag{};
 }
 
 std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
@@ -108,6 +143,7 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
     emu_config.buffer_capacity = config.buffer_capacity;
     emu_config.membership = membership;
     emu_config.shadow = config.shadow;
+    emu_config.placement = config.placement;
     sharded_emulator emu(
         [&](std::size_t) { return make_table(algorithm, sharded_opts); },
         emu_config);
@@ -122,6 +158,10 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
     point.wall_requests_per_second = report.wall_requests_per_second();
     point.table_memory_bytes = report.table_memory_bytes;
     point.snapshots_published = report.snapshots_published;
+    point.placement = report.placement;
+    for (const runtime::worker_info& worker : report.workers) {
+      point.pinned_workers += worker.pinned ? 1 : 0;
+    }
     point.matches_reference = report.merged.load == expected.load &&
                               report.merged.requests == expected.requests &&
                               report.merged.joins == expected.joins &&

@@ -34,6 +34,10 @@ struct shard_sweep_config {
   /// (the oracle certifies per-shard replication).
   membership_mode membership = membership_mode::snapshot;
   bool shadow = false;             ///< per-shard pristine mismatch oracle
+  /// Worker placement policy of every sharded run (src/runtime/):
+  /// compact by default (HDHASH_PIN overrides process-wide); never
+  /// affects assignments, only where workers execute.
+  runtime::placement_policy placement = runtime::default_placement_policy();
   std::uint64_t seed = 42;
 };
 
@@ -53,6 +57,11 @@ struct shard_sweep_point {
   std::size_t table_memory_bytes = 0;
   /// Epoch snapshots actually published (snapshot mode; 0 otherwise).
   std::size_t snapshots_published = 0;
+  /// Placement policy the point's workers ran under.
+  runtime::placement_policy placement = runtime::placement_policy::none;
+  /// Workers whose affinity call actually succeeded (0 on platforms
+  /// without pinning, or under policy `none`).
+  std::size_t pinned_workers = 0;
   /// Merged load histogram (and request/join/leave counts) identical to
   /// the plain single-table emulator run over the same events.
   bool matches_reference = false;
@@ -81,11 +90,29 @@ std::vector<std::size_t> shard_count_sweep(std::size_t max_shards);
 struct shards_flag {
   bool present = false;   ///< the flag appeared on the command line
   std::size_t value = 0;  ///< parsed count; 0 when absent or invalid
+  /// The value was the literal `auto`: sized to the host topology via
+  /// runtime::auto_shard_count (value carries the resolved count).
+  bool auto_sized = false;
 };
 
 /// Parses `--shards=N` / `--shards N` from argv (strictly: a positive
-/// decimal integer, no trailing garbage).
+/// decimal integer, no trailing garbage) — or `--shards auto`, which
+/// resolves to one worker per allowed physical core (reserving one for
+/// the producer) on the discovered host topology.
 shards_flag parse_shards_flag(int argc, char** argv);
+
+/// Result of scanning argv for `--pin <policy>` / `--pin=<policy>`:
+/// distinguishes absent (use the default policy) from present-but-
+/// unknown (drivers error loudly, listing the valid names).
+struct pin_flag {
+  bool present = false;  ///< the flag appeared on the command line
+  bool valid = false;    ///< its value parsed as a placement policy
+  runtime::placement_policy policy = runtime::placement_policy::none;
+};
+
+/// Parses `--pin=<none|compact|scatter|smt-aware>` / `--pin <policy>`
+/// from argv.
+pin_flag parse_pin_flag(int argc, char** argv);
 
 /// True when `--replicated` appears in argv: drivers and examples
 /// default to snapshot mode and expose the PR-2 replicated pipeline

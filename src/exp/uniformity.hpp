@@ -38,4 +38,43 @@ std::vector<uniformity_point> run_uniformity(std::string_view algorithm,
                                              const uniformity_config& config,
                                              const table_options& options);
 
+/// Heterogeneous-pool extension of the Figure 6 experiment (ROADMAP):
+/// servers join with weights cycling through `weight_cycle`, and the
+/// discrepancy is measured against the *weight-proportional*
+/// expectation E_i = |R| · w_i / Σw instead of the uniform one.
+struct weighted_uniformity_config {
+  std::vector<std::size_t> server_counts = {8, 32, 128, 512};
+  /// Requested join weights, assigned round-robin over the pool.
+  /// Integral values keep every algorithm's realized replication exact
+  /// (hd rounds weights to whole circle-slot replicas).
+  std::vector<double> weight_cycle = {1.0, 2.0, 4.0};
+  std::size_t requests = 100'000;
+  std::uint64_t seed = 11;
+};
+
+struct weighted_uniformity_point {
+  std::size_t servers = 0;
+  double chi_squared = 0.0;  ///< Pearson vs weight-proportional expectation
+  double chi_over_dof = 0.0; ///< statistic / (servers − 1); ≈1 is ideal
+  /// max over servers of |observed share − expected share| — the
+  /// worst-case proportionality miss, readable without a χ² table.
+  double max_share_error = 0.0;
+  /// Combined observed traffic share of the servers carrying the
+  /// cycle's maximum weight, and the weight-proportional expectation
+  /// of that share.  The coarse weights-took-effect signal: ignoring
+  /// weights entirely would leave the heavy group at its head-count
+  /// share instead.
+  double heavy_share = 0.0;
+  double heavy_share_expected = 0.0;
+};
+
+/// Runs the weighted sweep for one algorithm supporting weighted join
+/// (consistent, weighted-rendezvous, hd).  χ² = Σ (O_i − E_i)² / E_i
+/// with E_i the weight-proportional expectation of the *requested*
+/// weights: the statistic measures how faithfully the algorithm
+/// delivers the weights it was asked for.
+std::vector<weighted_uniformity_point> run_weighted_uniformity(
+    std::string_view algorithm, const weighted_uniformity_config& config,
+    const table_options& options);
+
 }  // namespace hdhash

@@ -1,0 +1,324 @@
+#include "runtime/cpu_topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace hdhash::runtime {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// First line of a sysfs attribute file, or std::nullopt when the file
+/// is missing/unreadable (sysfs trees are sparse: a fixture or an older
+/// kernel may lack any given attribute).
+std::optional<std::string> read_line(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+std::optional<unsigned> read_unsigned(const fs::path& path) {
+  const auto line = read_line(path);
+  if (!line) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(line->c_str(), &end, 10);
+  if (end == line->c_str() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(value);
+}
+
+/// CPU ids under `cpu_dir`: the kernel's `online` list when present
+/// (hot-unplugged CPUs have a cpuN directory but cannot run threads),
+/// otherwise every cpuN subdirectory.
+std::vector<unsigned> enumerate_cpus(const fs::path& cpu_dir) {
+  if (const auto online = read_line(cpu_dir / "online")) {
+    const auto ids = parse_cpu_list(*online);
+    if (!ids.empty()) {
+      return ids;
+    }
+  }
+  std::vector<unsigned> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cpu_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.compare(0, 3, "cpu") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(3);
+    if (!std::all_of(digits.begin(), digits.end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      continue;  // cpufreq, cpuidle, ...
+    }
+    ids.push_back(static_cast<unsigned>(std::stoul(digits)));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// cpu id → NUMA node from `{root}/devices/system/node/node*/cpulist`.
+/// Empty map when the node tree is absent (single-node machines often
+/// ship it, but fixtures and exotic kernels may not) — callers then
+/// default every CPU to node 0.
+std::unordered_map<unsigned, unsigned> map_numa_nodes(const fs::path& node_dir) {
+  std::unordered_map<unsigned, unsigned> node_of;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(node_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.compare(0, 4, "node") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(4);
+    if (!std::all_of(digits.begin(), digits.end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      continue;
+    }
+    const auto node = static_cast<unsigned>(std::stoul(digits));
+    if (const auto cpulist = read_line(entry.path() / "cpulist")) {
+      for (const unsigned cpu : parse_cpu_list(*cpulist)) {
+        node_of[cpu] = node;
+      }
+    }
+  }
+  return node_of;
+}
+
+}  // namespace
+
+std::vector<unsigned> parse_cpu_list(const std::string& text) {
+  std::vector<unsigned> ids;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == ',')) {
+      ++pos;
+    }
+    if (pos >= text.size()) {
+      break;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return {};  // malformed: refuse a partial parse
+    }
+    unsigned long first = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      first = first * 10 + static_cast<unsigned long>(text[pos] - '0');
+      ++pos;
+    }
+    unsigned long last = first;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      if (pos >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return {};
+      }
+      last = 0;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        last = last * 10 + static_cast<unsigned long>(text[pos] - '0');
+        ++pos;
+      }
+    }
+    if (last < first) {
+      return {};
+    }
+    for (unsigned long id = first; id <= last; ++id) {
+      ids.push_back(static_cast<unsigned>(id));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<unsigned> probe_allowed_cpus() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) != 0) {
+    return {};
+  }
+  std::vector<unsigned> allowed;
+  for (unsigned cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &mask)) {
+      allowed.push_back(cpu);
+    }
+  }
+  return allowed;
+#else
+  return {};
+#endif
+}
+
+void cpu_topology::finalize() {
+  std::sort(cpus_.begin(), cpus_.end(),
+            [](const logical_cpu& a, const logical_cpu& b) {
+              return a.id < b.id;
+            });
+  // SMT ranks: position among the siblings of the same physical core,
+  // in CPU-id order (the kernel numbers the second hardware thread of
+  // every core after all the first threads, so rank-by-id matches the
+  // cpuN/topology/thread_siblings_list ordering).
+  std::map<std::pair<unsigned, unsigned>, unsigned> seen;
+  std::unordered_set<unsigned> packages;
+  std::unordered_set<unsigned> nodes;
+  smt_per_core_ = 0;
+  for (logical_cpu& cpu : cpus_) {
+    unsigned& rank = seen[{cpu.package, cpu.core}];
+    cpu.smt_rank = rank++;
+    smt_per_core_ = std::max<std::size_t>(smt_per_core_, rank);
+    packages.insert(cpu.package);
+    nodes.insert(cpu.node);
+  }
+  packages_ = packages.size();
+  nodes_ = nodes.size();
+  physical_cores_ = seen.size();
+}
+
+cpu_topology cpu_topology::flat(unsigned cpus) {
+  cpu_topology topology;
+  if (cpus == 0) {
+    cpus = 1;
+  }
+  topology.cpus_.reserve(cpus);
+  for (unsigned id = 0; id < cpus; ++id) {
+    logical_cpu cpu;
+    cpu.id = id;
+    cpu.core = id;  // assume no SMT: the conservative placement input
+    topology.cpus_.push_back(cpu);
+  }
+  topology.finalize();
+  return topology;
+}
+
+cpu_topology cpu_topology::from_cpus(std::vector<logical_cpu> cpus) {
+  cpu_topology topology;
+  topology.cpus_ = std::move(cpus);
+  if (topology.cpus_.empty()) {
+    return flat(1);
+  }
+  topology.finalize();
+  return topology;
+}
+
+std::optional<cpu_topology> cpu_topology::from_sysfs(
+    const std::string& root, std::optional<std::vector<unsigned>> allowed) {
+  const fs::path cpu_dir = fs::path(root) / "devices" / "system" / "cpu";
+  std::error_code ec;
+  if (!fs::is_directory(cpu_dir, ec)) {
+    return std::nullopt;
+  }
+  const std::vector<unsigned> ids = enumerate_cpus(cpu_dir);
+  if (ids.empty()) {
+    return std::nullopt;
+  }
+  const auto node_of =
+      map_numa_nodes(fs::path(root) / "devices" / "system" / "node");
+
+  cpu_topology topology;
+  topology.from_sysfs_ = true;
+  topology.cpus_.reserve(ids.size());
+  for (const unsigned id : ids) {
+    const fs::path topo = cpu_dir / ("cpu" + std::to_string(id)) / "topology";
+    logical_cpu cpu;
+    cpu.id = id;
+    cpu.package = read_unsigned(topo / "physical_package_id").value_or(0);
+    // Missing core_id (no topology dir at all): treat each CPU as its
+    // own core — degrades to flat placement instead of one mega-core.
+    cpu.core = read_unsigned(topo / "core_id").value_or(id);
+    const auto node = node_of.find(id);
+    cpu.node = node != node_of.end() ? node->second : 0;
+    topology.cpus_.push_back(cpu);
+  }
+
+  std::vector<unsigned> mask =
+      allowed.has_value() ? std::move(*allowed) : probe_allowed_cpus();
+  if (!mask.empty()) {
+    const std::unordered_set<unsigned> in_mask(mask.begin(), mask.end());
+    bool any_allowed = false;
+    for (logical_cpu& cpu : topology.cpus_) {
+      cpu.allowed = in_mask.count(cpu.id) != 0;
+      any_allowed |= cpu.allowed;
+    }
+    if (!any_allowed) {
+      // A mask disjoint from the visible CPUs (stale fixture, affinity
+      // probe from another namespace): pinning anywhere would fail, so
+      // treat everything as allowed rather than plan an empty set.
+      for (logical_cpu& cpu : topology.cpus_) {
+        cpu.allowed = true;
+      }
+    }
+  }
+  topology.finalize();
+  return topology;
+}
+
+cpu_topology cpu_topology::discover() {
+  if (auto topology = from_sysfs("/sys")) {
+    return std::move(*topology);
+  }
+  cpu_topology topology = flat(std::thread::hardware_concurrency());
+  const std::vector<unsigned> mask = probe_allowed_cpus();
+  if (!mask.empty()) {
+    const std::unordered_set<unsigned> in_mask(mask.begin(), mask.end());
+    bool any_allowed = false;
+    for (logical_cpu& cpu : topology.cpus_) {
+      cpu.allowed = in_mask.count(cpu.id) != 0;
+      any_allowed |= cpu.allowed;
+    }
+    if (!any_allowed) {
+      for (logical_cpu& cpu : topology.cpus_) {
+        cpu.allowed = true;
+      }
+    }
+  }
+  return topology;
+}
+
+std::vector<unsigned> cpu_topology::allowed_cpus() const {
+  std::vector<unsigned> ids;
+  for (const logical_cpu& cpu : cpus_) {
+    if (cpu.allowed) {
+      ids.push_back(cpu.id);
+    }
+  }
+  return ids;
+}
+
+std::size_t cpu_topology::allowed_physical_cores() const {
+  std::unordered_set<std::uint64_t> cores;
+  for (const logical_cpu& cpu : cpus_) {
+    if (cpu.allowed) {
+      cores.insert((static_cast<std::uint64_t>(cpu.package) << 32) | cpu.core);
+    }
+  }
+  return cores.size();
+}
+
+unsigned cpu_topology::node_of(unsigned cpu) const {
+  const auto it = std::lower_bound(
+      cpus_.begin(), cpus_.end(), cpu,
+      [](const logical_cpu& c, unsigned id) { return c.id < id; });
+  return it != cpus_.end() && it->id == cpu ? it->node : 0;
+}
+
+}  // namespace hdhash::runtime

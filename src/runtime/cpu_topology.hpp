@@ -1,0 +1,110 @@
+/// \file cpu_topology.hpp
+/// \brief CPU/NUMA topology discovery for the topology-aware runtime.
+///
+/// Parses the Linux sysfs tree (`/sys/devices/system/cpu` +
+/// `/sys/devices/system/node`) into a package → NUMA node → physical
+/// core → SMT sibling hierarchy, intersected with the calling process's
+/// allowed cpuset (`sched_getaffinity` — a cgroup/taskset-restricted
+/// runner sees only what it may actually run on).  The sysfs root is
+/// injectable so tests can point discovery at canned fixture trees, and
+/// when no sysfs is available at all (non-Linux, masked /sys) discovery
+/// degrades to a flat synthetic topology derived from
+/// `std::thread::hardware_concurrency()` — every query keeps working,
+/// placement just has nothing better than round-robin to go on.
+///
+/// This is the ground truth layer under `placement_plan` (shard sizing,
+/// policy → CPU assignment) and `worker_pool` (pinned workers); nothing
+/// here ever pins or allocates per-thread state itself.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hdhash::runtime {
+
+/// One logical CPU (a hardware thread) as the scheduler numbers them.
+struct logical_cpu {
+  unsigned id = 0;           ///< kernel CPU number (cpuN)
+  unsigned package = 0;      ///< physical socket (physical_package_id)
+  unsigned core = 0;         ///< physical core within the package (core_id)
+  unsigned node = 0;         ///< NUMA node owning this CPU
+  /// Rank among the SMT siblings of (package, core), by CPU id: 0 for
+  /// the first hardware thread of the core, 1 for its hyper-twin, …
+  unsigned smt_rank = 0;
+  /// In the process's allowed cpuset (sched_getaffinity); placement
+  /// never assigns workers outside it.
+  bool allowed = true;
+};
+
+/// The discovered machine layout.  Immutable after discovery; cheap to
+/// copy.  CPUs are sorted by id.
+class cpu_topology {
+ public:
+  /// Discovers the real machine: sysfs at `/sys` + the live allowed
+  /// cpuset.  Falls back to flat() when sysfs is unusable.
+  static cpu_topology discover();
+
+  /// Discovery against an alternate sysfs root (fixture trees in
+  /// tests, `/host/sys` in containers).  `allowed` overrides the
+  /// affinity-mask probe: the listed CPU ids are allowed, all others
+  /// masked; std::nullopt probes sched_getaffinity as discover() does.
+  /// Returns std::nullopt when `root` lacks a parseable cpu tree —
+  /// callers fall back to flat() (discover() does this automatically).
+  static std::optional<cpu_topology> from_sysfs(
+      const std::string& root,
+      std::optional<std::vector<unsigned>> allowed = std::nullopt);
+
+  /// Synthetic flat fallback: `cpus` logical CPUs (0 → one is
+  /// assumed), each its own physical core on one package/node, all
+  /// allowed.  What non-Linux platforms get.
+  static cpu_topology flat(unsigned cpus);
+
+  /// Builds a topology from explicit CPU descriptions (smt_rank is
+  /// recomputed; ids must be unique).  For tests and embedders with
+  /// out-of-band topology knowledge.
+  static cpu_topology from_cpus(std::vector<logical_cpu> cpus);
+
+  const std::vector<logical_cpu>& cpus() const noexcept { return cpus_; }
+
+  /// True when discovery read a real sysfs tree (false for flat()).
+  bool from_sysfs_tree() const noexcept { return from_sysfs_; }
+
+  std::size_t packages() const noexcept { return packages_; }
+  std::size_t numa_nodes() const noexcept { return nodes_; }
+  /// Distinct (package, core) pairs — hardware cores, counting SMT
+  /// siblings once.
+  std::size_t physical_cores() const noexcept { return physical_cores_; }
+  std::size_t logical_cpus() const noexcept { return cpus_.size(); }
+  /// Maximum SMT siblings observed on any physical core (1 = no SMT).
+  std::size_t smt_per_core() const noexcept { return smt_per_core_; }
+
+  /// CPU ids in the allowed cpuset, ascending.
+  std::vector<unsigned> allowed_cpus() const;
+  /// Distinct (package, core) pairs with at least one allowed CPU.
+  std::size_t allowed_physical_cores() const;
+  /// NUMA node of a CPU id; 0 when the id is unknown.
+  unsigned node_of(unsigned cpu) const;
+
+ private:
+  std::vector<logical_cpu> cpus_;
+  std::size_t packages_ = 0;
+  std::size_t nodes_ = 0;
+  std::size_t physical_cores_ = 0;
+  std::size_t smt_per_core_ = 0;
+  bool from_sysfs_ = false;
+
+  void finalize();  // derive counts + smt ranks from cpus_
+};
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into ascending CPU
+/// ids.  Whitespace/newline tolerant; malformed ranges yield an empty
+/// vector rather than a partial parse.
+std::vector<unsigned> parse_cpu_list(const std::string& text);
+
+/// The live allowed cpuset via sched_getaffinity; empty on platforms
+/// without one (callers then treat every discovered CPU as allowed).
+std::vector<unsigned> probe_allowed_cpus();
+
+}  // namespace hdhash::runtime

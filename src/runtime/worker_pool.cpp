@@ -1,0 +1,193 @@
+#include "runtime/worker_pool.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/require.hpp"
+
+#if defined(HDHASH_HAVE_PTHREAD_AFFINITY)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hdhash::runtime {
+
+namespace {
+
+/// Pins the calling thread to one CPU.  Returns false when the build
+/// has no affinity API or the syscall is refused (cgroup shrank the
+/// cpuset after planning, exotic kernels): the worker then simply runs
+/// unpinned — placement is an optimization, never a correctness
+/// requirement.
+bool pin_self(int cpu) {
+#if defined(HDHASH_HAVE_PTHREAD_AFFINITY)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(static_cast<unsigned>(cpu), &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool worker_pool::pinning_supported() noexcept {
+#if defined(HDHASH_HAVE_PTHREAD_AFFINITY)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const cpu_topology& host_topology() {
+  static const cpu_topology topology = cpu_topology::discover();
+  return topology;
+}
+
+struct worker_pool::worker_state {
+  std::mutex mutex;
+  std::condition_variable wake;   // queue became non-empty / stopping
+  std::condition_variable drained;  // queue empty and worker idle
+  std::deque<job> queue;
+  bool busy = false;
+  bool stop = false;
+  bool started = false;  // pinning applied, info published
+  std::exception_ptr error;
+  worker_info info;
+  std::thread thread;
+
+  void run(const worker_placement& placement) {
+    {
+      std::unique_lock lock(mutex);
+      if (placement.cpu >= 0 && pin_self(placement.cpu)) {
+        info.cpu = placement.cpu;
+        info.node = placement.node;
+        info.pinned = true;
+      }
+      started = true;
+      drained.notify_all();
+    }
+    for (;;) {
+      job work;
+      {
+        std::unique_lock lock(mutex);
+        busy = false;
+        if (queue.empty()) {
+          drained.notify_all();
+        }
+        wake.wait(lock, [this] { return !queue.empty() || stop; });
+        if (queue.empty()) {
+          return;  // stop with nothing left to drain
+        }
+        work = std::move(queue.front());
+        queue.pop_front();
+        busy = true;
+      }
+      try {
+        work();
+      } catch (...) {
+        const std::lock_guard lock(mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+worker_pool::worker_pool(std::size_t workers, placement_policy policy,
+                         const cpu_topology& topology)
+    : plan_(plan_placement(topology, workers, policy)) {
+  HDHASH_REQUIRE(workers >= 1, "worker pool needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<worker_state>());
+  }
+  // Spawn after all states exist (threads only touch their own slot).
+  for (std::size_t w = 0; w < workers; ++w) {
+    worker_state& state = *workers_[w];
+    state.thread =
+        std::thread([&state, placement = plan_.workers[w]] {
+          state.run(placement);
+        });
+  }
+  // Wait for every worker to publish its pinning outcome so info() is
+  // consistent from the moment construction returns.
+  for (const auto& state : workers_) {
+    std::unique_lock lock(state->mutex);
+    state->drained.wait(lock, [&] { return state->started; });
+  }
+}
+
+worker_pool::worker_pool(std::size_t workers, placement_policy policy)
+    : worker_pool(workers, policy, host_topology()) {}
+
+worker_pool::~worker_pool() {
+  for (const auto& state : workers_) {
+    {
+      const std::lock_guard lock(state->mutex);
+      state->stop = true;
+    }
+    state->wake.notify_all();
+  }
+  for (const auto& state : workers_) {
+    if (state->thread.joinable()) {
+      state->thread.join();
+    }
+  }
+}
+
+std::size_t worker_pool::size() const noexcept { return workers_.size(); }
+
+const worker_info& worker_pool::info(std::size_t worker) const {
+  HDHASH_REQUIRE(worker < workers_.size(), "worker index out of range");
+  return workers_[worker]->info;
+}
+
+bool worker_pool::any_pinned() const noexcept {
+  for (const auto& state : workers_) {
+    if (state->info.pinned) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void worker_pool::submit(std::size_t worker, job work) {
+  HDHASH_REQUIRE(worker < workers_.size(), "worker index out of range");
+  HDHASH_REQUIRE(work != nullptr, "job must be callable");
+  worker_state& state = *workers_[worker];
+  {
+    const std::lock_guard lock(state.mutex);
+    HDHASH_REQUIRE(!state.stop, "worker pool is shutting down");
+    state.queue.push_back(std::move(work));
+  }
+  state.wake.notify_one();
+}
+
+void worker_pool::wait_idle() {
+  std::exception_ptr first_error;
+  for (const auto& state : workers_) {
+    std::unique_lock lock(state->mutex);
+    state->drained.wait(
+        lock, [&] { return state->queue.empty() && !state->busy; });
+    // Clear *every* worker's error, keeping only the first to rethrow:
+    // a stale second error must not spuriously fail the next
+    // generation of jobs on this (persistent) pool.
+    const std::exception_ptr error = std::exchange(state->error, nullptr);
+    if (error && !first_error) {
+      first_error = error;
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace hdhash::runtime

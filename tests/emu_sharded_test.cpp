@@ -72,6 +72,48 @@ TEST(ShardedEmulatorTest, MergedStatsEqualSingleTableReference) {
   }
 }
 
+TEST(ShardedEmulatorTest, PlacementPoliciesNeverChangeAssignments) {
+  // The acceptance bar of the runtime layer: placement decides *where*
+  // workers execute, never *what* they answer — the merged histogram is
+  // bit-identical to the single-table reference under every policy at
+  // 1–8 shards (snapshot membership, churny stream).
+  const generator gen(churn_workload());
+  const auto events = gen.generate();
+  auto reference_table = make_table("hd-hierarchical", fast_options());
+  emulator reference(*reference_table, 256);
+  const run_stats expected = reference.run(events);
+
+  for (const auto policy :
+       {runtime::placement_policy::none, runtime::placement_policy::compact,
+        runtime::placement_policy::scatter,
+        runtime::placement_policy::smt_aware}) {
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      sharded_config config;
+      config.shards = shards;
+      config.placement = policy;
+      sharded_emulator emu(factory_for("hd-hierarchical"), config);
+      const sharded_report report = emu.run(events);
+      EXPECT_EQ(report.merged.load, expected.load)
+          << runtime::to_string(policy) << " shards=" << shards;
+      EXPECT_EQ(report.placement, policy);
+      ASSERT_EQ(report.workers.size(), shards);
+      for (const runtime::worker_info& worker : report.workers) {
+        if (policy == runtime::placement_policy::none) {
+          // `none` never even attempts the affinity call.
+          EXPECT_FALSE(worker.pinned);
+        }
+        if (worker.pinned) {
+          EXPECT_GE(worker.cpu, 0);
+          EXPECT_GE(worker.node, 0);
+        } else {
+          EXPECT_EQ(worker.cpu, -1);
+        }
+      }
+    }
+  }
+}
+
 TEST(ShardedEmulatorTest, EveryShardReplicatesTheFullPool) {
   const generator gen(churn_workload());
   const auto events = gen.generate();

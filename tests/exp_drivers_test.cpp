@@ -141,6 +141,44 @@ TEST(UniformityDriverTest, GridShapeMatchesConfig) {
   EXPECT_EQ(series[3].bit_flips, 4u);
 }
 
+TEST(WeightedUniformityDriverTest, WeightedRendezvousTracksRequestedShares) {
+  weighted_uniformity_config config;
+  config.server_counts = {24};
+  config.weight_cycle = {1.0, 2.0, 4.0};
+  config.requests = 30'000;
+  const auto series =
+      run_weighted_uniformity("weighted-rendezvous", config, fast_options());
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].servers, 24u);
+  // Native weighting: chi2 against the weight-proportional expectation
+  // concentrates around dof, like an unweighted uniform hash does
+  // against the uniform expectation.
+  EXPECT_GT(series[0].chi_over_dof, 0.3);
+  EXPECT_LT(series[0].chi_over_dof, 2.5);
+  EXPECT_LT(series[0].max_share_error, 0.02);
+}
+
+TEST(WeightedUniformityDriverTest, HeavierServersReceiveMoreTraffic) {
+  // The coarse property every weighted algorithm must deliver, even
+  // those whose per-server chi2 is variance- or quantization-limited
+  // (consistent's ring points, hd's slot replication): the weight-4
+  // half of the pool collectively receives ~4/5 of the traffic, far
+  // above the 1/2 head-count share weights-ignored would give it.
+  weighted_uniformity_config config;
+  config.server_counts = {12};
+  config.weight_cycle = {1.0, 4.0};
+  config.requests = 20'000;
+  for (const auto algorithm : {"consistent", "weighted-rendezvous", "hd"}) {
+    const auto series =
+        run_weighted_uniformity(algorithm, config, fast_options());
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0].heavy_share_expected, 0.8);
+    EXPECT_GT(series[0].heavy_share, 0.65)
+        << algorithm << " ignored its weights";
+    EXPECT_LT(series[0].heavy_share, 0.95) << algorithm;
+  }
+}
+
 TEST(DisruptionDriverTest, ModularRemapsAlmostEverything) {
   disruption_config config;
   config.servers = 32;

@@ -1,0 +1,225 @@
+/// cpu_topology against canned sysfs fixture trees: single-socket SMT,
+/// dual-node, cgroup-restricted cpuset, and the missing-/sys portable
+/// fallback — plus the cpulist parser the kernel formats feed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/cpu_topology.hpp"
+
+namespace hdhash::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a throwaway sysfs-shaped tree under the system temp dir and
+/// removes it on destruction.  write() creates parents as needed, so a
+/// fixture spells out only the files a test cares about — exactly how
+/// sparse real sysfs trees are.
+class sysfs_fixture {
+ public:
+  explicit sysfs_fixture(const std::string& name)
+      : root_(fs::temp_directory_path() /
+              ("hdhash_topo_" + name + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~sysfs_fixture() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+  sysfs_fixture(const sysfs_fixture&) = delete;
+  sysfs_fixture& operator=(const sysfs_fixture&) = delete;
+
+  void write(const std::string& relative, const std::string& content) {
+    const fs::path path = root_ / relative;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << content << "\n";
+  }
+
+  /// One cpuN entry with its topology attributes.
+  void add_cpu(unsigned id, unsigned package, unsigned core) {
+    const std::string base =
+        "devices/system/cpu/cpu" + std::to_string(id) + "/topology/";
+    write(base + "physical_package_id", std::to_string(package));
+    write(base + "core_id", std::to_string(core));
+  }
+
+  void set_online(const std::string& list) {
+    write("devices/system/cpu/online", list);
+  }
+
+  void add_node(unsigned id, const std::string& cpulist) {
+    write("devices/system/node/node" + std::to_string(id) + "/cpulist",
+          cpulist);
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+/// 1 socket, 4 physical cores, SMT-2 in the kernel's usual numbering:
+/// cpu0-3 are thread 0 of cores 0-3, cpu4-7 their hyper-twins.
+void populate_single_socket_smt(sysfs_fixture& fixture) {
+  fixture.set_online("0-7");
+  for (unsigned cpu = 0; cpu < 8; ++cpu) {
+    fixture.add_cpu(cpu, 0, cpu % 4);
+  }
+  fixture.add_node(0, "0-7");
+}
+
+/// 2 sockets × 4 cores, no SMT, one NUMA node per socket.
+void populate_dual_node(sysfs_fixture& fixture) {
+  fixture.set_online("0-7");
+  for (unsigned cpu = 0; cpu < 8; ++cpu) {
+    fixture.add_cpu(cpu, cpu / 4, cpu % 4);
+  }
+  fixture.add_node(0, "0-3");
+  fixture.add_node(1, "4-7");
+}
+
+TEST(CpuListParserTest, HandlesKernelFormats) {
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-1,4,6-7"),
+            (std::vector<unsigned>{0, 1, 4, 6, 7}));
+  EXPECT_EQ(parse_cpu_list("5"), (std::vector<unsigned>{5}));
+  EXPECT_EQ(parse_cpu_list("0-1\n"), (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(parse_cpu_list("3,1,1-2"), (std::vector<unsigned>{1, 2, 3}));
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  // Malformed input refuses a partial parse outright.
+  EXPECT_TRUE(parse_cpu_list("2-1").empty());
+  EXPECT_TRUE(parse_cpu_list("0-").empty());
+  EXPECT_TRUE(parse_cpu_list("a-b").empty());
+}
+
+TEST(CpuTopologyTest, SingleSocketSmtTree) {
+  sysfs_fixture fixture("smt");
+  populate_single_socket_smt(fixture);
+  const auto topology = cpu_topology::from_sysfs(fixture.root());
+  ASSERT_TRUE(topology.has_value());
+  EXPECT_TRUE(topology->from_sysfs_tree());
+  EXPECT_EQ(topology->logical_cpus(), 8u);
+  EXPECT_EQ(topology->physical_cores(), 4u);
+  EXPECT_EQ(topology->packages(), 1u);
+  EXPECT_EQ(topology->numa_nodes(), 1u);
+  EXPECT_EQ(topology->smt_per_core(), 2u);
+  // cpu0-3 are thread 0 of their cores, cpu4-7 the SMT siblings.
+  for (const logical_cpu& cpu : topology->cpus()) {
+    EXPECT_EQ(cpu.smt_rank, cpu.id < 4 ? 0u : 1u) << "cpu" << cpu.id;
+    EXPECT_EQ(cpu.core, cpu.id % 4) << "cpu" << cpu.id;
+    EXPECT_EQ(cpu.node, 0u);
+  }
+}
+
+TEST(CpuTopologyTest, DualNodeTree) {
+  sysfs_fixture fixture("dual");
+  populate_dual_node(fixture);
+  // Explicit allowed mask: without one, from_sysfs probes the *host's*
+  // affinity, which a restricted test runner would bleed into the
+  // fixture's assertions.
+  const auto topology = cpu_topology::from_sysfs(
+      fixture.root(), std::vector<unsigned>{0, 1, 2, 3, 4, 5, 6, 7});
+  ASSERT_TRUE(topology.has_value());
+  EXPECT_EQ(topology->logical_cpus(), 8u);
+  EXPECT_EQ(topology->physical_cores(), 8u);
+  EXPECT_EQ(topology->packages(), 2u);
+  EXPECT_EQ(topology->numa_nodes(), 2u);
+  EXPECT_EQ(topology->smt_per_core(), 1u);
+  EXPECT_EQ(topology->node_of(2), 0u);
+  EXPECT_EQ(topology->node_of(6), 1u);
+  EXPECT_EQ(topology->allowed_physical_cores(), 8u);
+}
+
+TEST(CpuTopologyTest, CgroupRestrictedCpuset) {
+  // A container granted cpus {1, 2, 5}: topology still shows the whole
+  // machine, the allowed mask shows what placement may actually use.
+  sysfs_fixture fixture("restricted");
+  populate_dual_node(fixture);
+  const auto topology = cpu_topology::from_sysfs(
+      fixture.root(), std::vector<unsigned>{1, 2, 5});
+  ASSERT_TRUE(topology.has_value());
+  EXPECT_EQ(topology->logical_cpus(), 8u);
+  EXPECT_EQ(topology->allowed_cpus(), (std::vector<unsigned>{1, 2, 5}));
+  EXPECT_EQ(topology->allowed_physical_cores(), 3u);
+  for (const logical_cpu& cpu : topology->cpus()) {
+    EXPECT_EQ(cpu.allowed, cpu.id == 1 || cpu.id == 2 || cpu.id == 5);
+  }
+}
+
+TEST(CpuTopologyTest, DisjointAffinityMaskFallsBackToAllAllowed) {
+  // A mask naming only CPUs the tree does not show (affinity probed in
+  // another namespace): planning an empty set would make every policy a
+  // no-op, so everything becomes allowed instead.
+  sysfs_fixture fixture("disjoint");
+  populate_dual_node(fixture);
+  const auto topology = cpu_topology::from_sysfs(
+      fixture.root(), std::vector<unsigned>{64, 65});
+  ASSERT_TRUE(topology.has_value());
+  EXPECT_EQ(topology->allowed_cpus().size(), 8u);
+}
+
+TEST(CpuTopologyTest, OnlineListRestrictsEnumeration) {
+  // cpu6/cpu7 hot-unplugged: directories exist, online list excludes
+  // them, so the topology must not place workers there.
+  sysfs_fixture fixture("offline");
+  fixture.set_online("0-5");
+  for (unsigned cpu = 0; cpu < 8; ++cpu) {
+    fixture.add_cpu(cpu, 0, cpu);
+  }
+  const auto topology = cpu_topology::from_sysfs(fixture.root());
+  ASSERT_TRUE(topology.has_value());
+  EXPECT_EQ(topology->logical_cpus(), 6u);
+}
+
+TEST(CpuTopologyTest, MissingSysfsYieldsNullopt) {
+  EXPECT_FALSE(
+      cpu_topology::from_sysfs("/nonexistent/hdhash/sysfs").has_value());
+  // An existing root without a cpu tree is equally unusable.
+  const sysfs_fixture fixture("empty");
+  EXPECT_FALSE(cpu_topology::from_sysfs(fixture.root()).has_value());
+}
+
+TEST(CpuTopologyTest, SparseTreeWithoutTopologyAttributesStillWorks) {
+  // Fixture with cpu dirs but no topology/ attributes and no node
+  // tree: every CPU defaults to its own core on package 0 / node 0.
+  sysfs_fixture fixture("sparse");
+  fixture.set_online("0-3");
+  const auto topology = cpu_topology::from_sysfs(fixture.root());
+  ASSERT_TRUE(topology.has_value());
+  EXPECT_EQ(topology->logical_cpus(), 4u);
+  EXPECT_EQ(topology->physical_cores(), 4u);
+  EXPECT_EQ(topology->numa_nodes(), 1u);
+  EXPECT_EQ(topology->smt_per_core(), 1u);
+}
+
+TEST(CpuTopologyTest, FlatFallbackShape) {
+  const cpu_topology topology = cpu_topology::flat(6);
+  EXPECT_FALSE(topology.from_sysfs_tree());
+  EXPECT_EQ(topology.logical_cpus(), 6u);
+  EXPECT_EQ(topology.physical_cores(), 6u);
+  EXPECT_EQ(topology.packages(), 1u);
+  EXPECT_EQ(topology.numa_nodes(), 1u);
+  EXPECT_EQ(topology.allowed_cpus().size(), 6u);
+  // Degenerate input still yields a usable one-CPU machine.
+  EXPECT_EQ(cpu_topology::flat(0).logical_cpus(), 1u);
+}
+
+TEST(CpuTopologyTest, DiscoverAlwaysYieldsSomethingUsable) {
+  // On any platform — real /sys, masked /sys, no /sys — discovery must
+  // produce at least one allowed CPU for the pool to run on.
+  const cpu_topology topology = cpu_topology::discover();
+  EXPECT_GE(topology.logical_cpus(), 1u);
+  EXPECT_GE(topology.allowed_cpus().size(), 1u);
+  EXPECT_GE(topology.physical_cores(), 1u);
+}
+
+}  // namespace
+}  // namespace hdhash::runtime
