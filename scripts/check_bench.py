@@ -13,6 +13,14 @@ comparison (per-series aggregate speedups, placement scaling, the
 recorded topology) and exits 0.  This lets CI run one check step over
 both trajectory files and upload both as artifacts.
 
+``BENCH_net_frontend.json`` files (``bench_net_frontend``) are handled
+the same way: report-only (loopback TCP throughput is even noisier
+than in-process threading), printing delivered req/s and the reply
+latency percentiles.  Pass ``--sharded-ref <BENCH_sharded_emulator
+.json>`` to also print the delivered-vs-service comparison line — how
+much of the in-process shard pipeline's service rate the socket path
+delivers end to end.
+
 Two comparison modes:
 
 * ``speedup`` (default) — compares the *ratios* recorded in the JSON:
@@ -119,6 +127,73 @@ def report_sharded(base: dict, fresh: dict) -> int:
     return 0
 
 
+NET_BENCHMARK = "net_frontend"
+
+
+def is_net(doc: dict) -> bool:
+    return doc.get("benchmark") == NET_BENCHMARK
+
+
+def report_net(base: dict, fresh: dict, sharded_ref: dict | None) -> int:
+    """Report-only comparison of two net-frontend JSONs (exit 0)."""
+    print("check_bench: net front-end trajectory — report only, never "
+          "gated (loopback TCP on shared runners)")
+    topo = fresh.get("topology", {})
+    if topo:
+        print(
+            "  fresh topology: "
+            f"{topo.get('physical_cores', '?')} physical core(s), "
+            f"{topo.get('allowed_cpus', '?')} allowed CPU(s), "
+            f"io_threads {fresh.get('io_threads', '?')}, "
+            f"shards {fresh.get('shards', '?')}, "
+            f"backend {fresh.get('io_backend', '?')} "
+            f"(io_uring {'available' if fresh.get('io_uring_supported') else 'unavailable'})"
+        )
+    base_results = base.get("results", {})
+    fresh_results = fresh.get("results", {})
+    if isinstance(base_results, dict) and isinstance(fresh_results, dict):
+        b = base_results.get("requests_per_second", 0.0)
+        f = fresh_results.get("requests_per_second", 0.0)
+        delta = (f - b) / b if b else 0.0
+        print(
+            f"  [info] delivered: baseline {b:,.0f} req/s -> "
+            f"fresh {f:,.0f} req/s ({delta:+.1%})"
+        )
+        print(
+            "  [info] fresh latency: "
+            f"p50 {fresh_results.get('p50_us', '?')} us, "
+            f"p99 {fresh_results.get('p99_us', '?')} us, "
+            f"p99.9 {fresh_results.get('p999_us', '?')} us "
+            f"({fresh_results.get('errors', '?')} error(s) over "
+            f"{fresh_results.get('requests', '?')} request(s))"
+        )
+    if sharded_ref is not None:
+        print_delivered_vs_service(fresh, sharded_ref)
+    print("check_bench: net front-end trajectory accepted (not gated)")
+    return 0
+
+
+def print_delivered_vs_service(net: dict, sharded: dict) -> None:
+    """The delivered-vs-service line: socket-path throughput against the
+    in-process shard pipeline's rates from the sharded benchmark."""
+    series = sharded.get("results", [])
+    if not (isinstance(series, list) and series):
+        print("  note: sharded reference lacks a results series")
+        return
+    by_shards = {e.get("shards"): e for e in series if isinstance(e, dict)}
+    point = by_shards.get(net.get("shards")) or series[-1]
+    delivered = net.get("results", {}).get("requests_per_second", 0.0)
+    service = point.get("aggregate_rps", 0.0)
+    wall = point.get("wall_rps", 0.0)
+    ratio = delivered / service if service else 0.0
+    print(
+        f"  [info] delivered vs service: socket path {delivered:,.0f} "
+        f"req/s vs in-process service {service:,.0f} req/s "
+        f"(wall {wall:,.0f}) at {point.get('shards', '?')} shard(s) "
+        f"-> {ratio:.0%} of service capacity delivered end-to-end"
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_batch_lookup.json")
@@ -135,10 +210,28 @@ def main() -> int:
         default="speedup",
         help="compare machine-portable speedup ratios (default) or raw ns",
     )
+    parser.add_argument(
+        "--sharded-ref",
+        default=None,
+        metavar="JSON",
+        help="BENCH_sharded_emulator.json to print the delivered-vs-"
+             "service comparison against (net-frontend inputs only)",
+    )
     args = parser.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+    if is_net(base) or is_net(fresh):
+        if is_net(base) != is_net(fresh):
+            sys.exit(
+                "check_bench: cannot compare a net-frontend JSON "
+                "against a different benchmark's JSON"
+            )
+        sharded_ref = load(args.sharded_ref) if args.sharded_ref else None
+        if sharded_ref is not None and not is_sharded(sharded_ref):
+            sys.exit("check_bench: --sharded-ref is not a sharded-emulator "
+                     "JSON")
+        return report_net(base, fresh, sharded_ref)
     if is_sharded(base) or is_sharded(fresh):
         if is_sharded(base) != is_sharded(fresh):
             sys.exit(

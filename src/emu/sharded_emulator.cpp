@@ -1,12 +1,10 @@
 #include "emu/sharded_emulator.hpp"
 
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <exception>
-#include <mutex>
 #include <utility>
 
+#include "emu/batch_channel.hpp"
 #include "hashing/splitmix_hash.hpp"
 #include "util/require.hpp"
 
@@ -14,78 +12,10 @@ namespace hdhash {
 
 namespace {
 
-/// Bounded hand-off queue between the producer and one shard worker.
-/// Depth 2 is the double buffer: the worker decodes batch i while the
-/// producer fills batch i+1; the producer only blocks when the worker
-/// is more than one full batch behind.  The payload is the mode's batch
-/// type: a plain event vector (replicated) or an epoch-segmented
-/// request batch (snapshot).
-///
-/// Alongside the hand-off queue runs a recycle stack: the worker
-/// returns each drained batch's memory, and the producer refills
-/// recycled buffers instead of allocating fresh ones.  Because the
-/// worker *allocated and wrote* those buffers first (the pool's
-/// first-touch init job), their pages live on the worker's own NUMA
-/// node — the producer streams into remote memory once, the worker
-/// decodes out of local memory every batch.
-template <typename Batch>
-class batch_channel {
- public:
-  void push(Batch&& batch) {
-    std::unique_lock lock(mutex_);
-    can_push_.wait(lock, [this] { return queue_.size() < kDepth; });
-    queue_.push_back(std::move(batch));
-    can_pop_.notify_one();
-  }
-
-  /// Blocks for the next batch; returns false once the channel is
-  /// closed and drained.
-  bool pop(Batch& out) {
-    std::unique_lock lock(mutex_);
-    can_pop_.wait(lock, [this] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) {
-      return false;
-    }
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    can_push_.notify_one();
-    return true;
-  }
-
-  void close() {
-    const std::lock_guard lock(mutex_);
-    closed_ = true;
-    can_pop_.notify_all();
-  }
-
-  /// Worker → producer: returns a drained batch's buffers for reuse.
-  void recycle(Batch&& batch) {
-    const std::lock_guard lock(recycle_mutex_);
-    recycled_.push_back(std::move(batch));
-  }
-
-  /// Producer: takes a recycled buffer if one is available.
-  bool take_recycled(Batch& out) {
-    const std::lock_guard lock(recycle_mutex_);
-    if (recycled_.empty()) {
-      return false;
-    }
-    out = std::move(recycled_.back());
-    recycled_.pop_back();
-    return true;
-  }
-
- private:
-  static constexpr std::size_t kDepth = 2;
-  std::mutex mutex_;
-  std::condition_variable can_push_;
-  std::condition_variable can_pop_;
-  std::deque<Batch> queue_;
-  bool closed_ = false;
-  // Separate lock: recycling must never contend the hand-off path.
-  std::mutex recycle_mutex_;
-  std::vector<Batch> recycled_;
-};
+// The producer/worker hand-off runs on the shared batch_channel
+// (emu/batch_channel.hpp, default depth 2 — the double buffer); the
+// payload here is the mode's batch type: a plain event vector
+// (replicated) or an epoch-segmented request batch (snapshot).
 
 /// One epoch's slice of a snapshot-mode batch: requests that arrived
 /// under `snap` and must be resolved against exactly that table state.

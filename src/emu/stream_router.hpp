@@ -1,0 +1,179 @@
+/// \file stream_router.hpp
+/// \brief Streaming shard router: the sharded emulator's epoch-published
+/// snapshot pipeline, re-cut as a long-running service.
+///
+/// `sharded_emulator::run()` consumes one finite event stream and
+/// returns.  A socket front-end needs the same machinery — partition
+/// requests by hash(id) % shards, hand per-shard batches through
+/// bounded channels to pinned decode workers, resolve each batch
+/// against the epoch snapshot it arrived under — but as a *resident*
+/// engine: start once, accept route batches from any number of io
+/// threads, deliver each batch's answers through a completion callback,
+/// and stop by draining.  This class is that engine; `net::net_server`
+/// is its first client.
+///
+/// Concurrency contract:
+///  * join()/leave()/submit() are thread-safe (serialized on an
+///    internal producer mutex around the snapshot publisher; channel
+///    pushes are safe unlocked — batch_channel takes any number of
+///    pushers).
+///  * Batches submitted from one thread complete their shard-local
+///    slices in submission order (channels are FIFO), so per-connection
+///    reply ordering reduces to a FIFO of tickets on the submitter.
+///  * `on_complete` runs on whichever shard worker finishes the
+///    batch's last slice — it must be cheap and non-blocking (post a
+///    wakeup, never write sockets or take long-held locks).
+///
+/// Determinism: a batch's requests all resolve against the snapshot of
+/// the membership epoch current at submit() time, and every membership
+/// event is applied before any later-submitted batch acquires its
+/// snapshot.  A single submitter that flushes its open batch before
+/// each join/leave therefore reproduces exactly the plain emulator's
+/// "every request sees the table state it arrived under" semantics —
+/// the bit-identity the net e2e test asserts over a real socket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "emu/snapshot.hpp"
+#include "runtime/worker_pool.hpp"
+#include "table/dynamic_table.hpp"
+
+namespace hdhash {
+
+class stream_router {
+ public:
+  struct config {
+    /// Decode workers (>= 1); worker pool slots
+    /// [first_worker, first_worker + shards) are occupied for the
+    /// router's whole start()..stop() span.
+    std::size_t shards = 1;
+    /// Bounded per-shard channel depth: how many batches may queue on
+    /// one shard before submit() blocks (backpressure to the io layer).
+    std::size_t channel_depth = 4;
+    /// Salt of the request partition hash (the sharded emulator's
+    /// default, so both pipelines split streams identically).
+    std::uint64_t partition_seed = 0x5A4D'ED01;
+  };
+
+  /// One submitted routing ticket: `requests` in arrival order,
+  /// `answers[i]` the server for `requests[i]` once `done` turns true.
+  /// The router holds the shared_ptr until the last shard slice
+  /// completes, so a ticket outlives any connection that dies mid-batch.
+  struct route_batch {
+    std::vector<request_id> requests;
+    std::vector<server_id> answers;
+    /// Invoked exactly once, by the shard worker that completes the
+    /// last slice, after `done` is set.  Cleared afterwards (any
+    /// captured owner references are released then).
+    std::function<void()> on_complete;
+    /// All slices decoded; answers[] fully written (release/acquire
+    /// paired with the completing worker's store).
+    std::atomic<bool> done{false};
+    /// A shard slice faulted (empty-pool lookup, table precondition):
+    /// answers are not trustworthy; the submitter should report an
+    /// error instead of routing replies.
+    std::atomic<bool> failed{false};
+
+   private:
+    friend class stream_router;
+    std::atomic<std::size_t> pending_slices{0};
+  };
+
+  /// Takes ownership of the (single, producer-owned) table and runs
+  /// decode loops on `pool` workers [first_worker, first_worker +
+  /// config.shards).  start() must be called before the first submit().
+  /// \pre table != nullptr; the worker range is within the pool.
+  stream_router(std::unique_ptr<dynamic_table> table,
+                runtime::worker_pool& pool, std::size_t first_worker,
+                config cfg);
+  /// Same, with a default-constructed config (gcc rejects `= {}` as a
+  /// default argument while the nested aggregate is incomplete).
+  stream_router(std::unique_ptr<dynamic_table> table,
+                runtime::worker_pool& pool, std::size_t first_worker)
+      : stream_router(std::move(table), pool, first_worker, config{}) {}
+
+  /// Stops (drains) if still running.
+  ~stream_router();
+
+  stream_router(const stream_router&) = delete;
+  stream_router& operator=(const stream_router&) = delete;
+
+  /// Launches one decode loop per shard on the configured pool workers.
+  /// Idempotent once running.
+  void start();
+
+  /// Closes every shard channel and waits until all decode loops have
+  /// drained and exited — every batch submitted before stop() completes
+  /// (its on_complete fires) before stop() returns.  After stop(),
+  /// submit() is a precondition error.  Idempotent.
+  void stop();
+
+  /// Applies a join to the producer table and opens a new membership
+  /// epoch.  Thread-safe; table preconditions (duplicate id, capacity)
+  /// propagate as hdhash::precondition_error with the table unchanged.
+  void join(server_id server, double weight = 1.0);
+
+  /// Applies a leave (thread-safe; unknown ids throw, table unchanged).
+  void leave(server_id server);
+
+  /// Partitions the ticket's requests by shard, stamps the current
+  /// epoch snapshot, and pushes one slice per covered shard (blocking
+  /// when a shard's channel is full — backpressure).  Empty tickets
+  /// complete inline on the calling thread.
+  /// \pre started and not stopped; batch != nullptr.
+  void submit(std::shared_ptr<route_batch> batch);
+
+  /// Shard a request id is routed to (pure).
+  std::size_t shard_of(request_id request) const;
+
+  std::size_t shards() const noexcept { return config_.shards; }
+  /// Servers currently in the pool (joins − leaves); the io layer
+  /// rejects ROUTE with an empty pool before paying for a submit.
+  std::size_t members() const noexcept {
+    return members_.load(std::memory_order_relaxed);
+  }
+  /// Membership epochs opened so far.
+  std::uint64_t epoch() const noexcept {
+    return epoch_count_.load(std::memory_order_relaxed);
+  }
+  /// Requests accepted through submit() so far.
+  std::uint64_t requests_routed() const noexcept {
+    return requests_routed_.load(std::memory_order_relaxed);
+  }
+  /// Batches accepted through submit() so far.
+  std::uint64_t batches_routed() const noexcept {
+    return batches_routed_.load(std::memory_order_relaxed);
+  }
+  /// Epoch snapshots actually published (≤ epoch() + 1).
+  std::size_t published_epochs() const;
+  /// Resident table bytes (producer table + live snapshot bookkeeping).
+  std::size_t table_memory_bytes() const;
+
+ private:
+  struct shard_lane;
+
+  config config_;
+  runtime::worker_pool& pool_;
+  std::size_t first_worker_;
+  std::unique_ptr<snapshot_publisher> publisher_;
+  std::vector<std::unique_ptr<shard_lane>> lanes_;
+
+  // Producer mutex: guards the publisher (join/leave/current) so a
+  // snapshot is always consistent with the membership order observed
+  // by submitters.
+  mutable std::mutex producer_mutex_;
+  std::atomic<std::size_t> members_{0};
+  std::atomic<std::uint64_t> epoch_count_{0};
+  std::atomic<std::uint64_t> requests_routed_{0};
+  std::atomic<std::uint64_t> batches_routed_{0};
+  bool started_ = false;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace hdhash

@@ -1,0 +1,81 @@
+#include "net/io_backend.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/require.hpp"
+
+#if defined(__linux__)
+#include <cerrno>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace hdhash::net {
+
+std::string_view to_string(io_backend backend) noexcept {
+  switch (backend) {
+    case io_backend::epoll:
+      return "epoll";
+    case io_backend::uring:
+      return "io_uring";
+  }
+  return "epoll";
+}
+
+namespace {
+
+io_backend_probe run_probe() noexcept {
+  io_backend_probe probe;
+#if defined(__linux__)
+  probe.epoll_supported = true;
+#if defined(__NR_io_uring_setup)
+  // Zero entries with a null params pointer never creates a ring: a
+  // kernel that *has* the syscall rejects the arguments (EINVAL/EFAULT)
+  // before allocating anything, while a kernel or sandbox without it
+  // answers ENOSYS/EPERM.  That error split is the whole probe — the
+  // cachegrand io_uring_support idiom without needing liburing.
+  errno = 0;
+  const long rc = ::syscall(__NR_io_uring_setup, 0u, nullptr);
+  if (rc >= 0) {
+    // Cannot happen with these arguments, but a changed kernel that
+    // accepts them would hand back a real ring fd — close it.
+    ::close(static_cast<int>(rc));
+    probe.uring_supported = true;
+  } else {
+    probe.uring_errno = errno;
+    probe.uring_supported =
+        errno != ENOSYS && errno != EPERM && errno != ENOTSUP;
+  }
+#endif
+#endif
+  return probe;
+}
+
+}  // namespace
+
+const io_backend_probe& probe_io_backends() noexcept {
+  static const io_backend_probe probe = run_probe();
+  return probe;
+}
+
+io_backend select_io_backend() {
+  const char* env = std::getenv("HDHASH_NET_BACKEND");
+  const std::string choice = env == nullptr ? "auto" : env;
+  if (choice.empty() || choice == "auto" || choice == "epoll") {
+    return io_backend::epoll;
+  }
+  if (choice == "uring" || choice == "io_uring") {
+    const io_backend_probe& probe = probe_io_backends();
+    HDHASH_REQUIRE(false,
+                   probe.uring_supported
+                       ? "the io_uring reactor is not implemented yet "
+                         "(kernel probe says supported) — use epoll"
+                       : "io_uring is unavailable on this host and its "
+                         "reactor is not implemented yet — use epoll");
+  }
+  HDHASH_REQUIRE(false, "HDHASH_NET_BACKEND must be one of auto|epoll|uring");
+  return io_backend::epoll;  // unreachable
+}
+
+}  // namespace hdhash::net

@@ -1,0 +1,56 @@
+/// \file io_backend.hpp
+/// \brief Reactor backend selection with a runtime io_uring probe —
+/// the probe-then-fallback seam for a future io_uring event loop.
+///
+/// The server's reactor is epoll today.  io_uring is the known next
+/// step for the ingest path (submission batching amortizes the syscall
+/// per wakeup the same way lookup batching amortizes the decode), but
+/// whether a host *has* a usable io_uring is strictly a runtime
+/// question: the syscall may be absent (old kernel), compiled out, or
+/// blocked by seccomp — all on the same binary.  Following the
+/// probe-then-fallback idiom of cachegrand's `io_uring_support.c`, the
+/// probe actually issues `io_uring_setup(2)` and classifies the result,
+/// so when the io_uring reactor lands it is enabled by flipping
+/// `select_io_backend()` — every caller already records and reports the
+/// probe outcome (server banner, bench JSON) on hosts where it will
+/// light up.
+///
+/// `HDHASH_NET_BACKEND` (env) pins the choice: `epoll` forces the
+/// portable reactor, `auto`/unset takes the best *implemented* backend
+/// (epoll for now), and `uring` fails loudly while the io_uring reactor
+/// is a stub — requesting an unimplemented backend must never silently
+/// degrade (the HDHASH_FORCE_KERNEL convention).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hdhash::net {
+
+enum class io_backend : std::uint8_t { epoll, uring };
+
+/// Canonical name ("epoll", "io_uring").
+std::string_view to_string(io_backend backend) noexcept;
+
+/// Outcome of the runtime capability probe.
+struct io_backend_probe {
+  /// epoll_create1 is available (compile-time on this build).
+  bool epoll_supported = false;
+  /// io_uring_setup(2) exists and is not blocked: the kernel answered
+  /// the probe with anything but "no such syscall"/"not permitted".
+  bool uring_supported = false;
+  /// errno the io_uring probe observed (0 when it succeeded outright);
+  /// distinguishes "old kernel" (ENOSYS) from "seccomp jail" (EPERM).
+  int uring_errno = 0;
+};
+
+/// Probes the running kernel once per process (cached; the probe makes
+/// at most one syscall and never creates a usable ring).
+const io_backend_probe& probe_io_backends() noexcept;
+
+/// The backend the server will run, honouring HDHASH_NET_BACKEND.
+/// Throws hdhash::precondition_error for unknown values and for
+/// `uring` while that reactor is unimplemented.
+io_backend select_io_backend();
+
+}  // namespace hdhash::net

@@ -1,0 +1,239 @@
+#include "net/load_gen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "util/require.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <unistd.h>
+#endif
+
+namespace hdhash::net {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// splitmix64 — small, seedable, and already the repo's mixing idiom;
+/// the stream must be reproducible from (seed, connection) alone.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct connection_result {
+  std::vector<std::uint64_t> latencies_us;
+  std::map<server_id, std::uint64_t> server_load;
+  std::vector<server_id> answers;
+  std::size_t replies = 0;
+  std::size_t errors = 0;
+  std::string failure;  ///< non-empty → the connection aborted
+};
+
+#if defined(__unix__) || defined(__APPLE__)
+
+bool write_all(int fd, const std::string& bytes, std::string& failure) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t written =
+        ::write(fd, bytes.data() + offset, bytes.size() - offset);
+    if (written > 0) {
+      offset += static_cast<std::size_t>(written);
+      continue;
+    }
+    if (written < 0 && errno == EINTR) {
+      continue;
+    }
+    failure = "write failed";
+    return false;
+  }
+  return true;
+}
+
+void run_connection(const load_gen_config& config, std::size_t index,
+                    connection_result& result) {
+  const std::vector<request_id> ids = load_gen_ids(config, index);
+  std::string error;
+  const unique_fd fd = tcp_connect(config.host, config.port, &error);
+  if (!fd.valid()) {
+    result.failure = "connect: " + error;
+    return;
+  }
+  set_nodelay(fd.get());
+
+  result.latencies_us.reserve(ids.size());
+  if (config.record_answers) {
+    result.answers.reserve(ids.size());
+  }
+
+  reply_parser parser;
+  std::string sendbuf;
+  std::deque<clock::time_point> inflight;
+  char line[64];
+  char buffer[16 * 1024];
+  std::size_t sent = 0;
+
+  while (result.replies < ids.size()) {
+    sendbuf.clear();
+    const clock::time_point batch_start = clock::now();
+    while (sent < ids.size() &&
+           sent - result.replies < config.pipeline_depth) {
+      const int formatted =
+          std::snprintf(line, sizeof line, "ROUTE %llu\r\n",
+                        static_cast<unsigned long long>(ids[sent]));
+      sendbuf.append(line, static_cast<std::size_t>(formatted));
+      inflight.push_back(batch_start);
+      ++sent;
+    }
+    if (!sendbuf.empty() &&
+        !write_all(fd.get(), sendbuf, result.failure)) {
+      return;
+    }
+    const ssize_t received = ::read(fd.get(), buffer, sizeof buffer);
+    if (received == 0) {
+      result.failure = "server closed the connection mid-run";
+      return;
+    }
+    if (received < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      result.failure = "read failed";
+      return;
+    }
+    parser.feed(std::string_view(buffer, static_cast<std::size_t>(received)));
+    wire_reply reply;
+    for (;;) {
+      const parse_result pulled = parser.next(reply);
+      if (pulled == parse_result::need_more) {
+        break;
+      }
+      if (pulled == parse_result::error) {
+        result.failure = "reply parse: " + parser.error_message();
+        return;
+      }
+      if (inflight.empty()) {
+        result.failure = "received more replies than requests";
+        return;
+      }
+      const clock::time_point sent_at = inflight.front();
+      inflight.pop_front();
+      result.latencies_us.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              clock::now() - sent_at)
+              .count()));
+      ++result.replies;
+      if (reply.type == wire_reply::kind::integer) {
+        ++result.server_load[reply.value];
+        if (config.record_answers) {
+          result.answers.push_back(reply.value);
+        }
+      } else {
+        ++result.errors;
+        if (config.record_answers) {
+          result.answers.push_back(0);
+        }
+      }
+    }
+  }
+}
+
+#else  // !unix
+
+void run_connection(const load_gen_config&, std::size_t,
+                    connection_result& result) {
+  result.failure = "sockets unsupported on this platform";
+}
+
+#endif
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                         double quantile) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const double position =
+      quantile * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(position)];
+}
+
+}  // namespace
+
+std::vector<request_id> load_gen_ids(const load_gen_config& config,
+                                     std::size_t connection) {
+  HDHASH_REQUIRE(config.key_universe > 0, "key universe must be positive");
+  std::vector<request_id> ids;
+  ids.reserve(config.requests_per_connection);
+  // Distinct streams per connection; identical runs for identical
+  // (seed, connection) pairs regardless of connection count.
+  std::uint64_t state =
+      config.seed ^ (0xA076'1D64'78BD'642Full *
+                     (static_cast<std::uint64_t>(connection) + 1));
+  for (std::size_t i = 0; i < config.requests_per_connection; ++i) {
+    ids.push_back(splitmix64(state) % config.key_universe);
+  }
+  return ids;
+}
+
+load_gen_report run_load_gen(const load_gen_config& config) {
+  HDHASH_REQUIRE(config.connections >= 1, "need at least one connection");
+  HDHASH_REQUIRE(config.pipeline_depth >= 1,
+                 "pipeline depth must be positive");
+  std::vector<connection_result> results(config.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(config.connections);
+
+  const clock::time_point start = clock::now();
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    threads.emplace_back(
+        [&config, c, &results] { run_connection(config, c, results[c]); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  load_gen_report report;
+  report.wall_seconds = wall;
+  std::vector<std::uint64_t> latencies;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    connection_result& result = results[c];
+    if (!result.failure.empty()) {
+      throw std::runtime_error("load_gen connection " + std::to_string(c) +
+                               ": " + result.failure);
+    }
+    report.requests += result.replies;
+    report.errors += result.errors;
+    for (const auto& [server, count] : result.server_load) {
+      report.server_load[server] += count;
+    }
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    if (config.record_answers) {
+      report.answers.push_back(std::move(result.answers));
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = percentile(latencies, 0.50);
+  report.p99_us = percentile(latencies, 0.99);
+  report.p999_us = percentile(latencies, 0.999);
+  report.max_us = latencies.empty() ? 0 : latencies.back();
+  report.requests_per_second =
+      wall > 0.0 ? static_cast<double>(report.requests) / wall : 0.0;
+  return report;
+}
+
+}  // namespace hdhash::net

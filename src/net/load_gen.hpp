@@ -1,0 +1,64 @@
+/// \file load_gen.hpp
+/// \brief Multi-connection loopback load generator for the TCP
+/// front-end: one blocking-socket thread per connection, windowed
+/// pipelining, per-request latency capture.
+///
+/// The id stream of every connection is a pure function of
+/// (seed, connection index) — `load_gen_ids()` exposes it so the e2e
+/// test can replay the exact same requests through the in-process
+/// emulator and demand bit-identical routing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "table/dynamic_table.hpp"
+
+namespace hdhash::net {
+
+struct load_gen_config {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Concurrent connections, one thread each.
+  std::size_t connections = 8;
+  std::size_t requests_per_connection = 25000;
+  /// Max ROUTE commands in flight per connection before the sender
+  /// waits for replies (the pipelining window).
+  std::size_t pipeline_depth = 128;
+  /// Request ids are drawn uniformly from [0, key_universe).
+  std::uint64_t key_universe = 200000;
+  std::uint64_t seed = 42;
+  /// Keep every routed server id per connection (the determinism test
+  /// needs them; benches leave this off to avoid the memory churn).
+  bool record_answers = false;
+};
+
+struct load_gen_report {
+  std::size_t requests = 0;  ///< replies received (all connections)
+  std::size_t errors = 0;    ///< -ERR replies received
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  /// Reply latency percentiles in microseconds, measured per request
+  /// from send-buffer append to reply parse (RTT under pipelining).
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint64_t max_us = 0;
+  /// Requests routed per server — the delivered load histogram.
+  std::map<server_id, std::uint64_t> server_load;
+  /// Per-connection routed answers, reply order (record_answers only).
+  std::vector<std::vector<server_id>> answers;
+};
+
+/// The deterministic id stream connection `connection` will send.
+std::vector<request_id> load_gen_ids(const load_gen_config& config,
+                                     std::size_t connection);
+
+/// Runs the full load; throws std::runtime_error if any connection
+/// fails to connect, dies mid-run, or receives an unparseable reply.
+load_gen_report run_load_gen(const load_gen_config& config);
+
+}  // namespace hdhash::net

@@ -1,0 +1,282 @@
+#include "net/protocol.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace hdhash::net {
+
+namespace {
+
+/// Splits `line` into at most `max_tokens` space-separated tokens.
+/// Returns the token count, or -1 on empty tokens (doubled/leading/
+/// trailing separators) or token overflow — both malformed.
+int tokenize(std::string_view line, std::string_view* tokens,
+             int max_tokens) {
+  int count = 0;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    const std::size_t end = space == std::string_view::npos ? line.size()
+                                                            : space;
+    if (end == pos) {
+      return -1;  // empty token
+    }
+    if (count == max_tokens) {
+      return -1;  // too many tokens
+    }
+    tokens[count++] = line.substr(pos, end - pos);
+    if (space == std::string_view::npos) {
+      break;
+    }
+    pos = space + 1;
+  }
+  return count;
+}
+
+/// Strict full-token uint64 parse (decimal, no sign, no trailing junk).
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  if (token.empty() || token.size() > 20) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+/// Strict full-token positive double parse for JOIN weights.
+bool parse_weight(std::string_view token, double& out) {
+  if (token.empty() || token.size() > 32 || token.front() == '-' ||
+      token.front() == '+') {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size() &&
+         out > 0.0;
+}
+
+}  // namespace
+
+wire_parser::wire_parser(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes) {}
+
+void wire_parser::feed(std::string_view bytes) {
+  if (failed_) {
+    return;  // sink further input — the connection is going away
+  }
+  // Compact before the buffer doubles in dead prefix.
+  if (offset_ > 0 && offset_ >= buffer_.size() / 2) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+parse_result wire_parser::fail_line(std::string_view message,
+                                    std::size_t consume) {
+  error_.assign(message);
+  offset_ += consume;
+  return parse_result::error;
+}
+
+parse_result wire_parser::next(wire_command& out) {
+  if (failed_) {
+    return parse_result::error;
+  }
+  const std::string_view pending =
+      std::string_view(buffer_).substr(offset_);
+  const std::size_t newline = pending.find('\n');
+  if (newline == std::string_view::npos) {
+    if (pending.size() >= max_line_bytes_) {
+      failed_ = true;
+      error_ = "line exceeds protocol maximum";
+      return parse_result::error;
+    }
+    return parse_result::need_more;
+  }
+  if (newline + 1 > max_line_bytes_) {
+    failed_ = true;
+    error_ = "line exceeds protocol maximum";
+    return parse_result::error;
+  }
+  // Accept CRLF (canonical) and bare LF (manual/netcat sessions).
+  std::string_view line = pending.substr(0, newline);
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  const std::size_t consume = newline + 1;
+  if (line.empty()) {
+    return fail_line("empty command", consume);
+  }
+  for (const char c : line) {
+    if (c == '\0' || c == '\r') {
+      return fail_line("control byte inside command", consume);
+    }
+  }
+  std::string_view tokens[3];
+  const int count = tokenize(line, tokens, 3);
+  if (count < 0) {
+    return fail_line("malformed token separators", consume);
+  }
+  const std::string_view verb = tokens[0];
+  if (verb == "PING") {
+    if (count != 1) {
+      return fail_line("PING takes no arguments", consume);
+    }
+    out = wire_command{command_kind::ping, 0, 1.0};
+  } else if (verb == "STATS") {
+    if (count != 1) {
+      return fail_line("STATS takes no arguments", consume);
+    }
+    out = wire_command{command_kind::stats, 0, 1.0};
+  } else if (verb == "ROUTE") {
+    std::uint64_t id = 0;
+    if (count != 2 || !parse_u64(tokens[1], id)) {
+      return fail_line("ROUTE needs one decimal id", consume);
+    }
+    out = wire_command{command_kind::route, id, 1.0};
+  } else if (verb == "JOIN") {
+    std::uint64_t id = 0;
+    double weight = 1.0;
+    if (count < 2 || count > 3 || !parse_u64(tokens[1], id) ||
+        (count == 3 && !parse_weight(tokens[2], weight))) {
+      return fail_line("JOIN needs a decimal id and optional weight > 0",
+                       consume);
+    }
+    out = wire_command{command_kind::join, id, weight};
+  } else if (verb == "LEAVE") {
+    std::uint64_t id = 0;
+    if (count != 2 || !parse_u64(tokens[1], id)) {
+      return fail_line("LEAVE needs one decimal id", consume);
+    }
+    out = wire_command{command_kind::leave, id, 1.0};
+  } else {
+    return fail_line("unknown command", consume);
+  }
+  offset_ += consume;
+  return parse_result::command;
+}
+
+// --- reply encoding ----------------------------------------------------
+
+void encode_ok(std::string& out) { out.append("+OK\r\n"); }
+
+void encode_pong(std::string& out) { out.append("+PONG\r\n"); }
+
+void encode_route_reply(std::string& out, std::uint64_t server) {
+  char digits[24];
+  const int written =
+      std::snprintf(digits, sizeof digits, ":%llu\r\n",
+                    static_cast<unsigned long long>(server));
+  out.append(digits, static_cast<std::size_t>(written));
+}
+
+void encode_error(std::string& out, std::string_view message) {
+  out.append("-ERR ");
+  out.append(message);
+  out.append("\r\n");
+}
+
+void encode_bulk(std::string& out, std::string_view payload) {
+  char header[24];
+  const int written =
+      std::snprintf(header, sizeof header, "$%zu\r\n", payload.size());
+  out.append(header, static_cast<std::size_t>(written));
+  out.append(payload);
+  out.append("\r\n");
+}
+
+// --- reply parsing -----------------------------------------------------
+
+reply_parser::reply_parser(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void reply_parser::feed(std::string_view bytes) {
+  if (failed_) {
+    return;
+  }
+  if (offset_ > 0 && offset_ >= buffer_.size() / 2) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+parse_result reply_parser::fail(std::string_view message) {
+  failed_ = true;
+  error_.assign(message);
+  return parse_result::error;
+}
+
+parse_result reply_parser::next(wire_reply& out) {
+  if (failed_) {
+    return parse_result::error;
+  }
+  const std::string_view pending =
+      std::string_view(buffer_).substr(offset_);
+  if (pending.empty()) {
+    return parse_result::need_more;
+  }
+  const std::size_t newline = pending.find('\n');
+  if (newline == std::string_view::npos) {
+    if (pending.size() >= max_frame_bytes_) {
+      return fail("reply line exceeds frame maximum");
+    }
+    return parse_result::need_more;
+  }
+  if (newline == 0 || pending[newline - 1] != '\r') {
+    return fail("reply line not CRLF-terminated");
+  }
+  const std::string_view line = pending.substr(0, newline - 1);
+  const std::size_t line_consume = newline + 1;
+  switch (pending[0]) {
+    case '+':
+      out.type = wire_reply::kind::status;
+      out.text.assign(line.substr(1));
+      out.value = 0;
+      offset_ += line_consume;
+      return parse_result::command;
+    case '-':
+      out.type = wire_reply::kind::error;
+      out.text.assign(line.substr(1));
+      out.value = 0;
+      offset_ += line_consume;
+      return parse_result::command;
+    case ':': {
+      std::uint64_t value = 0;
+      if (!parse_u64(line.substr(1), value)) {
+        return fail("malformed integer reply");
+      }
+      out.type = wire_reply::kind::integer;
+      out.value = value;
+      out.text.clear();
+      offset_ += line_consume;
+      return parse_result::command;
+    }
+    case '$': {
+      std::uint64_t length = 0;
+      if (!parse_u64(line.substr(1), length) ||
+          length > max_frame_bytes_) {
+        return fail("malformed bulk header");
+      }
+      // Whole frame: header line + payload + CRLF.
+      const std::size_t frame = line_consume + length + 2;
+      if (pending.size() < frame) {
+        return parse_result::need_more;
+      }
+      if (pending[line_consume + length] != '\r' ||
+          pending[line_consume + length + 1] != '\n') {
+        return fail("bulk payload not CRLF-terminated");
+      }
+      out.type = wire_reply::kind::bulk;
+      out.value = length;
+      out.text.assign(pending.substr(line_consume, length));
+      offset_ += frame;
+      return parse_result::command;
+    }
+    default:
+      return fail("unknown reply type tag");
+  }
+}
+
+}  // namespace hdhash::net

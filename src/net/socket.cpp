@@ -1,0 +1,160 @@
+#include "net/socket.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HDHASH_NET_POSIX 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace hdhash::net {
+
+void unique_fd::reset(int fd) noexcept {
+#if defined(HDHASH_NET_POSIX)
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+#endif
+  fd_ = fd;
+}
+
+#if defined(HDHASH_NET_POSIX)
+
+bool sockets_supported() noexcept { return true; }
+
+namespace {
+
+void set_error(std::string* error, const char* where) {
+  if (error != nullptr) {
+    *error = std::string(where) + ": " + std::strerror(errno);
+  }
+}
+
+bool make_address(const std::string& address, std::uint16_t port,
+                  sockaddr_in& out, std::string* error) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &out.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "invalid IPv4 address: " + address;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+unique_fd tcp_listen(const std::string& address, std::uint16_t port,
+                     int backlog, std::uint16_t* bound_port,
+                     std::string* error) {
+  sockaddr_in addr;
+  if (!make_address(address, port, addr, error)) {
+    return unique_fd{};
+  }
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return unique_fd{};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    set_error(error, "bind");
+    return unique_fd{};
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    set_error(error, "listen");
+    return unique_fd{};
+  }
+  if (!set_nonblocking(fd.get(), true)) {
+    set_error(error, "fcntl(O_NONBLOCK)");
+    return unique_fd{};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      set_error(error, "getsockname");
+      return unique_fd{};
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+unique_fd tcp_connect(const std::string& address, std::uint16_t port,
+                      std::string* error) {
+  sockaddr_in addr;
+  if (!make_address(address, port, addr, error)) {
+    return unique_fd{};
+  }
+  unique_fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return unique_fd{};
+  }
+  // Retry the connect on EINTR; everything else is the caller's problem.
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0) {
+    if (errno == EINTR) {
+      continue;
+    }
+    set_error(error, "connect");
+    return unique_fd{};
+  }
+  return fd;
+}
+
+bool set_nonblocking(int fd, bool enabled) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return false;
+  }
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, wanted) == 0;
+}
+
+bool set_nodelay(int fd) noexcept {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) == 0;
+}
+
+#else  // !HDHASH_NET_POSIX
+
+bool sockets_supported() noexcept { return false; }
+
+namespace {
+void unsupported(std::string* error) {
+  if (error != nullptr) {
+    *error = "BSD sockets are not available on this platform";
+  }
+}
+}  // namespace
+
+unique_fd tcp_listen(const std::string&, std::uint16_t, int, std::uint16_t*,
+                     std::string* error) {
+  unsupported(error);
+  return unique_fd{};
+}
+
+unique_fd tcp_connect(const std::string&, std::uint16_t, std::string* error) {
+  unsupported(error);
+  return unique_fd{};
+}
+
+bool set_nonblocking(int, bool) noexcept { return false; }
+bool set_nodelay(int) noexcept { return false; }
+
+#endif  // HDHASH_NET_POSIX
+
+}  // namespace hdhash::net

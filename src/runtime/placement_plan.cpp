@@ -139,11 +139,31 @@ placement_plan plan_placement(const cpu_topology& topology,
 }
 
 std::size_t auto_shard_count(const cpu_topology& topology) {
+  return auto_shard_count(topology, 1);
+}
+
+std::size_t auto_shard_count(const cpu_topology& topology,
+                             std::size_t reserved_cores) {
   const std::size_t cores = topology.allowed_physical_cores();
-  if (cores > 2) {
-    return cores - 1;  // leave the producer thread a core of its own
+  if (cores > reserved_cores + 1) {
+    return cores - reserved_cores;  // reserved workers get their own cores
   }
+  // Too small to dedicate cores: every worker shares the full set.
   return std::max<std::size_t>(cores, 1);
+}
+
+io_shard_split plan_io_shard_split(const cpu_topology& topology,
+                                   std::size_t requested_io) {
+  const std::size_t cores =
+      std::max<std::size_t>(topology.allowed_physical_cores(), 1);
+  io_shard_split split;
+  if (requested_io == 0) {
+    split.io_threads = std::clamp<std::size_t>(cores / 4, 1, 4);
+  } else {
+    split.io_threads = std::min(requested_io, cores);
+  }
+  split.shards = auto_shard_count(topology, split.io_threads);
+  return split;
 }
 
 }  // namespace hdhash::runtime

@@ -76,6 +76,30 @@ placement_plan plan_placement(const cpu_topology& topology,
 /// available.  Never returns 0.
 std::size_t auto_shard_count(const cpu_topology& topology);
 
+/// `shards=auto` sizing with `reserved_cores` physical cores held back
+/// for other pinned workers (io reactors, the producer thread): the
+/// shard count is the allowed physical cores minus the reservation,
+/// provided at least one core is left over beyond it; on machines too
+/// small to honour the reservation the shards get every core (sharing
+/// with the reserved workers beats idling).  Never returns 0.
+/// `auto_shard_count(t)` ≡ `auto_shard_count(t, 1)`.
+std::size_t auto_shard_count(const cpu_topology& topology,
+                             std::size_t reserved_cores);
+
+/// The io/shard split the net server uses for `--shards auto`:
+/// `io_threads` reactor workers (capped to what the topology can
+/// dedicate) plus `auto_shard_count(topology, io_threads)` shards.
+struct io_shard_split {
+  std::size_t io_threads = 1;
+  std::size_t shards = 1;
+};
+
+/// Sizes the split.  `requested_io` of 0 means auto: one reactor per
+/// four allowed physical cores, between 1 and 4.  io_threads never
+/// exceeds the allowed physical cores (so shards always keep >= 1).
+io_shard_split plan_io_shard_split(const cpu_topology& topology,
+                                   std::size_t requested_io = 0);
+
 /// Process-wide default policy: `compact` (pin where supported),
 /// overridable with the HDHASH_PIN environment variable
 /// (none|compact|scatter|smt-aware).  An unknown value fails loudly

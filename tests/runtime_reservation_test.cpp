@@ -1,0 +1,109 @@
+/// Io-core reservation in the auto shard sizing: `--shards auto` must
+/// leave the reserved (io/producer) workers their own physical cores
+/// when the topology has them, and fall back to sharing the full core
+/// set on machines too small to honour the reservation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/placement_plan.hpp"
+
+namespace hdhash::runtime {
+namespace {
+
+logical_cpu make_cpu(unsigned id, unsigned package, unsigned core,
+                     unsigned node, bool allowed = true) {
+  logical_cpu cpu;
+  cpu.id = id;
+  cpu.package = package;
+  cpu.core = core;
+  cpu.node = node;
+  cpu.allowed = allowed;
+  return cpu;
+}
+
+/// 1 socket, `cores` physical cores, no SMT.
+cpu_topology flat_box(unsigned cores) {
+  std::vector<logical_cpu> cpus;
+  for (unsigned id = 0; id < cores; ++id) {
+    cpus.push_back(make_cpu(id, 0, id, 0));
+  }
+  return cpu_topology::from_cpus(std::move(cpus));
+}
+
+TEST(AutoShardReservation, DefaultReservationMatchesLegacyOverload) {
+  for (unsigned cores = 1; cores <= 16; ++cores) {
+    const cpu_topology topo = flat_box(cores);
+    EXPECT_EQ(auto_shard_count(topo), auto_shard_count(topo, 1))
+        << cores << " cores";
+  }
+}
+
+TEST(AutoShardReservation, ReservesCoresWhenRoomRemains) {
+  // 8 cores, 2 reserved for io → 6 shard cores.
+  EXPECT_EQ(auto_shard_count(flat_box(8), 2), 6u);
+  // 8 cores, 4 reserved → 4 shards (still > reservation + 1? 8 > 5 yes).
+  EXPECT_EQ(auto_shard_count(flat_box(8), 4), 4u);
+}
+
+TEST(AutoShardReservation, SmallMachinesShareInsteadOfStarving) {
+  // Reservation >= cores - 1: dedicating cores would leave the shards
+  // 0 or 1 of them — every worker shares the full set instead.
+  EXPECT_EQ(auto_shard_count(flat_box(2), 2), 2u);
+  EXPECT_EQ(auto_shard_count(flat_box(4), 3), 4u);
+  EXPECT_EQ(auto_shard_count(flat_box(1), 1), 1u);
+  EXPECT_EQ(auto_shard_count(flat_box(1), 4), 1u);
+}
+
+TEST(AutoShardReservation, NeverReturnsZero) {
+  for (unsigned cores = 1; cores <= 8; ++cores) {
+    for (std::size_t reserved = 0; reserved <= 8; ++reserved) {
+      EXPECT_GE(auto_shard_count(flat_box(cores), reserved), 1u)
+          << cores << " cores, " << reserved << " reserved";
+    }
+  }
+}
+
+TEST(AutoShardReservation, CountsPhysicalCoresNotSmtSiblings) {
+  // 4 physical cores with SMT-2 (8 logical CPUs): the reservation and
+  // the shard budget are both in physical cores.
+  std::vector<logical_cpu> cpus;
+  for (unsigned id = 0; id < 8; ++id) {
+    cpus.push_back(make_cpu(id, 0, id % 4, 0));
+  }
+  const cpu_topology topo = cpu_topology::from_cpus(std::move(cpus));
+  EXPECT_EQ(auto_shard_count(topo, 1), 3u);
+  EXPECT_EQ(auto_shard_count(topo, 2), 2u);
+}
+
+TEST(IoShardSplit, AutoIoScalesWithCores) {
+  // One reactor per four physical cores, clamped to [1, 4].
+  EXPECT_EQ(plan_io_shard_split(flat_box(1)).io_threads, 1u);
+  EXPECT_EQ(plan_io_shard_split(flat_box(4)).io_threads, 1u);
+  EXPECT_EQ(plan_io_shard_split(flat_box(8)).io_threads, 2u);
+  EXPECT_EQ(plan_io_shard_split(flat_box(16)).io_threads, 4u);
+  EXPECT_EQ(plan_io_shard_split(flat_box(32)).io_threads, 4u);
+}
+
+TEST(IoShardSplit, ShardsGetTheRemainingCores) {
+  const io_shard_split split = plan_io_shard_split(flat_box(16));
+  EXPECT_EQ(split.io_threads, 4u);
+  EXPECT_EQ(split.shards, 12u);
+  // io + shards never oversubscribes a machine with room to split.
+  EXPECT_LE(split.io_threads + split.shards, 16u);
+}
+
+TEST(IoShardSplit, RequestedIoIsCappedToTheTopology) {
+  const io_shard_split split = plan_io_shard_split(flat_box(2), 8);
+  EXPECT_EQ(split.io_threads, 2u);
+  EXPECT_GE(split.shards, 1u);
+}
+
+TEST(IoShardSplit, SingleCoreBoxStillRunsEverything) {
+  const io_shard_split split = plan_io_shard_split(flat_box(1), 4);
+  EXPECT_EQ(split.io_threads, 1u);
+  EXPECT_EQ(split.shards, 1u);
+}
+
+}  // namespace
+}  // namespace hdhash::runtime
