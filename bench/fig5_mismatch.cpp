@@ -134,9 +134,12 @@ void run_sharded_shadow_panel(std::size_t max_shards) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const hdhash::shards_flag shards = hdhash::parse_shards_flag(argc, argv);
-  if (shards.present && shards.value == 0) {
-    std::fprintf(stderr, "--shards needs a positive integer\n");
+  const hdhash::emulator_options opts =
+      hdhash::parse_emulator_options(argc, argv);
+  if (!opts.ok()) {
+    for (const std::string& error : opts.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
     return 1;
   }
   std::printf("== Figure 5: mismatched requests vs bit errors ==\n");
@@ -144,8 +147,8 @@ int main(int argc, char** argv) {
   run_panel(512, 5000, 8);
   run_panel(2048, 1500, 2);
   run_mcu_headline();
-  if (shards.value >= 1) {
-    run_sharded_shadow_panel(shards.value);
+  if (opts.shards >= 1) {
+    run_sharded_shadow_panel(opts.shards);
   }
   std::printf(
       "\nShape check (paper): HD hashing stays at 0.00%% across the sweep;\n"

@@ -52,9 +52,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "net_frontend: epoll reactor unsupported here\n");
     return 1;
   }
-  const pin_flag pin = parse_pin_flag(argc, argv);
-  if (pin.present && !pin.valid) {
-    std::fprintf(stderr, "--pin needs one of none|compact|scatter|smt-aware\n");
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  if (!opts.ok()) {
+    for (const std::string& error : opts.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
     return 1;
   }
 
@@ -64,8 +66,8 @@ int main(int argc, char** argv) {
   config.port = 0;  // ephemeral
   config.io_threads = split.io_threads;
   config.shards = split.shards;
-  config.placement =
-      pin.present ? pin.policy : runtime::default_placement_policy();
+  config.placement = opts.placement;
+  config.channel = opts.channel;
 
   table_options options;
   options.hd.capacity = 512;

@@ -24,6 +24,11 @@
 ///    summarized in `placement_scaling`.  When the main series already
 ///    runs unpinned (--pin=none), the ablation collapses onto it
 ///    instead of running the identical sweep twice.
+///  * results_multi_producer — the snapshot clean sweep with M pinned
+///    producer threads feeding the lock-free SPSC ingest mesh
+///    (--producers, default 2): same determinism bar as the single-
+///    producer series, measuring what parallel partition/encode buys
+///    when the producer side stops being the bottleneck.
 ///
 /// Two rates per point:
 ///  * aggregate_rps — the sum of per-shard service rates, each metered
@@ -54,7 +59,9 @@ using namespace hdhash;
 
 shard_sweep_config sweep_config(std::size_t requests, double churn,
                                 membership_mode membership,
-                                runtime::placement_policy placement) {
+                                runtime::placement_policy placement,
+                                channel_kind channel,
+                                std::size_t producers = 1) {
   shard_sweep_config config;
   config.shard_counts = {1, 2, 4, 8, 16};
   config.servers = 128;
@@ -62,6 +69,8 @@ shard_sweep_config sweep_config(std::size_t requests, double churn,
   config.churn_rate = churn;
   config.membership = membership;
   config.placement = placement;
+  config.channel = channel;
+  config.producers = producers;
   return config;
 }
 
@@ -74,9 +83,12 @@ std::vector<shard_sweep_point> run_and_print(const shard_sweep_config& config,
   const char* mode = config.membership == membership_mode::snapshot
                          ? "snapshot"
                          : "replicated";
-  std::printf("\n-- %s (%s membership, %.1f%% churn, placement %s) --\n",
-              title, mode, 100.0 * config.churn_rate,
-              std::string(runtime::to_string(config.placement)).c_str());
+  std::printf(
+      "\n-- %s (%s membership, %.1f%% churn, placement %s, "
+      "%zu producer(s)) --\n",
+      title, mode, 100.0 * config.churn_rate,
+      std::string(runtime::to_string(config.placement)).c_str(),
+      config.producers);
   table_printer table({"shards", "aggregate req/s", "speedup", "wall req/s",
                        "table MiB", "pinned", "deterministic"});
   for (const shard_sweep_point& p : series) {
@@ -102,12 +114,13 @@ void emit_series(std::FILE* out, const char* key,
   for (std::size_t i = 0; i < series.size(); ++i) {
     const shard_sweep_point& p = series[i];
     std::fprintf(out,
-                 "    {\"shards\": %zu, \"aggregate_rps\": %.0f, "
+                 "    {\"shards\": %zu, \"producers\": %zu, "
+                 "\"aggregate_rps\": %.0f, "
                  "\"aggregate_speedup\": %.2f, \"wall_rps\": %.0f, "
                  "\"table_memory_bytes\": %zu, \"snapshots_published\": %zu, "
                  "\"placement_policy\": \"%s\", \"pinned_workers\": %zu, "
                  "\"deterministic\": %s}%s\n",
-                 p.shards, p.aggregate_requests_per_second,
+                 p.shards, p.producers, p.aggregate_requests_per_second,
                  p.aggregate_speedup, p.wall_requests_per_second,
                  p.table_memory_bytes, p.snapshots_published,
                  std::string(runtime::to_string(p.placement)).c_str(),
@@ -158,33 +171,42 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const pin_flag pin = parse_pin_flag(argc, argv);
-  if (pin.present && !pin.valid) {
-    std::fprintf(stderr, "--pin needs one of none|compact|scatter|smt-aware\n");
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  if (!opts.ok()) {
+    for (const std::string& error : opts.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
     return 1;
   }
-  const runtime::placement_policy policy =
-      pin.present ? pin.policy : runtime::default_placement_policy();
+  const runtime::placement_policy policy = opts.placement;
+  const channel_kind channel = opts.channel;
+  // The multi-producer series runs M pinned producer threads feeding
+  // the SPSC ingest mesh; --producers overrides the default of 2.
+  const std::size_t multi_producers =
+      opts.producers > 1 ? opts.producers : 2;
 
   const runtime::cpu_topology& topo = runtime::host_topology();
   const auto snap =
-      sweep_config(requests, 0.0, membership_mode::snapshot, policy);
+      sweep_config(requests, 0.0, membership_mode::snapshot, policy, channel);
   std::printf(
       "== Sharded emulator throughput (hd-hierarchical, %zu servers,\n"
-      "   %zu requests, per-shard batch %zu) ==\n"
+      "   %zu requests, per-shard batch %zu, %s channels) ==\n"
       "topology: %zu package(s), %zu NUMA node(s), %zu physical core(s),\n"
       "   %zu logical CPU(s), %zu allowed by cpuset; pinning %s\n",
-      snap.servers, snap.requests, snap.buffer_capacity, topo.packages(),
+      snap.servers, snap.requests, snap.buffer_capacity,
+      std::string(to_string(channel)).c_str(), topo.packages(),
       topo.numa_nodes(), topo.physical_cores(), topo.logical_cpus(),
       topo.allowed_cpus().size(),
       runtime::worker_pool::pinning_supported() ? "supported" : "unsupported");
 
   const auto snap_churn =
-      sweep_config(requests, 0.01, membership_mode::snapshot, policy);
-  const auto repl =
-      sweep_config(requests, 0.0, membership_mode::replicated, policy);
-  const auto repl_churn =
-      sweep_config(requests, 0.01, membership_mode::replicated, policy);
+      sweep_config(requests, 0.01, membership_mode::snapshot, policy, channel);
+  const auto repl = sweep_config(requests, 0.0, membership_mode::replicated,
+                                 policy, channel);
+  const auto repl_churn = sweep_config(
+      requests, 0.01, membership_mode::replicated, policy, channel);
+  const auto multi = sweep_config(requests, 0.0, membership_mode::snapshot,
+                                  policy, channel, multi_producers);
 
   const auto snap_series = run_and_print(snap, "request traffic only");
   const auto snap_churn_series =
@@ -192,6 +214,8 @@ int main(int argc, char** argv) {
   const auto repl_series = run_and_print(repl, "request traffic only");
   const auto repl_churn_series =
       run_and_print(repl_churn, "with membership churn");
+  const auto multi_series =
+      run_and_print(multi, "multi-producer ingest mesh");
   // The pinning ablation: the snapshot clean sweep under `none`.  When
   // the main series already runs unpinned (--pin=none / HDHASH_PIN),
   // re-running it would duplicate both the work and the JSON entry, so
@@ -202,7 +226,8 @@ int main(int argc, char** argv) {
           ? snap_series
           : run_and_print(sweep_config(requests, 0.0,
                                        membership_mode::snapshot,
-                                       runtime::placement_policy::none),
+                                       runtime::placement_policy::none,
+                                       channel),
                           "request traffic only, unpinned");
   std::printf(
       "\nAggregate req/s sums each shard's service rate on its own CPU\n"
@@ -230,6 +255,8 @@ int main(int argc, char** argv) {
                "  \"results_membership_mode\": \"snapshot\",\n"
                "  \"results_churn_rate\": %.4f,\n"
                "  \"shard_buffer_capacity\": %zu,\n"
+               "  \"channel\": \"%s\",\n"
+               "  \"multi_producer_count\": %zu,\n"
                "  \"placement_policy\": \"%s\",\n"
                "  \"hardware_cores\": %u,\n"
                "  \"topology\": {\"packages\": %zu, \"numa_nodes\": %zu, "
@@ -237,7 +264,8 @@ int main(int argc, char** argv) {
                "\"allowed_cpus\": %zu, \"smt_per_core\": %zu, "
                "\"pinning_supported\": %s, \"from_sysfs\": %s},\n",
                snap.servers, snap.requests, snap_churn.churn_rate,
-               snap.buffer_capacity,
+               snap.buffer_capacity, std::string(to_string(channel)).c_str(),
+               multi_producers,
                std::string(runtime::to_string(policy)).c_str(),
                std::thread::hardware_concurrency(), topo.packages(),
                topo.numa_nodes(), topo.physical_cores(), topo.logical_cpus(),
@@ -255,6 +283,7 @@ int main(int argc, char** argv) {
   emit_series(out, "results_churn", snap_churn_series, ",");
   emit_series(out, "results_replicated", repl_series, ",");
   emit_series(out, "results_replicated_churn", repl_churn_series, ",");
+  emit_series(out, "results_multi_producer", multi_series, ",");
   emit_series(out, "results_unpinned", unpinned_series, "");
   std::fprintf(out, "}\n");
   std::fclose(out);

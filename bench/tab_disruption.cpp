@@ -56,9 +56,11 @@ void run_sharded_churn_panel(std::size_t max_shards) {
 
 int main(int argc, char** argv) {
   using namespace hdhash;
-  const shards_flag shards = parse_shards_flag(argc, argv);
-  if (shards.present && shards.value == 0) {
-    std::fprintf(stderr, "--shards needs a positive integer\n");
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  if (!opts.ok()) {
+    for (const std::string& error : opts.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
     return 1;
   }
 
@@ -82,8 +84,8 @@ int main(int argc, char** argv) {
       "failure); consistent, rendezvous and HD match their minima exactly;\n"
       "jump adds one backfilled slot on leave; maglev is near-minimal.\n");
 
-  if (shards.value >= 1) {
-    run_sharded_churn_panel(shards.value);
+  if (opts.shards >= 1) {
+    run_sharded_churn_panel(opts.shards);
   }
   return 0;
 }

@@ -3,6 +3,7 @@
 ///
 ///   net_server [--port P] [--io N] [--shards N|auto] [--servers K]
 ///              [--pin <none|compact|scatter|smt-aware>]
+///              [--channel <ring|mutex>]
 ///
 /// Binds 127.0.0.1:7700 by default, pre-joins K servers (ids 1..K) so
 /// ROUTE works immediately, then serves until SIGINT/SIGTERM — at
@@ -52,14 +53,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "net_server: epoll reactor unsupported here\n");
     return 1;
   }
-  const pin_flag pin = parse_pin_flag(argc, argv);
-  if (pin.present && !pin.valid) {
-    std::fprintf(stderr, "--pin needs one of none|compact|scatter|smt-aware\n");
-    return 1;
-  }
-  const shards_flag shards = parse_shards_flag(argc, argv);
-  if (shards.present && shards.value == 0) {
-    std::fprintf(stderr, "--shards needs a positive integer or 'auto'\n");
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  if (!opts.ok()) {
+    for (const std::string& error : opts.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
     return 1;
   }
   const std::size_t port = flag_value(argc, argv, "--port", 7700);
@@ -78,10 +76,10 @@ int main(int argc, char** argv) {
   net::server_config config;
   config.port = static_cast<std::uint16_t>(port);
   config.io_threads = split.io_threads;
-  config.shards = shards.present && !shards.auto_sized ? shards.value
+  config.shards = opts.shards_set && !opts.shards_auto ? opts.shards
                                                        : split.shards;
-  config.placement =
-      pin.present ? pin.policy : runtime::default_placement_policy();
+  config.placement = opts.placement;
+  config.channel = opts.channel;
 
   table_options options;
   options.hd.dimension = 4096;

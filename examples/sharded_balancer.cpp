@@ -26,40 +26,31 @@
 
 int main(int argc, char** argv) {
   using namespace hdhash;
-  const bool replicated = parse_replicated_flag(argc, argv);
-  const membership_mode membership =
-      replicated ? membership_mode::replicated : membership_mode::snapshot;
-  // --pin <none|compact|scatter|smt-aware>: worker placement policy
-  // (default compact — pinned where the platform supports it).
-  const pin_flag pin = parse_pin_flag(argc, argv);
-  if (pin.present && !pin.valid) {
-    std::fprintf(stderr,
-                 "--pin needs one of none|compact|scatter|smt-aware\n");
+  // One parser for every emulator knob: --shards N|auto, --producers
+  // M|auto, --pin <policy>, --replicated, --channel ring|mutex.
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  if (!opts.ok()) {
+    for (const std::string& error : opts.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
     return 1;
   }
-  const runtime::placement_policy placement =
-      pin.present ? pin.policy : runtime::default_placement_policy();
-  // --shards N | auto: deepest shard count of the sweep; `auto` sizes
-  // to the allowed physical cores of the discovered topology.
-  const shards_flag shards = parse_shards_flag(argc, argv);
-  if (shards.present && shards.value == 0) {
-    std::fprintf(stderr, "--shards needs a positive integer or 'auto'\n");
-    return 1;
-  }
+  const bool replicated = opts.membership == membership_mode::replicated;
   const std::vector<std::size_t> shard_counts =
-      shards.present ? shard_count_sweep(shards.value)
-                     : std::vector<std::size_t>{1, 2, 4, 8};
+      opts.shards_set ? shard_count_sweep(opts.shards)
+                      : std::vector<std::size_t>{1, 2, 4, 8};
 
   const runtime::cpu_topology& topo = runtime::host_topology();
   std::printf(
       "== Sharded balancer: Zipf traffic, 1%% churn, hd-hierarchical,\n"
-      "   %s membership%s, placement %s ==\n"
+      "   %s membership%s, placement %s, %zu producer(s), %s channels ==\n"
       "   (topology: %zu core(s), %zu allowed CPU(s), %zu NUMA node(s)%s)\n\n",
       replicated ? "replicated" : "snapshot",
       replicated ? "" : " (pass --replicated for the PR-2 pipeline)",
-      std::string(runtime::to_string(placement)).c_str(),
-      topo.physical_cores(), topo.allowed_cpus().size(), topo.numa_nodes(),
-      shards.auto_sized ? ", --shards auto" : "");
+      std::string(runtime::to_string(opts.placement)).c_str(), opts.producers,
+      std::string(to_string(opts.channel)).c_str(), topo.physical_cores(),
+      topo.allowed_cpus().size(), topo.numa_nodes(),
+      opts.shards_auto ? ", --shards auto" : "");
 
   workload_config workload;
   workload.initial_servers = 48;
@@ -79,7 +70,7 @@ int main(int argc, char** argv) {
   // (the accelerator steady state all shards share); the reference run
   // below keeps it off, so 'identical' also certifies the cache.
   table_options sharded_options = options;
-  if (membership == membership_mode::snapshot) {
+  if (opts.membership == membership_mode::snapshot) {
     sharded_options.hd.slot_cache = true;
   }
   auto factory = [&sharded_options](std::size_t) {
@@ -96,9 +87,8 @@ int main(int argc, char** argv) {
                        "pinned", "identical"});
   for (const std::size_t shard_count : shard_counts) {
     sharded_config config;
-    config.shards = shard_count;
-    config.membership = membership;
-    config.placement = placement;
+    opts.apply(config);
+    config.shards = shard_count;  // the sweep overrides the flag value
     sharded_emulator balancer(factory, config);
     const sharded_report report = balancer.run(events);
     std::size_t pinned = 0;

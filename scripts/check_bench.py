@@ -16,7 +16,9 @@ both trajectory files and upload both as artifacts.
 ``BENCH_net_frontend.json`` files (``bench_net_frontend``) are handled
 the same way: report-only (loopback TCP throughput is even noisier
 than in-process threading), printing delivered req/s and the reply
-latency percentiles.  Pass ``--sharded-ref <BENCH_sharded_emulator
+latency percentiles.  ``BENCH_channel.json`` files (``bench_channel``)
+are likewise report-only, printing the ring-vs-mutex hand-off speedup
+per scenario.  Pass ``--sharded-ref <BENCH_sharded_emulator
 .json>`` to also print the delivered-vs-service comparison line — how
 much of the in-process shard pipeline's service rate the socket path
 delivers end to end.
@@ -127,6 +129,60 @@ def report_sharded(base: dict, fresh: dict) -> int:
     return 0
 
 
+CHANNEL_BENCHMARK = "channel"
+
+
+def is_channel(doc: dict) -> bool:
+    return doc.get("benchmark") == CHANNEL_BENCHMARK
+
+
+def report_channel(base: dict, fresh: dict) -> int:
+    """Report-only comparison of two channel JSONs (exit 0): per-scenario
+    ring-vs-mutex speedup, baseline vs fresh."""
+    print("check_bench: channel hand-off trajectory — report only, never "
+          "gated (thread hand-off latency on shared runners)")
+    topo = fresh.get("topology", {})
+    if topo:
+        print(
+            "  fresh topology: "
+            f"{topo.get('physical_cores', '?')} physical core(s), "
+            f"{topo.get('allowed_cpus', '?')} allowed CPU(s), "
+            f"{topo.get('numa_nodes', '?')} NUMA node(s)"
+        )
+
+    def speedups(doc: dict) -> dict:
+        rates: dict = {}
+        for entry in doc.get("results", []):
+            if not isinstance(entry, dict):
+                continue
+            key = (entry.get("scenario"), entry.get("kind"))
+            rates[key] = entry.get("items_per_second", 0.0)
+        out = {}
+        for (scenario, kind), rate in rates.items():
+            if kind != "ring":
+                continue
+            mutex_rate = rates.get((scenario, "mutex"), 0.0)
+            out[scenario] = rate / mutex_rate if mutex_rate else 0.0
+        return out
+
+    base_speedups = speedups(base)
+    fresh_speedups = speedups(fresh)
+    for scenario in sorted(set(base_speedups) | set(fresh_speedups)):
+        b = base_speedups.get(scenario)
+        f = fresh_speedups.get(scenario)
+        if f is None:
+            print(f"  note: fresh run lacks scenario {scenario}")
+            continue
+        base_note = f"baseline x{b:.2f} -> " if b is not None else ""
+        marker = "ok" if f >= 1.0 else "note"
+        print(
+            f"  [{marker:4s}] {scenario}: {base_note}ring is x{f:.2f} "
+            f"the mutex rate"
+        )
+    print("check_bench: channel trajectory accepted (not gated)")
+    return 0
+
+
 NET_BENCHMARK = "net_frontend"
 
 
@@ -221,6 +277,13 @@ def main() -> int:
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+    if is_channel(base) or is_channel(fresh):
+        if is_channel(base) != is_channel(fresh):
+            sys.exit(
+                "check_bench: cannot compare a channel JSON against a "
+                "different benchmark's JSON"
+            )
+        return report_channel(base, fresh)
     if is_net(base) or is_net(fresh):
         if is_net(base) != is_net(fresh):
             sys.exit(

@@ -1,103 +1,60 @@
 /// \file batch_channel.hpp
-/// \brief Bounded producer/worker hand-off channel shared by the batch
-/// pipelines: the sharded emulator's double-buffered run() loops and
-/// the network front-end's streaming shard router.
+/// \brief DEPRECATED compatibility shim over the unified channel API.
 ///
-/// The channel is a small bounded MPSC queue (any number of pushers,
-/// one popping worker) built on a mutex + condvars — the simplest
-/// structure that gives the two properties every pipeline here relies
-/// on:
+/// `batch_channel` used to be a standalone mutex+condvar queue with a
+/// bolted-on recycle stack.  Both concerns now live in dedicated,
+/// individually tested APIs:
 ///
-///  * backpressure — push() blocks once `depth` batches are queued, so
-///    a producer that outruns its worker stalls instead of ballooning
-///    memory (for the socket front-end this propagates all the way back
-///    to the TCP receive window);
-///  * FIFO per channel — batches pop in push order, which is what keeps
-///    per-connection (and per-stream) reply ordering trivial.
+///  * hand-off   → the shard-channel concept (emu/channel.hpp):
+///                 `mutex_channel` here, or the lock-free `spsc_ring`
+///                 (emu/spsc_ring.hpp) on hot pipelines;
+///  * recycling  → `buffer_pool` (emu/buffer_pool.hpp).
 ///
-/// Alongside the hand-off queue runs a recycle stack: the worker
-/// returns each drained batch's memory, and the producer refills
-/// recycled buffers instead of allocating fresh ones.  Because the
-/// worker *allocated and wrote* those buffers first (the pool's
-/// first-touch init job), their pages live on the worker's own NUMA
-/// node — the producer streams into remote memory once, the worker
-/// decodes out of local memory every batch.
+/// This shim keeps the old surface (`push`/`pop`/`close`/`recycle`/
+/// `take_recycled`) for out-of-tree callers by composing the two.  One
+/// behavior change rides along on purpose: the old `push()` into a
+/// full channel after `close()` blocked forever (`can_push_` was never
+/// woken on close); it now wakes and throws `channel_closed`, the
+/// loud-failure contract of the channel concept.  New code should use
+/// `shard_channel`/`ingest_session` (emu/ingest.hpp) directly.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <mutex>
 #include <utility>
-#include <vector>
+
+#include "emu/buffer_pool.hpp"
+#include "emu/channel.hpp"
 
 namespace hdhash {
 
-/// Bounded hand-off queue between producer(s) and one worker.  The
-/// default depth 2 is the classic double buffer: the worker decodes
-/// batch i while the producer fills batch i+1; the producer only blocks
-/// when the worker is more than one full batch behind.
+/// \deprecated Use `mutex_channel`/`spsc_ring` + `buffer_pool` (or the
+/// `ingest_session` layer) instead.
 template <typename Batch>
-class batch_channel {
+class [[deprecated(
+    "use mutex_channel/spsc_ring + buffer_pool (emu/channel.hpp, "
+    "emu/buffer_pool.hpp)")]] batch_channel {
  public:
-  explicit batch_channel(std::size_t depth = 2) : depth_(depth) {}
+  explicit batch_channel(std::size_t depth = 2) : channel_(depth) {}
 
-  void push(Batch&& batch) {
-    std::unique_lock lock(mutex_);
-    can_push_.wait(lock, [this] { return queue_.size() < depth_; });
-    queue_.push_back(std::move(batch));
-    can_pop_.notify_one();
-  }
+  /// Blocks while full; throws channel_closed once closed (the old
+  /// version deadlocked here — see the file comment).
+  void push(Batch&& batch) { channel_.push(std::move(batch)); }
 
   /// Blocks for the next batch; returns false once the channel is
   /// closed and drained.
-  bool pop(Batch& out) {
-    std::unique_lock lock(mutex_);
-    can_pop_.wait(lock, [this] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) {
-      return false;
-    }
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    can_push_.notify_one();
-    return true;
-  }
+  bool pop(Batch& out) { return channel_.pop(out); }
 
-  /// After close(), push() is forbidden and pop() drains the remaining
-  /// batches, then returns false forever.
-  void close() {
-    const std::lock_guard lock(mutex_);
-    closed_ = true;
-    can_pop_.notify_all();
-  }
+  void close() { channel_.close(); }
 
   /// Worker → producer: returns a drained batch's buffers for reuse.
-  void recycle(Batch&& batch) {
-    const std::lock_guard lock(recycle_mutex_);
-    recycled_.push_back(std::move(batch));
-  }
+  void recycle(Batch&& batch) { pool_.recycle(std::move(batch)); }
 
   /// Producer: takes a recycled buffer if one is available.
-  bool take_recycled(Batch& out) {
-    const std::lock_guard lock(recycle_mutex_);
-    if (recycled_.empty()) {
-      return false;
-    }
-    out = std::move(recycled_.back());
-    recycled_.pop_back();
-    return true;
-  }
+  bool take_recycled(Batch& out) { return pool_.take(out); }
 
  private:
-  std::size_t depth_;
-  std::mutex mutex_;
-  std::condition_variable can_push_;
-  std::condition_variable can_pop_;
-  std::deque<Batch> queue_;
-  bool closed_ = false;
-  // Separate lock: recycling must never contend the hand-off path.
-  std::mutex recycle_mutex_;
-  std::vector<Batch> recycled_;
+  mutex_channel<Batch> channel_;
+  buffer_pool<Batch> pool_;
 };
 
 }  // namespace hdhash

@@ -1,0 +1,64 @@
+/// \file buffer_pool.hpp
+/// \brief Standalone batch-buffer recycle pool — the memory round-trip
+/// half of what `batch_channel` used to bundle with hand-off.
+///
+/// The consumer returns each drained batch's memory with `recycle()`,
+/// and the producer refills recycled buffers (`take()`) instead of
+/// allocating fresh ones.  Because the consumer *allocated and wrote*
+/// those buffers first (the worker pool's first-touch init job), their
+/// pages live on the consumer's own NUMA node — the producer streams
+/// into remote memory once, the worker decodes out of local memory
+/// every batch.
+///
+/// Extracted from the channel on purpose: hand-off (SPSC ring or mutex
+/// channel, emu/channel.hpp) and recycling are separate concerns with
+/// different threading shapes — a mesh has M producers pushing into N×M
+/// rings but only N per-shard pools, shared by every producer feeding
+/// that shard.  The pool is therefore MPMC-safe (a plain mutex-guarded
+/// stack; it is never on the per-item hot path — one lock per *batch*,
+/// amortized over `batch_capacity` requests).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hdhash {
+
+/// Mutex-guarded LIFO stack of recycled batch buffers.  LIFO on
+/// purpose: the most recently drained buffer is the one whose pages are
+/// still warm in the consumer's cache hierarchy.
+template <typename Batch>
+class buffer_pool {
+ public:
+  /// Consumer → producer: returns a drained batch's buffers for reuse.
+  void recycle(Batch&& batch) {
+    const std::lock_guard lock(mutex_);
+    recycled_.push_back(std::move(batch));
+  }
+
+  /// Producer: takes a recycled buffer if one is available.
+  bool take(Batch& out) {
+    const std::lock_guard lock(mutex_);
+    if (recycled_.empty()) {
+      return false;
+    }
+    out = std::move(recycled_.back());
+    recycled_.pop_back();
+    return true;
+  }
+
+  /// Buffers currently parked in the pool (approximate while threads
+  /// are recycling).
+  std::size_t size() const {
+    const std::lock_guard lock(mutex_);
+    return recycled_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Batch> recycled_;
+};
+
+}  // namespace hdhash

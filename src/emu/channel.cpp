@@ -1,0 +1,45 @@
+#include "emu/channel.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+std::string_view to_string(channel_kind kind) noexcept {
+  switch (kind) {
+    case channel_kind::ring:
+      return "ring";
+    case channel_kind::mutex:
+      return "mutex";
+  }
+  return "unknown";
+}
+
+std::optional<channel_kind> parse_channel_kind(std::string_view name) {
+  if (name == "ring") {
+    return channel_kind::ring;
+  }
+  if (name == "mutex") {
+    return channel_kind::mutex;
+  }
+  return std::nullopt;
+}
+
+channel_kind default_channel_kind() {
+  const char* env = std::getenv("HDHASH_CHANNEL");
+  if (env == nullptr || *env == '\0') {
+    return channel_kind::ring;
+  }
+  const auto kind = parse_channel_kind(env);
+  // Same convention as HDHASH_FORCE_KERNEL / HDHASH_PIN: a typo'd
+  // override must fail loudly, not silently run the wrong hand-off
+  // implementation under a benchmark.
+  HDHASH_REQUIRE(kind.has_value(),
+                 std::string("unknown HDHASH_CHANNEL value \"") + env +
+                     "\" (expected ring|mutex)");
+  return *kind;
+}
+
+}  // namespace hdhash

@@ -1,0 +1,267 @@
+/// \file ingest.hpp
+/// \brief The unified ingest API: an M-producer × N-shard mesh of shard
+/// channels, with one producer-side handle (`ingest_session`) and one
+/// consumer-side handle (`shard_consumer`).
+///
+/// Every batch pipeline in the repo — `sharded_emulator::run()`, the
+/// resident `stream_router`, and `net_server`'s io loops — used to hand
+/// batches over through its own ad-hoc channel arrangement.  They now
+/// all build on this one surface:
+///
+/// ```
+///   producer 0 ──► session 0 ──► ring(0,0) ring(0,1) … ring(0,N-1)
+///   producer 1 ──► session 1 ──► ring(1,0) ring(1,1) … ring(1,N-1)
+///      …                                │        │
+///   producer M-1 ─► session M-1 ─► ring(M-1,0)   │
+///                                       ▼        ▼
+///                       shard 0: consumer scans column 0
+///                       shard 1: consumer scans column 1   …
+/// ```
+///
+/// Each (producer, shard) pair owns a dedicated bounded channel, so
+/// with the lock-free `spsc_ring` implementation the
+/// single-producer/single-consumer discipline holds *by construction*:
+/// session p is the only pusher of row p, and shard s's consumer (one
+/// worker-pool thread) is the only popper of column s.  No lock, no
+/// CAS, no shared cursor anywhere on the hot path.
+///
+/// Ordering: FIFO per channel — batches from one session reach a shard
+/// in push order.  Batches from *different* sessions are unordered
+/// relative to each other (the consumer scans its column round-robin);
+/// pipelines that need cross-producer ordering sequence it out of band,
+/// the way the sharded emulator pre-sequences membership epochs through
+/// the snapshot publisher before the producers fan out.
+///
+/// Shutdown: each session closes its own row when its stream is done
+/// (`session.close()`, exception-safe — a dying producer must still
+/// close, or its consumers spin forever); a consumer's `pop()` returns
+/// false once *every* lane in its column is closed and drained.
+/// `mesh.close()` force-closes everything (stop paths).
+///
+/// Buffer recycling is the separate `buffer_pool` API
+/// (emu/buffer_pool.hpp): pipelines keep one pool per *shard*, shared
+/// by every session feeding that shard, so buffers first-touched on a
+/// shard worker's NUMA node keep circulating back to it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "emu/channel.hpp"
+#include "emu/spsc_ring.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+/// One bounded hand-off channel with the implementation chosen at run
+/// time (`channel_kind`): the lock-free `spsc_ring` on hot pipelines,
+/// the `mutex_channel` reference elsewhere (and under `--channel mutex`
+/// / HDHASH_CHANNEL=mutex for A/B runs — bench_channel measures the
+/// gap).  Same concept contract either way; the conformance suite runs
+/// every test against both kinds through this wrapper.
+template <typename T>
+class shard_channel {
+ public:
+  explicit shard_channel(channel_kind kind, std::size_t capacity) {
+    if (kind == channel_kind::ring) {
+      ring_ = std::make_unique<spsc_ring<T>>(capacity);
+    } else {
+      mutex_ = std::make_unique<mutex_channel<T>>(capacity);
+    }
+  }
+
+  channel_kind kind() const noexcept {
+    return ring_ ? channel_kind::ring : channel_kind::mutex;
+  }
+
+  push_status try_push(T& item) {
+    return ring_ ? ring_->try_push(item) : mutex_->try_push(item);
+  }
+  void push(T&& item) {
+    ring_ ? ring_->push(std::move(item)) : mutex_->push(std::move(item));
+  }
+  pop_status try_pop(T& out) {
+    return ring_ ? ring_->try_pop(out) : mutex_->try_pop(out);
+  }
+  bool pop(T& out) { return ring_ ? ring_->pop(out) : mutex_->pop(out); }
+  void close() { ring_ ? ring_->close() : mutex_->close(); }
+  bool closed() const { return ring_ ? ring_->closed() : mutex_->closed(); }
+  std::size_t capacity() const {
+    return ring_ ? ring_->capacity() : mutex_->capacity();
+  }
+
+ private:
+  // Exactly one is set (the atomics make the implementations immovable,
+  // so the wrapper holds them behind pointers and stays movable).
+  std::unique_ptr<spsc_ring<T>> ring_;
+  std::unique_ptr<mutex_channel<T>> mutex_;
+};
+
+template <typename T>
+class ingest_session;
+template <typename T>
+class shard_consumer;
+
+/// The M×N channel fabric.  Construct once per pipeline run; hand each
+/// producer thread its `session(p)` and each shard worker its
+/// `consumer(s)`.  The mesh must outlive every handle.
+template <typename T>
+class ingest_mesh {
+ public:
+  /// \pre producers >= 1, shards >= 1, capacity >= 1.
+  ingest_mesh(std::size_t producers, std::size_t shards, std::size_t capacity,
+              channel_kind kind) {
+    HDHASH_REQUIRE(producers >= 1, "need at least one producer");
+    HDHASH_REQUIRE(shards >= 1, "need at least one shard");
+    producers_ = producers;
+    shards_ = shards;
+    lanes_.reserve(producers * shards);
+    for (std::size_t i = 0; i < producers * shards; ++i) {
+      lanes_.emplace_back(kind, capacity);
+    }
+  }
+
+  std::size_t producers() const noexcept { return producers_; }
+  std::size_t shards() const noexcept { return shards_; }
+  channel_kind kind() const noexcept { return lanes_.front().kind(); }
+
+  /// The (producer, shard) channel.  SPSC discipline: only producer
+  /// `producer`'s thread pushes, only shard `shard`'s thread pops.
+  shard_channel<T>& lane(std::size_t producer, std::size_t shard) {
+    HDHASH_REQUIRE(producer < producers_ && shard < shards_,
+                   "mesh lane out of range");
+    return lanes_[producer * shards_ + shard];
+  }
+
+  /// Producer-side handle for one mesh row (see ingest_session).
+  ingest_session<T> session(std::size_t producer);
+  /// Consumer-side handle for one mesh column (see shard_consumer).
+  shard_consumer<T> consumer(std::size_t shard);
+
+  /// Force-closes every lane (stop paths; safe from any thread).
+  void close() {
+    for (auto& lane : lanes_) {
+      lane.close();
+    }
+  }
+
+ private:
+  std::size_t producers_ = 0;
+  std::size_t shards_ = 0;
+  std::vector<shard_channel<T>> lanes_;  // producer-major
+};
+
+/// One producer's ingest surface: push batches at shards, then close
+/// the row when the stream ends.  Exactly one thread may use a given
+/// session (that thread is the SPSC producer of the whole row).  Cheap
+/// to copy within that constraint (it is a view over the mesh).
+template <typename T>
+class ingest_session {
+ public:
+  ingest_session() = default;
+
+  std::size_t shards() const noexcept { return mesh_->shards(); }
+
+  /// Blocking push with backpressure; throws channel_closed if the
+  /// lane was closed underneath the producer (stop path).
+  void push(std::size_t shard, T&& item) {
+    mesh_->lane(producer_, shard).push(std::move(item));
+  }
+
+  /// Non-blocking push; `item` is moved from only on `ok`.
+  push_status try_push(std::size_t shard, T& item) {
+    return mesh_->lane(producer_, shard).try_push(item);
+  }
+
+  /// Ends this producer's stream: closes every lane in the row, waking
+  /// the shard consumers.  Call on every exit path — a producer that
+  /// dies without closing leaves its consumers waiting forever.
+  void close() {
+    for (std::size_t s = 0; s < mesh_->shards(); ++s) {
+      mesh_->lane(producer_, s).close();
+    }
+  }
+
+ private:
+  friend class ingest_mesh<T>;
+  ingest_session(ingest_mesh<T>* mesh, std::size_t producer)
+      : mesh_(mesh), producer_(producer) {}
+
+  ingest_mesh<T>* mesh_ = nullptr;
+  std::size_t producer_ = 0;
+};
+
+/// One shard's ingest surface: pops batches from all M producer lanes
+/// of its mesh column, round-robin for fairness.  Exactly one thread
+/// may use a given consumer (that thread is the SPSC consumer of the
+/// whole column).
+template <typename T>
+class shard_consumer {
+ public:
+  shard_consumer() = default;
+
+  /// Non-blocking pop: one fair scan over the column.  `closed` only
+  /// when *every* lane is closed and drained.
+  pop_status try_pop(T& out) {
+    const std::size_t producers = mesh_->producers();
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < producers; ++i) {
+      const std::size_t p = (cursor_ + i) % producers;
+      switch (mesh_->lane(p, shard_).try_pop(out)) {
+        case pop_status::ok:
+          // Resume the next scan at the following lane so one chatty
+          // producer cannot starve the rest of the column.
+          cursor_ = (p + 1) % producers;
+          return pop_status::ok;
+        case pop_status::closed:
+          ++closed;
+          break;
+        case pop_status::empty:
+          break;
+      }
+    }
+    return closed == producers ? pop_status::closed : pop_status::empty;
+  }
+
+  /// Blocking pop; returns false once the whole column is closed and
+  /// drained — the decode loop's termination condition.
+  bool pop(T& out) {
+    detail::channel_backoff backoff;
+    for (;;) {
+      switch (try_pop(out)) {
+        case pop_status::ok:
+          return true;
+        case pop_status::closed:
+          return false;
+        case pop_status::empty:
+          backoff.pause();
+          break;
+      }
+    }
+  }
+
+ private:
+  friend class ingest_mesh<T>;
+  shard_consumer(ingest_mesh<T>* mesh, std::size_t shard)
+      : mesh_(mesh), shard_(shard) {}
+
+  ingest_mesh<T>* mesh_ = nullptr;
+  std::size_t shard_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+template <typename T>
+ingest_session<T> ingest_mesh<T>::session(std::size_t producer) {
+  HDHASH_REQUIRE(producer < producers_, "mesh producer out of range");
+  return ingest_session<T>(this, producer);
+}
+
+template <typename T>
+shard_consumer<T> ingest_mesh<T>::consumer(std::size_t shard) {
+  HDHASH_REQUIRE(shard < shards_, "mesh shard out of range");
+  return shard_consumer<T>(this, shard);
+}
+
+}  // namespace hdhash

@@ -4,7 +4,8 @@
 #include <exception>
 #include <utility>
 
-#include "emu/batch_channel.hpp"
+#include "emu/buffer_pool.hpp"
+#include "emu/ingest.hpp"
 #include "hashing/splitmix_hash.hpp"
 #include "util/require.hpp"
 
@@ -12,10 +13,12 @@ namespace hdhash {
 
 namespace {
 
-// The producer/worker hand-off runs on the shared batch_channel
-// (emu/batch_channel.hpp, default depth 2 — the double buffer); the
-// payload here is the mode's batch type: a plain event vector
-// (replicated) or an epoch-segmented request batch (snapshot).
+// The producer/worker hand-off runs on the M×N ingest mesh
+// (emu/ingest.hpp): one bounded shard channel per (producer, shard)
+// pair — lock-free SPSC rings by default — plus one buffer_pool per
+// shard for the first-touch recycle round-trip.  The payload is the
+// mode's batch type: a plain event vector (replicated) or an
+// epoch-segmented request batch (snapshot).
 
 /// One epoch's slice of a snapshot-mode batch: requests that arrived
 /// under `snap` and must be resolved against exactly that table state.
@@ -84,80 +87,105 @@ void answer_segment(const epoch_segment& segment, run_stats& stats,
   }
 }
 
-/// Runs one pipeline generation on the pinned worker pool: a
-/// first-touch pass (each worker allocates its channel's recycled batch
-/// buffers on its own thread, hence its own NUMA node), then the
-/// decode loops, then `produce` on the calling thread, then shutdown.
-/// `make_recycled(shard)` builds one pre-touched empty batch (and may
-/// touch other per-shard scratch); `decode(shard, batch)` is the
-/// per-batch worker body; drained batches are reset via `reset(batch)`
-/// and recycled.  Worker exceptions are
-/// captured and rethrown on the calling thread after shutdown (the
-/// faulted worker keeps draining so the producer never deadlocks on a
-/// full channel).
+/// Runs one mesh pipeline generation on the pinned worker pool: a
+/// first-touch pass (each shard worker allocates its buffer_pool's
+/// recycled batches on its own thread, hence its own NUMA node), then
+/// the decode loops on workers [0, shards), then the producers — on
+/// the calling thread when `producers` == 1 (the historical shape), or
+/// as pool jobs on workers [shards, shards + producers) otherwise —
+/// then shutdown.  `make_recycled(shard)` builds one pre-touched empty
+/// batch (and may touch other per-shard scratch); `decode(shard,
+/// batch)` is the per-batch worker body; drained batches are reset via
+/// `reset(batch)` and recycled; `produce(p, session, pools)` feeds
+/// producer p's mesh row.  Each producer's session is closed on every
+/// exit path (a producer that dies without closing would leave its
+/// consumers waiting forever); worker exceptions are captured and
+/// rethrown on the calling thread after shutdown (a faulted worker
+/// keeps draining so producers never deadlock on a full channel).
 template <typename Batch, typename MakeRecycled, typename Reset,
           typename Decode, typename Produce>
-void run_pipeline(runtime::worker_pool& pool, MakeRecycled&& make_recycled,
-                  Reset&& reset, Decode&& decode, Produce&& produce) {
-  const std::size_t shards = pool.size();
-  std::vector<batch_channel<Batch>> channels(shards);
+void run_mesh(runtime::worker_pool& pool, std::size_t shards,
+              std::size_t producers, channel_kind kind, std::size_t depth,
+              MakeRecycled&& make_recycled, Reset&& reset, Decode&& decode,
+              Produce&& produce) {
+  ingest_mesh<Batch> mesh(producers, shards, depth, kind);
+  std::vector<buffer_pool<Batch>> pools(shards);
   std::vector<std::exception_ptr> errors(shards);
 
-  // First-touch generation: two buffers in flight (channel depth) plus
-  // one being filled by the producer.
+  // First-touch generation: enough buffers per shard that every
+  // producer can hold one pending batch plus the channel-depth slack
+  // before anyone falls back to a fresh (producer-touched) allocation.
+  const std::size_t warm = producers + 2;
   for (std::size_t s = 0; s < shards; ++s) {
-    pool.submit(s, [s, &channels, &make_recycled] {
-      for (int i = 0; i < 3; ++i) {
-        channels[s].recycle(make_recycled(s));
+    pool.submit(s, [s, warm, &pools, &make_recycled] {
+      for (std::size_t i = 0; i < warm; ++i) {
+        pools[s].recycle(make_recycled(s));
       }
     });
   }
   pool.wait_idle();
 
   for (std::size_t s = 0; s < shards; ++s) {
-    pool.submit(s, [s, &channels, &errors, &decode, &reset] {
+    pool.submit(s, [s, &mesh, &pools, &errors, &decode, &reset] {
+      shard_consumer<Batch> consumer = mesh.consumer(s);
       try {
         Batch batch;
-        while (channels[s].pop(batch)) {
+        while (consumer.pop(batch)) {
           try {
             decode(s, batch);
           } catch (...) {
             if (!errors[s]) {
               errors[s] = std::current_exception();
             }
-            // Keep looping so the producer never blocks on a full
+            // Keep looping so no producer ever blocks on a full
             // channel after a decode fault.
           }
           reset(batch);
-          channels[s].recycle(std::move(batch));
+          pools[s].recycle(std::move(batch));
           batch = Batch{};
         }
       } catch (...) {
         // reset/recycle themselves faulted (allocation failure): the
         // drain guarantee still has to hold, so swallow and keep
-        // popping until the channel closes.
+        // popping until every lane closes.
         if (!errors[s]) {
           errors[s] = std::current_exception();
         }
         Batch discard;
-        while (channels[s].pop(discard)) {
+        while (consumer.pop(discard)) {
         }
       }
     });
   }
-  auto shut_down = [&] {
-    for (auto& channel : channels) {
-      channel.close();
+
+  auto run_producer = [&](std::size_t p) {
+    ingest_session<Batch> session = mesh.session(p);
+    try {
+      produce(p, session, pools);
+    } catch (...) {
+      session.close();
+      throw;
     }
-    pool.wait_idle();
+    session.close();
   };
-  try {
-    produce(channels);
-  } catch (...) {
-    shut_down();
-    throw;
+
+  if (producers == 1) {
+    try {
+      run_producer(0);
+    } catch (...) {
+      mesh.close();
+      pool.wait_idle();
+      throw;
+    }
+  } else {
+    for (std::size_t p = 0; p < producers; ++p) {
+      pool.submit(shards + p, [p, &run_producer] { run_producer(p); });
+    }
   }
-  shut_down();
+  // Producers all close their rows (even when faulting), so the decode
+  // loops drain and exit; wait_idle rethrows the first producer-job
+  // exception.
+  pool.wait_idle();
   for (const std::exception_ptr& error : errors) {
     if (error) {
       std::rethrow_exception(error);
@@ -166,12 +194,12 @@ void run_pipeline(runtime::worker_pool& pool, MakeRecycled&& make_recycled,
 }
 
 /// Producer-side refill: reuse a worker-touched recycled buffer when
-/// one is back, else allocate fresh (start-up, or the worker is still
-/// holding all three).
-template <typename Batch, typename Channel, typename MakeFresh>
-Batch next_buffer(Channel& channel, MakeFresh&& make_fresh) {
+/// one is back, else allocate fresh (start-up, or the workers are
+/// still holding the whole warm set).
+template <typename Batch, typename MakeFresh>
+Batch next_buffer(buffer_pool<Batch>& pool, MakeFresh&& make_fresh) {
   Batch batch;
-  if (!channel.take_recycled(batch)) {
+  if (!pool.take(batch)) {
     batch = make_fresh();
   }
   return batch;
@@ -200,14 +228,28 @@ sharded_emulator::sharded_emulator(table_factory factory,
                                    sharded_config config)
     : config_(config) {
   HDHASH_REQUIRE(config_.shards >= 1, "need at least one shard");
+  HDHASH_REQUIRE(config_.producers >= 1, "need at least one producer");
   HDHASH_REQUIRE(config_.buffer_capacity >= 1,
                  "shard buffer capacity must be positive");
+  HDHASH_REQUIRE(config_.channel_depth >= 1,
+                 "channel depth must be positive");
   HDHASH_REQUIRE(factory != nullptr, "table factory must be callable");
   HDHASH_REQUIRE(
       !(config_.shadow && config_.membership == membership_mode::snapshot),
       "shadow oracles certify per-shard replication — use "
       "membership_mode::replicated");
-  pool_ = std::make_unique<runtime::worker_pool>(config_.shards,
+  HDHASH_REQUIRE(
+      config_.producers == 1 ||
+          config_.membership == membership_mode::snapshot,
+      "multi-producer ingest needs epoch-sequenced membership — "
+      "replicated mode broadcasts in stream order and keeps one producer");
+  // Shard decoders occupy pool workers [0, shards); with a fanned-out
+  // producer side, the mesh producers take [shards, shards+producers),
+  // placed by the same policy (so producers land on real CPUs after
+  // the decode workers, not on top of them).
+  const std::size_t pool_size =
+      config_.shards + (config_.producers > 1 ? config_.producers : 0);
+  pool_ = std::make_unique<runtime::worker_pool>(pool_size,
                                                  config_.placement);
   if (config_.membership == membership_mode::snapshot) {
     auto table = factory(0);
@@ -241,9 +283,16 @@ sharded_report sharded_emulator::run(std::span<const event> events) {
                               ? run_snapshot(events)
                               : run_replicated(events);
   report.placement = pool_->policy();
-  report.workers.reserve(pool_->size());
-  for (std::size_t s = 0; s < pool_->size(); ++s) {
+  report.channel = config_.channel;
+  report.workers.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
     report.workers.push_back(pool_->info(s));
+  }
+  if (config_.producers > 1) {
+    report.producer_workers.reserve(config_.producers);
+    for (std::size_t p = 0; p < config_.producers; ++p) {
+      report.producer_workers.push_back(pool_->info(config_.shards + p));
+    }
   }
   return report;
 }
@@ -268,8 +317,8 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
   const timing_mode timing =
       config_.timing ? timing_mode::thread_cpu : timing_mode::off;
   const std::size_t capacity = config_.buffer_capacity;
-  run_pipeline<std::vector<event>>(
-      *pool_,
+  run_mesh<std::vector<event>>(
+      *pool_, shards, /*producers=*/1, config_.channel, config_.channel_depth,
       [capacity](std::size_t) {
         // resize-then-clear: writes every slot (first-touch on the
         // worker's node) and keeps the capacity for refills.
@@ -285,7 +334,7 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
         apply_event_batch(*tables_[s], shadows[s].get(), batch,
                           report.per_shard[s], timing);
       },
-      [&](auto& channels) {
+      [&](std::size_t, auto& session, auto& pools) {
         // Producer: partition requests, broadcast membership, hand over
         // each shard's batch as soon as it fills (the double-buffered
         // overlap).
@@ -296,11 +345,11 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
         };
         std::vector<std::vector<event>> pending(shards);
         for (std::size_t s = 0; s < shards; ++s) {
-          pending[s] = next_buffer<std::vector<event>>(channels[s], fresh);
+          pending[s] = next_buffer(pools[s], fresh);
         }
         auto submit = [&](std::size_t s) {
-          channels[s].push(std::move(pending[s]));
-          pending[s] = next_buffer<std::vector<event>>(channels[s], fresh);
+          session.push(s, std::move(pending[s]));
+          pending[s] = next_buffer(pools[s], fresh);
         };
         for (const event& e : events) {
           if (e.kind == event_kind::request) {
@@ -345,6 +394,7 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
 sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   using clock = std::chrono::steady_clock;
   const std::size_t shards = config_.shards;
+  const std::size_t producers = config_.producers;
 
   sharded_report report;
   report.per_shard.resize(shards);
@@ -355,18 +405,63 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   std::vector<std::vector<server_id>> answers(shards);
 
   const auto start = clock::now();
+
+  // Sequential epoch pre-scan — the multi-producer sequencing step.
+  // Membership applies to the publisher in stream order on this
+  // thread; requests flatten into one stream-ordered vector, grouped
+  // into contiguous *runs* that share an epoch snapshot.  current() is
+  // acquired once per run, so the published-epoch set is exactly the
+  // historical per-request acquisition's (within one epoch current()
+  // returns the same snapshot).  After the scan, any request order is
+  // safe: every request is permanently bound to the epoch it arrived
+  // under, and the load histogram is order-insensitive — which is what
+  // lets M producers split the stream by index range without touching
+  // the determinism guarantee.
+  struct epoch_run {
+    std::shared_ptr<const table_snapshot> snap;
+    std::size_t begin = 0;  ///< request-index range [begin, end)
+    std::size_t end = 0;
+  };
+  std::vector<request_id> requests;
+  requests.reserve(events.size());
+  std::vector<epoch_run> runs;
   std::size_t logical_joins = 0;
   std::size_t logical_leaves = 0;
+  bool epoch_dirty = true;
+  for (const event& e : events) {
+    if (e.kind != event_kind::request) {
+      if (e.kind == event_kind::join) {
+        publisher_->join(e.id);
+        ++logical_joins;
+      } else {
+        publisher_->leave(e.id);
+        ++logical_leaves;
+      }
+      epoch_dirty = true;
+      continue;
+    }
+    if (epoch_dirty) {
+      auto snap = publisher_->current();
+      if (runs.empty() || runs.back().snap != snap) {
+        runs.push_back({std::move(snap), requests.size(), requests.size()});
+      }
+      epoch_dirty = false;
+    }
+    requests.push_back(e.id);
+    runs.back().end = requests.size();
+  }
+  const std::size_t total = requests.size();
+
   const timing_mode timing =
       config_.timing ? timing_mode::thread_cpu : timing_mode::off;
   const std::size_t capacity = config_.buffer_capacity;
-  run_pipeline<epoch_batch>(
-      *pool_,
+  run_mesh<epoch_batch>(
+      *pool_, shards, producers, config_.channel, config_.channel_depth,
       [capacity, &answers](std::size_t s) {
         // One pre-touched segment per recycled batch; under churn a
         // batch grows more segments on demand (reused in place after
         // the first recycle round-trip).  The worker's answer scratch
-        // rides the same init generation (idempotent across the three
+        // rides the same init generation (idempotent across the warm
         // calls) so the hottest repeatedly written buffer is local too.
         epoch_batch batch;
         batch.segments.emplace_back();
@@ -383,42 +478,44 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
                          answers[s]);
         }
       },
-      [&](auto& channels) {
-        // Producer: apply membership once to the publisher's table; tag
-        // every request with the snapshot of the epoch it arrived
-        // under.  A batch spans epochs as segments, so churn never
-        // truncates a batch — only subdivides it.
+      [&](std::size_t p, auto& session, auto& pools) {
+        // Producer p encodes the contiguous request range
+        // [p*total/M, (p+1)*total/M), walking the epoch runs that
+        // overlap it; each request joins its shard's pending batch in
+        // the segment of its pre-bound epoch.  Churn never truncates a
+        // batch — only subdivides it.
+        const std::size_t begin = total * p / producers;
+        const std::size_t end = total * (p + 1) / producers;
+        if (begin == end) {
+          return;
+        }
+        std::size_t r = 0;
+        while (runs[r].end <= begin) {
+          ++r;
+        }
         const auto fresh = [] { return epoch_batch{}; };
         std::vector<epoch_batch> pending(shards);
         std::vector<std::size_t> pending_requests(shards, 0);
         for (std::size_t s = 0; s < shards; ++s) {
-          pending[s] = next_buffer<epoch_batch>(channels[s], fresh);
+          pending[s] = next_buffer(pools[s], fresh);
         }
         auto submit = [&](std::size_t s) {
-          channels[s].push(std::move(pending[s]));
-          pending[s] = next_buffer<epoch_batch>(channels[s], fresh);
+          session.push(s, std::move(pending[s]));
+          pending[s] = next_buffer(pools[s], fresh);
           pending_requests[s] = 0;
         };
-        for (const event& e : events) {
-          if (e.kind != event_kind::request) {
-            if (e.kind == event_kind::join) {
-              publisher_->join(e.id);
-              ++logical_joins;
-            } else {
-              publisher_->leave(e.id);
-              ++logical_leaves;
-            }
-            continue;
+        for (std::size_t i = begin; i < end; ++i) {
+          while (runs[r].end <= i) {
+            ++r;
           }
-          const std::size_t s = shard_of(e.id);
-          auto snap = publisher_->current();
+          const std::size_t s = shard_of(requests[i]);
           epoch_batch& batch = pending[s];
           epoch_segment* segment = batch.current();
-          if (segment == nullptr || segment->snap != snap) {
+          if (segment == nullptr || segment->snap != runs[r].snap) {
             segment = &batch.append();
-            segment->snap = std::move(snap);
+            segment->snap = runs[r].snap;
           }
-          segment->requests.push_back(e.id);
+          segment->requests.push_back(requests[i]);
           if (++pending_requests[s] >= capacity) {
             submit(s);
           }
@@ -429,13 +526,18 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
           }
         }
       });
+  // The producers' run references die with run_mesh's scopes; drop the
+  // pre-scan's own snapshot references before measuring memory so
+  // retired epochs free exactly as they did with per-request
+  // acquisition.
+  runs.clear();
   const auto stop = clock::now();
 
   report.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
           .count();
   report.merged = merge(report.per_shard);
-  // Membership is applied once, by the producer; report it in the
+  // Membership is applied once, by the pre-scan; report it in the
   // merged stats so they compare field-for-field with a single-table
   // reference run.
   report.merged.joins = logical_joins;

@@ -8,11 +8,17 @@
 /// dedicated thread of a pinned runtime::worker_pool (placement policy
 /// per sharded_config::placement — compact by default, so workers sit
 /// on distinct CPUs in NUMA-node order and first-touch their channel
-/// buffers and scratch on their own node), fed through a depth-2 batch
-/// channel: while the worker decodes batch i, the producer is already
-/// filling batch i+1 — the software analogue of overlapping GPU
-/// transfer with compute (double buffering).  Membership state reaches
-/// the workers in one of two modes (membership_mode):
+/// buffers and scratch on their own node), fed through an M-producer ×
+/// N-shard ingest mesh (emu/ingest.hpp) of bounded shard channels —
+/// lock-free SPSC rings by default (emu/spsc_ring.hpp), the mutex
+/// reference under sharded_config::channel.  While a worker decodes
+/// batch i, its producers are already filling batch i+1 — the software
+/// analogue of overlapping GPU transfer with compute (double
+/// buffering); with `producers` > 1 the encode/partition side itself
+/// fans out across M pinned producer threads (snapshot mode only), so
+/// ingest scales with cores instead of flat-lining at one producer's
+/// rate.  Membership state reaches the workers in one of two modes
+/// (membership_mode):
 ///
 ///  * snapshot (default) — the producer owns the single mutable table
 ///    behind a snapshot_publisher (emu/snapshot.hpp); join/leave apply
@@ -31,6 +37,14 @@
 /// the merged load histogram is bit-identical to a single-shard (or
 /// plain emulator) reference run over the same events — the property
 /// the ctest suite asserts and BENCH_sharded_emulator.json records.
+/// Multi-producer runs keep the guarantee because membership is
+/// *sequenced before the fan-out*: a sequential pre-scan on the calling
+/// thread applies every join/leave to the snapshot publisher in stream
+/// order and tags each contiguous request run with its epoch snapshot;
+/// the producers then split the request stream by global index range
+/// and each request still resolves against exactly the epoch it
+/// arrived under, in whatever order the mesh delivers it (the load
+/// histogram is order-insensitive).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +53,7 @@
 #include <span>
 #include <vector>
 
+#include "emu/channel.hpp"
 #include "emu/emulator.hpp"
 #include "emu/event.hpp"
 #include "emu/snapshot.hpp"
@@ -61,9 +76,26 @@ struct sharded_config {
   /// Worker shards (>= 1); each runs one thread (and, in replicated
   /// mode, owns one table replica).
   std::size_t shards = 4;
+  /// Producer threads feeding the mesh (>= 1).  1 (default) produces
+  /// on the calling thread, exactly the historical pipeline; M > 1
+  /// adds M pinned producer workers to the pool (placed after the
+  /// shard workers by the same placement policy), each owning one
+  /// channel per shard and encoding a contiguous slice of the request
+  /// stream.  Snapshot mode only: replicated membership needs
+  /// stream-order broadcast, which a fan-out producer cannot preserve.
+  std::size_t producers = 1;
   /// Events buffered per shard before a batch is handed to its worker
   /// (the paper's batch size of 256 per shard).
   std::size_t buffer_capacity = 256;
+  /// Shard-channel implementation of the ingest mesh (emu/channel.hpp):
+  /// lock-free SPSC rings by default, overridable per run here or
+  /// process-wide with HDHASH_CHANNEL=ring|mutex.  Never changes
+  /// results — only how batches are handed over.
+  channel_kind channel = default_channel_kind();
+  /// Bounded per-lane channel depth: batches in flight per
+  /// (producer, shard) pair before push blocks (backpressure).  2 is
+  /// the classic double buffer (rings round up to a power of two).
+  std::size_t channel_depth = 2;
   /// How membership reaches the workers (see membership_mode).
   membership_mode membership = membership_mode::snapshot;
   /// Measure per-sub-batch request time on each worker's own CPU clock
@@ -112,6 +144,11 @@ struct sharded_report {
   /// Post-pinning outcome per shard worker (cpu/node are -1 and pinned
   /// false wherever affinity was skipped or refused).
   std::vector<runtime::worker_info> workers;
+  /// Post-pinning outcome per mesh producer worker.  Empty when the
+  /// run produced on the calling thread (producers == 1).
+  std::vector<runtime::worker_info> producer_workers;
+  /// Shard-channel implementation the mesh ran on.
+  channel_kind channel = channel_kind::ring;
 
   /// Aggregate service rate: the sum of each shard's requests divided
   /// by the time that shard spent inside lookup_batch on its own
@@ -153,14 +190,17 @@ class sharded_emulator {
 
   const sharded_config& config() const noexcept { return config_; }
   std::size_t shards() const noexcept { return config_.shards; }
+  std::size_t producers() const noexcept { return config_.producers; }
   /// The shard's table replica (replicated mode) or the producer's
   /// single mutable table (snapshot mode, same object for every shard).
   /// Valid for the emulator's lifetime.  \pre shard < shards().
   dynamic_table& table(std::size_t shard);
 
-  /// The pinned worker pool the shards run on (one worker per shard;
-  /// placement per config().placement).  Exposed so callers can report
-  /// delivered placement (bench drivers record cpu/node per shard).
+  /// The pinned worker pool the pipeline runs on: workers [0, shards)
+  /// are the shard decoders, and — when producers > 1 — workers
+  /// [shards, shards + producers) are the mesh producers, all placed
+  /// by config().placement.  Exposed so callers can report delivered
+  /// placement (bench drivers record cpu/node per shard).
   const runtime::worker_pool& pool() const noexcept { return *pool_; }
 
  private:

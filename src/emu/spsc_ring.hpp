@@ -1,0 +1,199 @@
+/// \file spsc_ring.hpp
+/// \brief Lock-free bounded single-producer/single-consumer ring — the
+/// hot-path implementation of the shard-channel concept
+/// (emu/channel.hpp), and the fabric of the M×N ingest mesh
+/// (emu/ingest.hpp).
+///
+/// Design (the classic bounded SPSC queue, cf. cachegrand's
+/// `ring_bounded_queue_spsc` and Rigtorp's SPSC ring):
+///
+///  * **power-of-two capacity** — cursors are free-running
+///    std::size_t counters; `index & mask` replaces the modulo, and
+///    the full/empty tests (`tail - head > mask`, `head == tail`) stay
+///    correct across wraparound because unsigned subtraction is
+///    modular.
+///  * **cache-line padding** — the producer cursor, the consumer
+///    cursor, and each side's *cached copy* of the peer cursor live on
+///    their own destructive-interference-sized lines, so a push never
+///    writes the line a pop is spinning on (no false sharing between
+///    the two hot threads).
+///  * **acquire/release publication** — the producer writes the slot,
+///    then publishes with `tail.store(release)`; the consumer observes
+///    the slot only after `tail.load(acquire)`, which is the entire
+///    synchronization story: no locks, no CAS, no fences beyond the
+///    pair.
+///  * **batched cursor refresh (cached cursors)** — the expensive
+///    cross-core load of the peer's cursor happens only when the local
+///    cached copy says the ring *looks* full (producer) or empty
+///    (consumer).  In steady streaming each side re-reads the peer
+///    cursor once per `capacity` operations instead of once per
+///    operation, which is where the ring's throughput over the mutex
+///    channel comes from (see bench_channel / BENCH_channel.json).
+///
+/// Close semantics: `close()` is an atomic flag any thread may set.  A
+/// `try_push` that already read a free slot may complete concurrently
+/// with `close()` — the contract (shared with the mutex channel) is
+/// that producers stop pushing before or upon observing the close, and
+/// every blocking `push()` parked on a full ring wakes and throws
+/// `channel_closed`.  `pop()` keeps draining queued items after close
+/// and returns false only once the ring is empty — nothing pushed
+/// before close is ever lost.
+///
+/// Strictly single-producer/single-consumer: one thread pushes, one
+/// thread pops.  The ingest mesh gives every producer its own ring per
+/// shard precisely so this holds by construction; for multi-producer
+/// hand-off use `mutex_channel` (or one ring per producer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "emu/channel.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+
+namespace detail {
+
+/// Rounds up to the next power of two (minimum 1).
+constexpr std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// Destructive-interference stride for the cursor padding.  A fixed 64
+/// rather than std::hardware_destructive_interference_size: the value
+/// is identical on every target this builds for, and the constant
+/// avoids GCC's -Winterference-size ABI-stability warning in a public
+/// header.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace detail
+
+/// Bounded lock-free SPSC ring channel.  Capacity is rounded up to a
+/// power of two; the default of 4 gives the producer two batches of
+/// slack beyond the classic double buffer.
+template <typename T>
+class spsc_ring {
+ public:
+  /// \pre capacity >= 1 (rounded up to the next power of two).
+  explicit spsc_ring(std::size_t capacity = 4)
+      : mask_(detail::round_up_pow2(capacity) - 1), slots_(mask_ + 1) {
+    HDHASH_REQUIRE(capacity >= 1, "channel capacity must be positive");
+  }
+
+  /// Non-blocking push; `item` is moved from only on `ok`.  Producer
+  /// thread only.
+  push_status try_push(T& item) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return push_status::closed;
+    }
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      // Looks full through the cached cursor: pay the cross-core load
+      // once, then run off the refreshed copy for up to `capacity`
+      // more pushes (the batched-cursor-refresh optimization).
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) {
+        return push_status::full;
+      }
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return push_status::ok;
+  }
+
+  /// Blocks (spin → yield → park) while the ring is full; throws
+  /// channel_closed once the ring is closed — a waiter parked on a
+  /// full ring wakes and throws rather than deadlocking.
+  void push(T&& item) {
+    T local = std::move(item);
+    detail::channel_backoff backoff;
+    for (;;) {
+      switch (try_push(local)) {
+        case push_status::ok:
+          return;
+        case push_status::closed:
+          throw channel_closed();
+        case push_status::full:
+          backoff.pause();
+          break;
+      }
+    }
+  }
+
+  /// Non-blocking pop.  `closed` means closed *and* drained.  Consumer
+  /// thread only.
+  pop_status try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        // Order matters: re-check emptiness *after* observing the
+        // closed flag, or a close between the two loads could drop a
+        // final item.
+        if (!closed_.load(std::memory_order_acquire)) {
+          return pop_status::empty;
+        }
+        tail_cache_ = tail_.load(std::memory_order_acquire);
+        if (head == tail_cache_) {
+          return pop_status::closed;
+        }
+      }
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return pop_status::ok;
+  }
+
+  /// Blocks for the next item; returns false once the ring is closed
+  /// and drained.
+  bool pop(T& out) {
+    detail::channel_backoff backoff;
+    for (;;) {
+      switch (try_pop(out)) {
+        case pop_status::ok:
+          return true;
+        case pop_status::closed:
+          return false;
+        case pop_status::empty:
+          backoff.pause();
+          break;
+      }
+    }
+  }
+
+  /// Atomic close; safe from any thread.  Parked pushers wake and
+  /// throw; the consumer drains what was already published, then pop()
+  /// returns false forever.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Usable slot count (the rounded-up power of two).
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::size_t mask_;
+  std::vector<T> slots_;
+  /// Producer cursor: next slot to write.  Written by the producer
+  /// (release), read by the consumer (acquire).
+  alignas(detail::kCacheLine) std::atomic<std::size_t> tail_{0};
+  /// Consumer cursor: next slot to read.  Written by the consumer
+  /// (release), read by the producer (acquire).
+  alignas(detail::kCacheLine) std::atomic<std::size_t> head_{0};
+  /// Producer-owned cached copy of head_ (refreshed only when the ring
+  /// looks full) — keeps the hot push path free of cross-core loads.
+  alignas(detail::kCacheLine) std::size_t head_cache_ = 0;
+  /// Consumer-owned cached copy of tail_ (refreshed only when the ring
+  /// looks empty).
+  alignas(detail::kCacheLine) std::size_t tail_cache_ = 0;
+  alignas(detail::kCacheLine) std::atomic<bool> closed_{false};
+};
+
+}  // namespace hdhash

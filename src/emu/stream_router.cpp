@@ -2,28 +2,21 @@
 
 #include <utility>
 
-#include "emu/batch_channel.hpp"
 #include "hashing/splitmix_hash.hpp"
 #include "util/require.hpp"
 
 namespace hdhash {
 
-namespace {
-
 /// One shard's slice of a submitted ticket: the indices (positions in
 /// the owner's request vector) this shard resolves, against `snap`.
-struct shard_slice {
+struct stream_router::shard_slice {
   std::shared_ptr<const table_snapshot> snap;
   std::shared_ptr<stream_router::route_batch> owner;
   std::vector<std::uint32_t> indices;
 };
 
-}  // namespace
-
-struct stream_router::shard_lane {
-  explicit shard_lane(std::size_t depth) : channel(depth) {}
-  batch_channel<shard_slice> channel;
-  // Decode-loop scratch, single-owner by the worker-pool FIFO contract.
+/// Decode-loop scratch, single-owner by the worker-pool FIFO contract.
+struct stream_router::shard_scratch {
   std::vector<request_id> ids;
   std::vector<server_id> answers;
 };
@@ -39,9 +32,14 @@ stream_router::stream_router(std::unique_ptr<dynamic_table> table,
   HDHASH_REQUIRE(first_worker_ + config_.shards <= pool_.size(),
                  "shard worker range exceeds the pool");
   publisher_ = std::make_unique<snapshot_publisher>(std::move(table));
-  lanes_.reserve(config_.shards);
+  // One private row per registered session plus the shared legacy row
+  // (row index config_.sessions, serialized by legacy_row_mutex_).
+  mesh_ = std::make_unique<ingest_mesh<shard_slice>>(
+      config_.sessions + 1, config_.shards, config_.channel_depth,
+      config_.channel);
+  scratch_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    lanes_.push_back(std::make_unique<shard_lane>(config_.channel_depth));
+    scratch_.push_back(std::make_unique<shard_scratch>());
   }
 }
 
@@ -53,21 +51,23 @@ void stream_router::start() {
   }
   started_ = true;
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    shard_lane* lane = lanes_[s].get();
-    pool_.submit(first_worker_ + s, [lane] {
+    shard_scratch* scratch = scratch_[s].get();
+    ingest_mesh<shard_slice>* mesh = mesh_.get();
+    pool_.submit(first_worker_ + s, [mesh, scratch, s] {
+      shard_consumer<shard_slice> consumer = mesh->consumer(s);
       shard_slice slice;
-      while (lane->channel.pop(slice)) {
+      while (consumer.pop(slice)) {
         route_batch& owner = *slice.owner;
         try {
           const dynamic_table& table = slice.snap->table();
-          lane->ids.clear();
+          scratch->ids.clear();
           for (const std::uint32_t index : slice.indices) {
-            lane->ids.push_back(owner.requests[index]);
+            scratch->ids.push_back(owner.requests[index]);
           }
-          lane->answers.resize(lane->ids.size());
-          table.lookup_batch(lane->ids, lane->answers);
+          scratch->answers.resize(scratch->ids.size());
+          table.lookup_batch(scratch->ids, scratch->answers);
           for (std::size_t i = 0; i < slice.indices.size(); ++i) {
-            owner.answers[slice.indices[i]] = lane->answers[i];
+            owner.answers[slice.indices[i]] = scratch->answers[i];
           }
         } catch (...) {
           // A faulted slice (empty pool raced a leave, a table
@@ -100,14 +100,12 @@ void stream_router::stop() {
   if (!started_ || stopped_.exchange(true)) {
     return;
   }
-  for (auto& lane : lanes_) {
-    lane->channel.close();
-  }
-  // The decode jobs exit once their channels drain; every ticket
-  // submitted before stop() completes during this wait.  wait_idle()
-  // also covers any *other* jobs on the shared pool (the net server
-  // stops its io loops first for exactly this reason) and rethrows the
-  // first job exception.
+  mesh_->close();
+  // The decode jobs exit once every lane of their column drains; every
+  // ticket submitted before stop() completes during this wait.
+  // wait_idle() also covers any *other* jobs on the shared pool (the
+  // net server stops its io loops first for exactly this reason) and
+  // rethrows the first job exception.
   pool_.wait_idle();
 }
 
@@ -135,6 +133,22 @@ std::size_t stream_router::shard_of(request_id request) const {
 }
 
 void stream_router::submit(std::shared_ptr<route_batch> batch) {
+  // The legacy row's lanes are single-producer like every other row;
+  // serializing the callers here (mutex hand-off orders their pushes)
+  // keeps them safe and FIFO.  A caller blocked on a full lane blocks
+  // its peers too — io-rate producers hold a private session instead.
+  const std::lock_guard lock(legacy_row_mutex_);
+  submit_to_row(config_.sessions, std::move(batch));
+}
+
+stream_router::session stream_router::open_session(std::size_t index) {
+  HDHASH_REQUIRE(index < config_.sessions,
+                 "session index out of range — size config.sessions first");
+  return session(this, index);
+}
+
+void stream_router::submit_to_row(std::size_t row,
+                                  std::shared_ptr<route_batch> batch) {
   HDHASH_REQUIRE(batch != nullptr, "cannot submit a null batch");
   HDHASH_REQUIRE(started_ && !stopped_.load(std::memory_order_relaxed),
                  "stream router is not running");
@@ -180,7 +194,9 @@ void stream_router::submit(std::shared_ptr<route_batch> batch) {
     slice.snap = snap;
     slice.owner = batch;
     slice.indices = std::move(slices[s]);
-    lanes_[s]->channel.push(std::move(slice));
+    // Blocking push = backpressure; throws channel_closed if stop()
+    // raced this submit (the loud post-close contract).
+    mesh_->lane(row, s).push(std::move(slice));
   }
 }
 

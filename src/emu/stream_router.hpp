@@ -12,17 +12,30 @@
 /// and stop by draining.  This class is that engine; `net::net_server`
 /// is its first client.
 ///
+/// Ingest runs on the shared mesh API (emu/ingest.hpp): the router
+/// owns a (sessions + 1) × shards `ingest_mesh` of bounded shard
+/// channels — lock-free SPSC rings by default.  Each registered
+/// *session* (`open_session(i)`, one per io thread) owns a private
+/// mesh row, so an io loop pushes its slices into single-producer
+/// rings with no lock anywhere on the hot path; the extra row backs
+/// the legacy `submit()` entry point, serialized internally so any
+/// number of casual callers can share it.
+///
 /// Concurrency contract:
-///  * join()/leave()/submit() are thread-safe (serialized on an
-///    internal producer mutex around the snapshot publisher; channel
-///    pushes are safe unlocked — batch_channel takes any number of
-///    pushers).
-///  * Batches submitted from one thread complete their shard-local
-///    slices in submission order (channels are FIFO), so per-connection
-///    reply ordering reduces to a FIFO of tickets on the submitter.
+///  * join()/leave()/submit() are thread-safe; a session's submit() is
+///    bound to one thread at a time (it is that row's SPSC producer).
+///  * Batches submitted through one session (or through submit() from
+///    one thread) complete their shard-local slices in submission
+///    order (channels are FIFO per lane), so per-connection reply
+///    ordering reduces to a FIFO of tickets on the submitter.
+///    Ordering across different sessions is not defined — exactly as
+///    ordering across submitter threads never was.
 ///  * `on_complete` runs on whichever shard worker finishes the
 ///    batch's last slice — it must be cheap and non-blocking (post a
 ///    wakeup, never write sockets or take long-held locks).
+///  * After stop(), submit() fails loudly (hdhash::channel_closed or
+///    precondition_error) — quiesce submitters first, the way
+///    net_server joins its io loops before stopping the router.
 ///
 /// Determinism: a batch's requests all resolve against the snapshot of
 /// the membership epoch current at submit() time, and every membership
@@ -40,6 +53,8 @@
 #include <mutex>
 #include <vector>
 
+#include "emu/channel.hpp"
+#include "emu/ingest.hpp"
 #include "emu/snapshot.hpp"
 #include "runtime/worker_pool.hpp"
 #include "table/dynamic_table.hpp"
@@ -53,9 +68,17 @@ class stream_router {
     /// [first_worker, first_worker + shards) are occupied for the
     /// router's whole start()..stop() span.
     std::size_t shards = 1;
-    /// Bounded per-shard channel depth: how many batches may queue on
-    /// one shard before submit() blocks (backpressure to the io layer).
+    /// Dedicated producer sessions (>= 0): io threads that each own a
+    /// private single-producer mesh row via open_session().  The
+    /// shared legacy submit() row exists regardless.
+    std::size_t sessions = 0;
+    /// Bounded per-lane channel depth: how many batches may queue on
+    /// one (producer, shard) lane before submit() blocks
+    /// (backpressure to the io layer).
     std::size_t channel_depth = 4;
+    /// Shard-channel implementation of the mesh (ring | mutex);
+    /// default per HDHASH_CHANNEL, else the lock-free ring.
+    channel_kind channel = default_channel_kind();
     /// Salt of the request partition hash (the sharded emulator's
     /// default, so both pipelines split streams identically).
     std::uint64_t partition_seed = 0x5A4D'ED01;
@@ -85,6 +108,31 @@ class stream_router {
     std::atomic<std::size_t> pending_slices{0};
   };
 
+  /// A producer-side handle over one private mesh row.  Obtained from
+  /// open_session(); cheap to copy, but only one thread may drive a
+  /// given session at a time (it is the row's SPSC producer).  The
+  /// router must outlive every session.
+  class session {
+   public:
+    session() = default;
+
+    /// Same semantics as stream_router::submit(), minus the internal
+    /// serialization: partitions the ticket, stamps the current epoch
+    /// snapshot, pushes one slice per covered shard into this
+    /// session's own lock-free lanes.
+    void submit(std::shared_ptr<route_batch> batch) {
+      router_->submit_to_row(row_, std::move(batch));
+    }
+
+   private:
+    friend class stream_router;
+    session(stream_router* router, std::size_t row)
+        : router_(router), row_(row) {}
+
+    stream_router* router_ = nullptr;
+    std::size_t row_ = 0;
+  };
+
   /// Takes ownership of the (single, producer-owned) table and runs
   /// decode loops on `pool` workers [first_worker, first_worker +
   /// config.shards).  start() must be called before the first submit().
@@ -108,10 +156,10 @@ class stream_router {
   /// Idempotent once running.
   void start();
 
-  /// Closes every shard channel and waits until all decode loops have
+  /// Closes every mesh lane and waits until all decode loops have
   /// drained and exited — every batch submitted before stop() completes
   /// (its on_complete fires) before stop() returns.  After stop(),
-  /// submit() is a precondition error.  Idempotent.
+  /// submit() fails loudly.  Idempotent.
   void stop();
 
   /// Applies a join to the producer table and opens a new membership
@@ -124,10 +172,17 @@ class stream_router {
 
   /// Partitions the ticket's requests by shard, stamps the current
   /// epoch snapshot, and pushes one slice per covered shard (blocking
-  /// when a shard's channel is full — backpressure).  Empty tickets
-  /// complete inline on the calling thread.
+  /// when a lane is full — backpressure).  Empty tickets complete
+  /// inline on the calling thread.  This shared entry point is
+  /// serialized internally (any number of callers); io-rate producers
+  /// should hold a private open_session() handle instead.
   /// \pre started and not stopped; batch != nullptr.
   void submit(std::shared_ptr<route_batch> batch);
+
+  /// Hands out the private producer row `index`.  Valid for the
+  /// router's lifetime; one driving thread at a time per session.
+  /// \pre index < config.sessions.
+  session open_session(std::size_t index);
 
   /// Shard a request id is routed to (pure).
   std::size_t shard_of(request_id request) const;
@@ -156,18 +211,26 @@ class stream_router {
   std::size_t table_memory_bytes() const;
 
  private:
-  struct shard_lane;
+  struct shard_slice;
+  struct shard_scratch;
+
+  void submit_to_row(std::size_t row, std::shared_ptr<route_batch> batch);
 
   config config_;
   runtime::worker_pool& pool_;
   std::size_t first_worker_;
   std::unique_ptr<snapshot_publisher> publisher_;
-  std::vector<std::unique_ptr<shard_lane>> lanes_;
+  std::unique_ptr<ingest_mesh<shard_slice>> mesh_;
+  std::vector<std::unique_ptr<shard_scratch>> scratch_;
 
   // Producer mutex: guards the publisher (join/leave/current) so a
   // snapshot is always consistent with the membership order observed
   // by submitters.
   mutable std::mutex producer_mutex_;
+  // Serializes the shared legacy row (row index config_.sessions):
+  // its lanes are single-producer, so concurrent legacy submitters
+  // take turns.  Sessions never touch this lock.
+  std::mutex legacy_row_mutex_;
   std::atomic<std::size_t> members_{0};
   std::atomic<std::uint64_t> epoch_count_{0};
   std::atomic<std::uint64_t> requests_routed_{0};

@@ -1,0 +1,86 @@
+/// \file emulator_options.hpp
+/// \brief One emulator flag surface for every driver: the parsed
+/// `emulator_options` struct behind `--shards`, `--producers`, `--pin`,
+/// `--replicated` and `--channel`, consumed by the benches, the
+/// examples and the shard-sweep driver.
+///
+/// Each of those knobs used to have its own ad-hoc scanner
+/// (`parse_shards_flag`, `parse_pin_flag`, `parse_replicated_flag`,
+/// plus per-bench env-var plumbing), so drivers drifted: some knew
+/// `--shards auto`, some did not; error wording differed; new knobs
+/// meant touching every main().  This parser replaces them (the old
+/// helpers survive as deprecated shims over it, see exp/sharded.hpp):
+///
+///  * unknown flags are *ignored* — every driver has its own extra
+///    flags (`--json`, `--requests`, `--connections`, …) and parses
+///    them separately;
+///  * malformed *known* flags are collected into `errors`, so a driver
+///    fails loudly with every problem at once instead of silently
+///    skipping the panel the user asked for;
+///  * `auto` values resolve against the discovered host topology at
+///    parse time (`--shards auto`, `--producers auto`), the same
+///    sizing the net server uses;
+///  * environment defaults (HDHASH_PIN, HDHASH_CHANNEL) apply exactly
+///    when the flag is absent — a flag always wins over its env var.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "emu/channel.hpp"
+#include "emu/sharded_emulator.hpp"
+#include "runtime/placement_plan.hpp"
+
+namespace hdhash {
+
+/// Emulator knobs shared by every pipeline driver, with per-knob
+/// presence so callers can distinguish "defaulted" from "requested".
+struct emulator_options {
+  /// --shards N | auto.  `shards` carries the resolved count (auto is
+  /// resolved at parse time against the host topology, reserving the
+  /// producer cores); 0 when the flag is absent — drivers keep their
+  /// own default.
+  bool shards_set = false;
+  bool shards_auto = false;
+  std::size_t shards = 0;
+
+  /// --producers M | auto (auto: the io-reactor heuristic — one per
+  /// four allowed physical cores, between 1 and 4).
+  bool producers_set = false;
+  bool producers_auto = false;
+  std::size_t producers = 1;
+
+  /// --pin none|compact|scatter|smt-aware; default per HDHASH_PIN.
+  bool placement_set = false;
+  runtime::placement_policy placement = runtime::default_placement_policy();
+
+  /// --replicated (drivers default to snapshot membership).
+  membership_mode membership = membership_mode::snapshot;
+
+  /// --channel ring|mutex; default per HDHASH_CHANNEL.
+  bool channel_set = false;
+  channel_kind channel = default_channel_kind();
+
+  /// One human-readable message per malformed known flag ("--shards
+  /// needs a positive integer or auto").  Empty = parse clean.
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+
+  /// Copies every parsed knob onto a pipeline configuration (absent
+  /// knobs leave the config's value untouched).
+  void apply(sharded_config& config) const;
+};
+
+/// Scans argv for the shared emulator flags (both `--flag=value` and
+/// `--flag value` forms).  Never throws on bad input — problems land
+/// in `errors` so drivers report them all; unknown flags are ignored.
+emulator_options parse_emulator_options(int argc, char** argv);
+
+/// Strict positive-integer parse for CLI values: rejects empty input,
+/// trailing garbage ("1e3"), out-of-range and non-positive values by
+/// returning 0 (never silently truncates).
+std::size_t parse_positive_value(const char* text);
+
+}  // namespace hdhash

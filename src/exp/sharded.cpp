@@ -1,9 +1,6 @@
 #include "exp/sharded.hpp"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
 
 #include "emu/generator.hpp"
 #include "emu/sharded_emulator.hpp"
@@ -23,76 +20,51 @@ std::vector<std::size_t> shard_count_sweep(std::size_t max_shards) {
   return counts;
 }
 
-std::size_t parse_positive_value(const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(text, &end, 10);
-  // Reject trailing garbage ("1e3"), empty values and out-of-range
-  // input outright instead of silently truncating.
-  if (end == text || *end != '\0' || errno == ERANGE || value <= 0) {
-    return 0;
-  }
-  return static_cast<std::size_t>(value);
-}
+// Deprecated shims: each re-runs the unified parser and projects out
+// its one flag, so old drivers see exactly the historical structs while
+// all parsing logic lives in exp/emulator_options.cpp.  (Suppressing
+// the self-deprecation warning on the definitions only.)
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 bool parse_replicated_flag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--replicated") == 0) {
-      return true;
-    }
-  }
-  return false;
+  return parse_emulator_options(argc, argv).membership ==
+         membership_mode::replicated;
 }
-
-namespace {
-
-shards_flag parse_shards_value(const char* text) {
-  if (std::strcmp(text, "auto") == 0) {
-    // Sized to the discovered topology: one worker per allowed
-    // physical core, one core reserved for the producer.
-    return shards_flag{true, runtime::auto_shard_count(runtime::host_topology()),
-                       true};
-  }
-  return shards_flag{true, parse_positive_value(text), false};
-}
-
-}  // namespace
 
 shards_flag parse_shards_flag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-      return parse_shards_value(argv[i] + 9);
-    }
-    if (std::strcmp(argv[i], "--shards") == 0) {
-      // A bare trailing "--shards" is present-but-invalid, not absent:
-      // the caller must error loudly rather than skip the panel.
-      return i + 1 < argc ? parse_shards_value(argv[i + 1])
-                          : shards_flag{true, 0, false};
-    }
-  }
-  return shards_flag{};
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  shards_flag flag;
+  flag.present = opts.shards_set;
+  flag.value = opts.shards;
+  flag.auto_sized = opts.shards_auto;
+  return flag;
 }
 
 pin_flag parse_pin_flag(int argc, char** argv) {
-  const auto parse = [](const char* text) {
-    pin_flag flag;
-    flag.present = true;
-    if (const auto policy = runtime::parse_placement_policy(text)) {
-      flag.valid = true;
-      flag.policy = *policy;
-    }
-    return flag;
-  };
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--pin=", 6) == 0) {
-      return parse(argv[i] + 6);
-    }
-    if (std::strcmp(argv[i], "--pin") == 0) {
-      return i + 1 < argc ? parse(argv[i + 1]) : pin_flag{true, false, {}};
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  pin_flag flag;
+  flag.present = opts.placement_set;
+  // The unified parser keeps the default policy on a malformed value
+  // and records the problem in errors; the historical struct reported
+  // the same condition as present-but-invalid.
+  flag.valid = opts.placement_set;
+  for (const std::string& error : opts.errors) {
+    if (error.rfind("--pin", 0) == 0) {
+      flag.valid = false;
     }
   }
-  return pin_flag{};
+  if (flag.valid) {
+    flag.policy = opts.placement;
+  }
+  return flag;
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
                                                const shard_sweep_config& config,
@@ -140,10 +112,12 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
   for (const std::size_t shards : config.shard_counts) {
     sharded_config emu_config;
     emu_config.shards = shards;
+    emu_config.producers = config.producers;
     emu_config.buffer_capacity = config.buffer_capacity;
     emu_config.membership = membership;
     emu_config.shadow = config.shadow;
     emu_config.placement = config.placement;
+    emu_config.channel = config.channel;
     sharded_emulator emu(
         [&](std::size_t) { return make_table(algorithm, sharded_opts); },
         emu_config);
@@ -151,6 +125,7 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
 
     shard_sweep_point point;
     point.shards = shards;
+    point.producers = config.producers;
     point.merged = report.merged;
     point.wall_seconds = report.wall_seconds;
     point.aggregate_requests_per_second =

@@ -16,6 +16,7 @@
 
 #include "emu/emulator.hpp"
 #include "emu/sharded_emulator.hpp"
+#include "exp/emulator_options.hpp"
 #include "exp/factory.hpp"
 
 namespace hdhash {
@@ -28,6 +29,11 @@ struct shard_sweep_config {
   std::size_t requests = 40'000;   ///< requests per point
   double churn_rate = 0.0;         ///< join/leave probability per slot
   std::size_t buffer_capacity = 256;  ///< per-shard batch size
+  /// Mesh producer threads per point (>= 1; snapshot mode only when
+  /// above 1 — see sharded_config::producers).
+  std::size_t producers = 1;
+  /// Shard-channel implementation of every point's ingest mesh.
+  channel_kind channel = default_channel_kind();
   /// Membership mode of the sharded runs (the reference run is always a
   /// plain single-table emulator).  Snapshot by default — epoch-
   /// published shared state; forced to replicated when `shadow` is set
@@ -43,6 +49,8 @@ struct shard_sweep_config {
 
 struct shard_sweep_point {
   std::size_t shards = 0;
+  /// Producers the point ran with (the sweep config's value).
+  std::size_t producers = 1;
   run_stats merged;
   double wall_seconds = 0.0;
   /// Sum of per-shard service rates (requests / on-thread decode time):
@@ -84,6 +92,13 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
 /// straight from --shards).
 std::vector<std::size_t> shard_count_sweep(std::size_t max_shards);
 
+// ---------------------------------------------------------------------
+// Deprecated per-flag scanners.  All emulator flags now parse through
+// one surface — `parse_emulator_options` (exp/emulator_options.hpp) —
+// which also knows `--producers` and `--channel` and collects every
+// malformed flag into one error list.  These shims (wrappers over the
+// unified parser) keep old out-of-tree drivers compiling.
+
 /// Result of scanning argv for `--shards`: distinguishes "not asked
 /// for" from "asked for but malformed" so drivers can error loudly
 /// instead of silently skipping the panel the user requested.
@@ -95,10 +110,9 @@ struct shards_flag {
   bool auto_sized = false;
 };
 
-/// Parses `--shards=N` / `--shards N` from argv (strictly: a positive
-/// decimal integer, no trailing garbage) — or `--shards auto`, which
-/// resolves to one worker per allowed physical core (reserving one for
-/// the producer) on the discovered host topology.
+/// \deprecated Use parse_emulator_options() — its `shards_set` /
+/// `shards_auto` / `shards` fields carry the same information.
+[[deprecated("use parse_emulator_options (exp/emulator_options.hpp)")]]
 shards_flag parse_shards_flag(int argc, char** argv);
 
 /// Result of scanning argv for `--pin <policy>` / `--pin=<policy>`:
@@ -110,18 +124,18 @@ struct pin_flag {
   runtime::placement_policy policy = runtime::placement_policy::none;
 };
 
-/// Parses `--pin=<none|compact|scatter|smt-aware>` / `--pin <policy>`
-/// from argv.
+/// \deprecated Use parse_emulator_options() — its `placement_set` /
+/// `placement` fields (plus `errors`) carry the same information.
+[[deprecated("use parse_emulator_options (exp/emulator_options.hpp)")]]
 pin_flag parse_pin_flag(int argc, char** argv);
 
-/// True when `--replicated` appears in argv: drivers and examples
-/// default to snapshot mode and expose the PR-2 replicated pipeline
-/// behind this flag.
+/// \deprecated Use parse_emulator_options() — its `membership` field
+/// reports replicated when the flag is present.
+[[deprecated("use parse_emulator_options (exp/emulator_options.hpp)")]]
 bool parse_replicated_flag(int argc, char** argv);
 
-/// Strict positive-integer parse for CLI values: rejects empty input,
-/// trailing garbage ("1e3"), out-of-range and non-positive values by
-/// returning 0 (never silently truncates).
-std::size_t parse_positive_value(const char* text);
+// parse_positive_value lives in exp/emulator_options.hpp now (it is a
+// generic strict CLI integer parser, not an emulator knob) and is
+// re-exported here by the include above.
 
 }  // namespace hdhash

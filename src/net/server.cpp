@@ -81,6 +81,10 @@ struct net_server::impl {
   struct io_loop {
     impl* server = nullptr;
     std::size_t index = 0;
+    /// This loop's private stream_router producer row: flushes push
+    /// ROUTE slices straight into single-producer shard lanes —
+    /// lock-free end to end with the default ring channels.
+    stream_router::session route;
     unique_fd epoll_fd;
     unique_fd wake_fd;
     std::mutex inbox_mutex;
@@ -217,13 +221,14 @@ void net_server::impl::process_inbox(io_loop& loop) {
 }
 
 void net_server::impl::flush_open_batch(io_loop& loop, connection& conn) {
-  (void)loop;
   if (conn.open_batch == nullptr) {
     return;
   }
-  // May block briefly when a shard channel is full — that stall *is*
-  // the backpressure path from the decode workers to the TCP window.
-  route_engine->submit(std::move(conn.open_batch));
+  // May block briefly when a shard lane is full — that stall *is* the
+  // backpressure path from the decode workers to the TCP window.  The
+  // loop's private session pushes into its own single-producer lanes,
+  // so concurrent io loops never contend a lock here.
+  loop.route.submit(std::move(conn.open_batch));
   conn.open_batch = nullptr;
 }
 
@@ -584,7 +589,9 @@ void net_server::start() {
   HDHASH_REQUIRE(table != nullptr, "table factory returned null");
   stream_router::config router_config;
   router_config.shards = s.config.shards;
+  router_config.sessions = io;  // one private producer row per io loop
   router_config.channel_depth = s.config.channel_depth;
+  router_config.channel = s.config.channel;
   s.route_engine = std::make_unique<stream_router>(std::move(table), *s.pool,
                                                    io, router_config);
   s.route_engine->start();
@@ -594,6 +601,7 @@ void net_server::start() {
     auto loop = std::make_unique<impl::io_loop>();
     loop->server = &s;
     loop->index = i;
+    loop->route = s.route_engine->open_session(i);
     loop->epoll_fd = unique_fd(::epoll_create1(EPOLL_CLOEXEC));
     loop->wake_fd =
         unique_fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));

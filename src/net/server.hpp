@@ -59,8 +59,13 @@ struct server_config {
   /// ROUTE batch flush threshold per connection (the emulator's batch
   /// size; partial batches flush at end-of-readable-data regardless).
   std::size_t batch_capacity = 256;
-  /// Per-shard channel depth before submit() backpressures the reactor.
+  /// Per-lane channel depth before submit() backpressures the reactor.
   std::size_t channel_depth = 4;
+  /// Shard-channel implementation of the router's ingest mesh: each io
+  /// loop owns a private stream_router session (one single-producer
+  /// lane per shard), lock-free rings by default (HDHASH_CHANNEL to
+  /// override process-wide).
+  channel_kind channel = default_channel_kind();
   /// Placement policy of the shared worker pool (io workers take the
   /// first CPUs in policy order, shard workers the next — the io/shard
   /// core split).

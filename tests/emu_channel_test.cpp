@@ -1,0 +1,477 @@
+/// Channel conformance and torture suite: every contract in the
+/// shard-channel concept (emu/channel.hpp), asserted against BOTH
+/// implementations — the lock-free spsc_ring and the mutex_channel
+/// reference — through the shard_channel run-time wrapper, plus the
+/// M-producer × N-shard ingest mesh and the standalone buffer_pool.
+///
+/// The threaded tests here are the TSan targets for the ingest layer
+/// (ctest -L channel): SPSC wraparound under concurrent push/pop,
+/// close-while-full (the PR-7 deadlock regression), close-while-empty,
+/// cross-producer mesh interleavings, and pool recycling reuse.
+#include "emu/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "emu/batch_channel.hpp"
+#include "emu/buffer_pool.hpp"
+#include "emu/ingest.hpp"
+#include "emu/spsc_ring.hpp"
+#include "util/require.hpp"
+
+namespace hdhash {
+namespace {
+
+// ---------------------------------------------------------------------
+// Conformance: every contract test runs against both implementations.
+
+class ChannelConformanceTest
+    : public ::testing::TestWithParam<channel_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, ChannelConformanceTest,
+                         ::testing::Values(channel_kind::ring,
+                                           channel_kind::mutex),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST_P(ChannelConformanceTest, ReportsItsKind) {
+  shard_channel<int> channel(GetParam(), 4);
+  EXPECT_EQ(channel.kind(), GetParam());
+  EXPECT_GE(channel.capacity(), 4u);
+}
+
+TEST_P(ChannelConformanceTest, FifoOrder) {
+  shard_channel<int> channel(GetParam(), 8);
+  for (int i = 0; i < 8; ++i) {
+    channel.push(int{i});
+  }
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(channel.try_pop(out), pop_status::ok);
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(channel.try_pop(out), pop_status::empty);
+}
+
+TEST_P(ChannelConformanceTest, TryPushReportsFullWithoutConsuming) {
+  shard_channel<int> channel(GetParam(), 2);
+  const std::size_t capacity = channel.capacity();
+  for (std::size_t i = 0; i < capacity; ++i) {
+    int item = static_cast<int>(i);
+    ASSERT_EQ(channel.try_push(item), push_status::ok);
+  }
+  int extra = 99;
+  EXPECT_EQ(channel.try_push(extra), push_status::full);
+  EXPECT_EQ(extra, 99);  // untouched on full
+}
+
+TEST_P(ChannelConformanceTest, SingleThreadedWraparound) {
+  // Many push/pop rounds through a tiny channel exercise index
+  // wraparound (for the ring: free-running cursors crossing the mask).
+  shard_channel<std::uint64_t> channel(GetParam(), 2);
+  std::uint64_t out = 0;
+  for (std::uint64_t round = 0; round < 1000; ++round) {
+    channel.push(round * 2);
+    channel.push(round * 2 + 1);
+    ASSERT_TRUE(channel.pop(out));
+    EXPECT_EQ(out, round * 2);
+    ASSERT_TRUE(channel.pop(out));
+    EXPECT_EQ(out, round * 2 + 1);
+  }
+  EXPECT_EQ(channel.try_pop(out), pop_status::empty);
+}
+
+TEST_P(ChannelConformanceTest, PushAfterCloseThrowsLoudly) {
+  shard_channel<int> channel(GetParam(), 4);
+  channel.push(1);
+  channel.close();
+  EXPECT_TRUE(channel.closed());
+  EXPECT_THROW(channel.push(2), channel_closed);
+  int item = 3;
+  EXPECT_EQ(channel.try_push(item), push_status::closed);
+}
+
+TEST_P(ChannelConformanceTest, PopDrainsThenReportsClosed) {
+  shard_channel<int> channel(GetParam(), 4);
+  channel.push(7);
+  channel.push(8);
+  channel.close();
+  int out = -1;
+  EXPECT_EQ(channel.try_pop(out), pop_status::ok);
+  EXPECT_EQ(out, 7);
+  ASSERT_TRUE(channel.pop(out));  // blocking pop still drains
+  EXPECT_EQ(out, 8);
+  EXPECT_EQ(channel.try_pop(out), pop_status::closed);
+  EXPECT_FALSE(channel.pop(out));
+}
+
+TEST_P(ChannelConformanceTest, CloseWhileEmptyWakesBlockedPop) {
+  shard_channel<int> channel(GetParam(), 4);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    int out = -1;
+    const bool got = channel.pop(out);  // blocks: channel is empty
+    EXPECT_FALSE(got);
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());
+  channel.close();
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+// The PR-7 deadlock regression: a push already *blocked* on a full
+// channel must wake and throw channel_closed when close() arrives —
+// the old batch_channel::push waited on a condition close() never
+// signalled and hung forever.
+TEST_P(ChannelConformanceTest, CloseWhileFullWakesBlockedPush) {
+  shard_channel<int> channel(GetParam(), 1);
+  const std::size_t capacity = channel.capacity();
+  for (std::size_t i = 0; i < capacity; ++i) {
+    channel.push(static_cast<int>(i));  // fill to the brim
+  }
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      channel.push(999);  // blocks: channel is full
+      ADD_FAILURE() << "push into a closed channel returned";
+    } catch (const channel_closed&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(threw.load());  // still blocked, not spuriously failed
+  channel.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST_P(ChannelConformanceTest, SpscTortureKeepsOrderAndLosesNothing) {
+  // One producer races one consumer through a tiny channel long enough
+  // to wrap the ring cursors thousands of times.  FIFO means the
+  // consumer must see exactly 0,1,2,...,N-1.
+  constexpr std::uint64_t kItems = 200'000;
+  shard_channel<std::uint64_t> under_test(GetParam(), 4);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      under_test.push(std::uint64_t{i});
+    }
+    under_test.close();
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t out = 0;
+  while (under_test.pop(out)) {
+    ASSERT_EQ(out, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+// ---------------------------------------------------------------------
+// spsc_ring specifics.
+
+TEST(SpscRingTest, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(spsc_ring<int>(1).capacity(), 1u);
+  EXPECT_EQ(spsc_ring<int>(2).capacity(), 2u);
+  EXPECT_EQ(spsc_ring<int>(3).capacity(), 4u);
+  EXPECT_EQ(spsc_ring<int>(5).capacity(), 8u);
+  EXPECT_EQ(spsc_ring<int>(64).capacity(), 64u);
+}
+
+TEST(SpscRingTest, ZeroCapacityThrows) {
+  EXPECT_THROW(spsc_ring<int>(0), precondition_error);
+}
+
+TEST(SpscRingTest, MovesItemsThrough) {
+  // Move-only payloads prove the ring never copies.
+  spsc_ring<std::unique_ptr<int>> ring(2);
+  ring.push(std::make_unique<int>(42));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscRingTest, ItemPushedBeforeCloseIsNeverDropped) {
+  // Regression for the try_pop close race: the consumer must re-check
+  // emptiness after observing the closed flag, or an item published
+  // between the two loads is silently lost.
+  for (int round = 0; round < 200; ++round) {
+    spsc_ring<int> ring(4);
+    std::thread producer([&] {
+      ring.push(1);
+      ring.close();
+    });
+    int out = 0;
+    int got = 0;
+    while (ring.pop(out)) {
+      ++got;
+    }
+    producer.join();
+    EXPECT_EQ(got, 1);
+  }
+}
+
+// ---------------------------------------------------------------------
+// channel_kind parsing / environment selection.
+
+TEST(ChannelKindTest, NamesRoundTrip) {
+  EXPECT_EQ(to_string(channel_kind::ring), "ring");
+  EXPECT_EQ(to_string(channel_kind::mutex), "mutex");
+  EXPECT_EQ(parse_channel_kind("ring"), channel_kind::ring);
+  EXPECT_EQ(parse_channel_kind("mutex"), channel_kind::mutex);
+  EXPECT_FALSE(parse_channel_kind("lockfree").has_value());
+  EXPECT_FALSE(parse_channel_kind("").has_value());
+}
+
+TEST(ChannelKindTest, DefaultHonorsEnvironment) {
+  ::unsetenv("HDHASH_CHANNEL");
+  EXPECT_EQ(default_channel_kind(), channel_kind::ring);
+  ::setenv("HDHASH_CHANNEL", "mutex", 1);
+  EXPECT_EQ(default_channel_kind(), channel_kind::mutex);
+  ::setenv("HDHASH_CHANNEL", "bogus", 1);
+  EXPECT_THROW(default_channel_kind(), precondition_error);
+  ::unsetenv("HDHASH_CHANNEL");
+}
+
+// ---------------------------------------------------------------------
+// buffer_pool: the recycling half of the old batch_channel, standalone.
+
+TEST(BufferPoolTest, TakeFromEmptyPoolFails) {
+  buffer_pool<std::vector<int>> pool;
+  std::vector<int> buffer;
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_FALSE(pool.take(buffer));
+}
+
+TEST(BufferPoolTest, RecycledBufferKeepsItsAllocation) {
+  buffer_pool<std::vector<int>> pool;
+  std::vector<int> buffer;
+  buffer.reserve(1024);
+  const int* storage = buffer.data();
+  pool.recycle(std::move(buffer));
+  EXPECT_EQ(pool.size(), 1u);
+
+  std::vector<int> reused;
+  ASSERT_TRUE(pool.take(reused));
+  EXPECT_EQ(reused.data(), storage);  // same allocation came back
+  EXPECT_EQ(reused.capacity(), 1024u);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(BufferPoolTest, LifoReuseUnderManyThreads) {
+  buffer_pool<std::vector<int>> pool;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5'000;
+  std::vector<std::thread> threads;
+  std::atomic<int> takes{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        std::vector<int> buffer;
+        if (pool.take(buffer)) {
+          takes.fetch_add(1, std::memory_order_relaxed);
+        }
+        buffer.clear();
+        pool.recycle(std::move(buffer));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Every recycle stays in the pool, so at most kThreads buffers exist.
+  EXPECT_LE(pool.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_GT(takes.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// The M×N ingest mesh.
+
+struct tagged_item {
+  std::size_t producer = 0;
+  std::uint64_t sequence = 0;
+};
+
+TEST(IngestMeshTest, LaneIndexingIsProducerMajor) {
+  ingest_mesh<int> mesh(2, 3, 4, channel_kind::ring);
+  EXPECT_EQ(mesh.producers(), 2u);
+  EXPECT_EQ(mesh.shards(), 3u);
+  mesh.lane(1, 2).push(42);
+  int out = 0;
+  EXPECT_EQ(mesh.lane(1, 2).try_pop(out), pop_status::ok);
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(mesh.lane(0, 2).try_pop(out), pop_status::empty);
+}
+
+TEST(IngestMeshTest, ConsumerClosesOnlyWhenAllLanesClose) {
+  ingest_mesh<int> mesh(2, 1, 4, channel_kind::ring);
+  auto consumer = mesh.consumer(0);
+  auto session0 = mesh.session(0);
+  auto session1 = mesh.session(1);
+
+  session0.push(0, 10);
+  session0.close();
+  int out = 0;
+  ASSERT_EQ(consumer.try_pop(out), pop_status::ok);
+  EXPECT_EQ(out, 10);
+  // One producer still open: the column reads empty, not closed.
+  EXPECT_EQ(consumer.try_pop(out), pop_status::empty);
+  session1.push(0, 11);
+  session1.close();
+  ASSERT_EQ(consumer.try_pop(out), pop_status::ok);
+  EXPECT_EQ(out, 11);
+  EXPECT_EQ(consumer.try_pop(out), pop_status::closed);
+}
+
+TEST(IngestMeshTest, RoundRobinScanDoesNotStarveLanes) {
+  // Producer 0 keeps its lane full; producer 1's items must still get
+  // through within a bounded number of pops.
+  ingest_mesh<tagged_item> mesh(2, 1, 4, channel_kind::ring);
+  auto consumer = mesh.consumer(0);
+  mesh.lane(0, 0).push({0, 0});
+  mesh.lane(0, 0).push({0, 1});
+  mesh.lane(1, 0).push({1, 0});
+
+  bool saw_producer1 = false;
+  tagged_item out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(consumer.try_pop(out), pop_status::ok);
+    if (out.producer == 1) {
+      saw_producer1 = true;
+    }
+  }
+  EXPECT_TRUE(saw_producer1);
+}
+
+class IngestMeshTortureTest : public ::testing::TestWithParam<channel_kind> {};
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, IngestMeshTortureTest,
+                         ::testing::Values(channel_kind::ring,
+                                           channel_kind::mutex),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST_P(IngestMeshTortureTest, MxNMeshDeliversEverythingInPerProducerOrder) {
+  // M producer threads each stream kItems tagged items round-robin at N
+  // consumer threads.  Every consumer checks per-producer FIFO (the
+  // mesh's ordering guarantee) and the totals prove nothing was lost
+  // or duplicated.
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kShards = 2;
+  constexpr std::uint64_t kItems = 20'000;
+  ingest_mesh<tagged_item> mesh(kProducers, kShards, 4, GetParam());
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<int> order_faults{0};
+  for (std::size_t s = 0; s < kShards; ++s) {
+    threads.emplace_back([&mesh, &delivered, &order_faults, s] {
+      auto consumer = mesh.consumer(s);
+      // Items from one producer arrive in strictly increasing sequence
+      // (each producer round-robins shards, so shard s sees every
+      // kShards-th item of that producer's stream).
+      std::vector<std::uint64_t> last_seen(kProducers, 0);
+      std::vector<bool> any_seen(kProducers, false);
+      tagged_item item;
+      while (consumer.pop(item)) {
+        if (any_seen[item.producer] &&
+            item.sequence <= last_seen[item.producer]) {
+          order_faults.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_seen[item.producer] = item.sequence;
+        any_seen[item.producer] = true;
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&mesh, p] {
+      auto session = mesh.session(p);
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        session.push(i % kShards, {p, i});
+      }
+      session.close();
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(delivered.load(), kProducers * kItems);
+  EXPECT_EQ(order_faults.load(), 0);
+}
+
+TEST_P(IngestMeshTortureTest, MeshCloseUnblocksStalledProducers) {
+  // Producers blocked on full lanes (no consumer running) must all
+  // wake and fail loudly when the mesh force-closes — the stop path.
+  constexpr std::size_t kProducers = 2;
+  ingest_mesh<int> mesh(kProducers, 1, 1, GetParam());
+  std::atomic<int> threw{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&mesh, &threw, p] {
+      auto session = mesh.session(p);
+      try {
+        for (int i = 0;; ++i) {
+          session.push(0, int{i});  // fills the lane, then blocks
+        }
+      } catch (const channel_closed&) {
+        threw.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mesh.close();
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  EXPECT_EQ(threw.load(), static_cast<int>(kProducers));
+}
+
+// ---------------------------------------------------------------------
+// The deprecated batch_channel shim still honors the historical API —
+// minus the deadlock: push after close now fails loudly.
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+TEST(BatchChannelShimTest, PushPopRecycleRoundTrip) {
+  batch_channel<std::vector<int>> channel;
+  channel.push({1, 2, 3});
+  std::vector<int> batch;
+  ASSERT_TRUE(channel.pop(batch));
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+  channel.recycle(std::move(batch));
+  std::vector<int> reused;
+  EXPECT_TRUE(channel.take_recycled(reused));
+  channel.close();
+  EXPECT_FALSE(channel.pop(reused));
+}
+
+TEST(BatchChannelShimTest, PushAfterCloseThrowsInsteadOfDeadlocking) {
+  batch_channel<std::vector<int>> channel;
+  channel.push({1});
+  channel.push({2});  // full at the historical depth of 2
+  channel.close();
+  EXPECT_THROW(channel.push({3}), channel_closed);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace
+}  // namespace hdhash

@@ -195,6 +195,76 @@ TEST(ShardedEmulatorTest, WorkerExceptionsPropagate) {
   EXPECT_THROW(emu.run(events), precondition_error);
 }
 
+TEST(ShardedEmulatorTest, MultiProducerMeshStaysDeterministic) {
+  // The tentpole guarantee of the ingest mesh: M pinned producers
+  // splitting the stream by index range, feeding lock-free SPSC lanes,
+  // reproduce the single-table reference histogram bit for bit — the
+  // epoch pre-scan sequences membership, so partitioning the request
+  // stream cannot reorder anything observable.
+  const generator gen(churn_workload());
+  const auto events = gen.generate();
+  auto reference_table = make_table("hd-hierarchical", fast_options());
+  emulator reference(*reference_table, 256);
+  const run_stats expected = reference.run(events);
+
+  for (const std::size_t producers : {std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      sharded_config config;
+      config.shards = shards;
+      config.producers = producers;
+      config.membership = membership_mode::snapshot;
+      sharded_emulator emu(factory_for("hd-hierarchical"), config);
+      const sharded_report report = emu.run(events);
+      EXPECT_EQ(report.merged.load, expected.load)
+          << "producers=" << producers << " shards=" << shards;
+      EXPECT_EQ(report.merged.requests, expected.requests);
+      EXPECT_EQ(report.merged.joins, expected.joins);
+      EXPECT_EQ(report.merged.leaves, expected.leaves);
+      // Worker layout: decode workers first, producer threads after.
+      EXPECT_EQ(report.workers.size(), shards);
+      EXPECT_EQ(report.producer_workers.size(), producers);
+    }
+  }
+}
+
+TEST(ShardedEmulatorTest, MutexChannelProducesIdenticalResults) {
+  // --channel mutex is the A/B reference: swapping the channel
+  // implementation must never change a single assignment, with one
+  // producer or several.
+  const generator gen(churn_workload());
+  const auto events = gen.generate();
+  auto reference_table = make_table("hd-hierarchical", fast_options());
+  emulator reference(*reference_table, 256);
+  const run_stats expected = reference.run(events);
+
+  for (const std::size_t producers : {std::size_t{1}, std::size_t{2}}) {
+    sharded_config config;
+    config.shards = 2;
+    config.producers = producers;
+    config.channel = channel_kind::mutex;
+    sharded_emulator emu(factory_for("hd-hierarchical"), config);
+    const sharded_report report = emu.run(events);
+    EXPECT_EQ(report.merged.load, expected.load) << "producers=" << producers;
+    EXPECT_EQ(report.channel, channel_kind::mutex);
+  }
+}
+
+TEST(ShardedEmulatorTest, MultiProducerSweepMatchesReference) {
+  shard_sweep_config config;
+  config.shard_counts = {1, 2};
+  config.servers = 16;
+  config.requests = 2000;
+  config.churn_rate = 0.01;
+  config.producers = 2;
+  const auto series =
+      run_shard_sweep("hd-hierarchical", config, fast_options());
+  for (const shard_sweep_point& point : series) {
+    EXPECT_TRUE(point.matches_reference) << "shards=" << point.shards;
+    EXPECT_EQ(point.producers, 2u);
+  }
+}
+
 TEST(ShardedEmulatorTest, RejectsInvalidConfiguration) {
   sharded_config zero_shards;
   zero_shards.shards = 0;
@@ -210,6 +280,21 @@ TEST(ShardedEmulatorTest, RejectsInvalidConfiguration) {
   shadow_snapshot.shadow = true;
   shadow_snapshot.membership = membership_mode::snapshot;
   EXPECT_THROW(sharded_emulator(factory_for("consistent"), shadow_snapshot),
+               precondition_error);
+  sharded_config zero_producers;
+  zero_producers.producers = 0;
+  EXPECT_THROW(sharded_emulator(factory_for("consistent"), zero_producers),
+               precondition_error);
+  // Replicated membership broadcasts events in stream order — that
+  // needs the single-producer pipeline.
+  sharded_config multi_replicated;
+  multi_replicated.producers = 2;
+  multi_replicated.membership = membership_mode::replicated;
+  EXPECT_THROW(sharded_emulator(factory_for("consistent"), multi_replicated),
+               precondition_error);
+  sharded_config zero_depth;
+  zero_depth.channel_depth = 0;
+  EXPECT_THROW(sharded_emulator(factory_for("consistent"), zero_depth),
                precondition_error);
 }
 

@@ -1,0 +1,167 @@
+/// The unified emulator flag parser (exp/emulator_options.hpp): flag
+/// forms, auto sizing, error collection, apply() onto sharded_config,
+/// and the deprecated per-flag shims it replaced.
+#include "exp/emulator_options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "exp/sharded.hpp"
+#include "runtime/cpu_topology.hpp"
+#include "runtime/placement_plan.hpp"
+
+namespace hdhash {
+namespace {
+
+/// argv builder: gtest's argv is const-hostile, so tests assemble one.
+emulator_options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "driver");
+  return parse_emulator_options(
+      static_cast<int>(args.size()),
+      const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(EmulatorOptionsTest, DefaultsWhenNoFlagsGiven) {
+  ::unsetenv("HDHASH_PIN");
+  ::unsetenv("HDHASH_CHANNEL");
+  const emulator_options opts = parse({});
+  EXPECT_TRUE(opts.ok());
+  EXPECT_FALSE(opts.shards_set);
+  EXPECT_EQ(opts.shards, 0u);
+  EXPECT_FALSE(opts.producers_set);
+  EXPECT_EQ(opts.producers, 1u);
+  EXPECT_FALSE(opts.placement_set);
+  EXPECT_EQ(opts.membership, membership_mode::snapshot);
+  EXPECT_FALSE(opts.channel_set);
+  EXPECT_EQ(opts.channel, channel_kind::ring);
+}
+
+TEST(EmulatorOptionsTest, ParsesBothFlagForms) {
+  const emulator_options equals = parse({"--shards=8", "--producers=2"});
+  EXPECT_TRUE(equals.ok());
+  EXPECT_TRUE(equals.shards_set);
+  EXPECT_EQ(equals.shards, 8u);
+  EXPECT_EQ(equals.producers, 2u);
+
+  const emulator_options spaced = parse({"--shards", "8", "--producers", "2"});
+  EXPECT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced.shards, 8u);
+  EXPECT_EQ(spaced.producers, 2u);
+}
+
+TEST(EmulatorOptionsTest, ParsesMembershipPlacementAndChannel) {
+  const emulator_options opts =
+      parse({"--replicated", "--pin=scatter", "--channel=mutex"});
+  EXPECT_TRUE(opts.ok());
+  EXPECT_EQ(opts.membership, membership_mode::replicated);
+  EXPECT_TRUE(opts.placement_set);
+  EXPECT_EQ(opts.placement, runtime::placement_policy::scatter);
+  EXPECT_TRUE(opts.channel_set);
+  EXPECT_EQ(opts.channel, channel_kind::mutex);
+}
+
+TEST(EmulatorOptionsTest, AutoValuesResolveAgainstTopology) {
+  const emulator_options opts = parse({"--shards=auto", "--producers=auto"});
+  EXPECT_TRUE(opts.ok());
+  EXPECT_TRUE(opts.shards_auto);
+  EXPECT_GE(opts.shards, 1u);
+  EXPECT_TRUE(opts.producers_auto);
+  EXPECT_EQ(opts.producers,
+            runtime::plan_io_shard_split(runtime::host_topology()).io_threads);
+}
+
+TEST(EmulatorOptionsTest, UnknownFlagsAreIgnored) {
+  const emulator_options opts =
+      parse({"--json=out.json", "--requests=100", "--shards=4"});
+  EXPECT_TRUE(opts.ok());
+  EXPECT_EQ(opts.shards, 4u);
+}
+
+TEST(EmulatorOptionsTest, CollectsEveryMalformedFlag) {
+  const emulator_options opts =
+      parse({"--shards=zero", "--pin=everywhere", "--channel=lockfree"});
+  EXPECT_FALSE(opts.ok());
+  EXPECT_EQ(opts.errors.size(), 3u);
+}
+
+TEST(EmulatorOptionsTest, RejectsMultiProducerReplicated) {
+  const emulator_options opts = parse({"--producers=2", "--replicated"});
+  EXPECT_FALSE(opts.ok());
+}
+
+TEST(EmulatorOptionsTest, ApplyCopiesOntoShardedConfig) {
+  const emulator_options opts =
+      parse({"--shards=4", "--producers=2", "--pin=none", "--channel=mutex"});
+  ASSERT_TRUE(opts.ok());
+  sharded_config config;
+  opts.apply(config);
+  EXPECT_EQ(config.shards, 4u);
+  EXPECT_EQ(config.producers, 2u);
+  EXPECT_EQ(config.placement, runtime::placement_policy::none);
+  EXPECT_EQ(config.channel, channel_kind::mutex);
+  EXPECT_EQ(config.membership, membership_mode::snapshot);
+}
+
+TEST(EmulatorOptionsTest, ApplyLeavesUnsetKnobsAlone) {
+  const emulator_options opts = parse({"--replicated"});
+  ASSERT_TRUE(opts.ok());
+  sharded_config config;
+  config.shards = 7;
+  config.producers = 1;
+  opts.apply(config);
+  EXPECT_EQ(config.shards, 7u);  // absent flag leaves the default
+  EXPECT_EQ(config.membership, membership_mode::replicated);
+}
+
+TEST(EmulatorOptionsTest, ParsePositiveValueIsStrict) {
+  EXPECT_EQ(parse_positive_value("17"), 17u);
+  EXPECT_EQ(parse_positive_value("0"), 0u);
+  EXPECT_EQ(parse_positive_value("-3"), 0u);
+  EXPECT_EQ(parse_positive_value("1e3"), 0u);
+  EXPECT_EQ(parse_positive_value(""), 0u);
+  EXPECT_EQ(parse_positive_value("12abc"), 0u);
+}
+
+// The deprecated shims must keep their historical semantics while
+// delegating to the unified parser.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+TEST(DeprecatedFlagShimsTest, ProjectTheUnifiedParser) {
+  std::vector<const char*> args = {"driver", "--shards=4", "--pin=compact",
+                                   "--replicated"};
+  const int argc = static_cast<int>(args.size());
+  char** argv = const_cast<char**>(const_cast<const char**>(args.data()));
+
+  const shards_flag shards = parse_shards_flag(argc, argv);
+  EXPECT_TRUE(shards.present);
+  EXPECT_EQ(shards.value, 4u);
+  EXPECT_FALSE(shards.auto_sized);
+
+  const pin_flag pin = parse_pin_flag(argc, argv);
+  EXPECT_TRUE(pin.present);
+  EXPECT_TRUE(pin.valid);
+  EXPECT_EQ(pin.policy, runtime::placement_policy::compact);
+
+  EXPECT_TRUE(parse_replicated_flag(argc, argv));
+}
+
+TEST(DeprecatedFlagShimsTest, MalformedPinReportsInvalid) {
+  std::vector<const char*> args = {"driver", "--pin=everywhere"};
+  const pin_flag pin = parse_pin_flag(
+      static_cast<int>(args.size()),
+      const_cast<char**>(const_cast<const char**>(args.data())));
+  EXPECT_TRUE(pin.present);
+  EXPECT_FALSE(pin.valid);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace
+}  // namespace hdhash
