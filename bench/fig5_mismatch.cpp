@@ -106,7 +106,7 @@ void run_sharded_shadow_panel(std::size_t max_shards) {
   config.shard_counts = shard_count_sweep(max_shards);
   config.servers = 128;
   config.requests = 20'000;
-  config.shadow = true;  // per-shard pristine oracle
+  config.shadow = true;  // pristine oracle (epoch-lockstep twin publisher)
   table_options options;
   options.hd.dimension = 4096;
   options.hd.capacity = 512;
@@ -126,9 +126,11 @@ void run_sharded_shadow_panel(std::size_t max_shards) {
   }
   table.print(std::cout);
   std::printf(
-      "(every shard replays the stream against its own pristine clone;\n"
-      "zero mismatches certify the partition/broadcast plumbing, and\n"
-      "'deterministic' the merged histogram against the reference)\n");
+      "(snapshot mode: a pristine twin publisher advances epochs in\n"
+      "lockstep with the primary, so every shard checks its answers\n"
+      "against the matching shadow snapshot; zero mismatches certify the\n"
+      "partition/publication plumbing, and 'deterministic' the merged\n"
+      "histogram against the reference)\n");
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+/// Scenario matrix: every production playbook (steady, diurnal,
+/// flash-crowd, rack-failure, rolling-upgrade, grey-server) replayed
+/// through every table algorithm, reporting the three robustness
+/// qualities per cell — probe disruption against the measured forced-
+/// move bound, load-balance χ²/dof against the weight-proportional
+/// expectation, and recovery ticks after each disruptive marker.
+/// Emits BENCH_scenarios.json for the (report-only) perf trajectory.
+///
+/// Flags: --json=PATH, --quick (shrunken tuning for smoke runs),
+/// --scenario NAME (single playbook instead of the full row axis).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/emulator_options.hpp"
+#include "exp/scenario_matrix.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace hdhash;
+
+void emit_cells(std::FILE* out, const std::vector<scenario_cell>& cells) {
+  std::fprintf(out, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const scenario_cell& c = cells[i];
+    std::fprintf(out,
+                 "    {\"playbook\": \"%s\", \"algorithm\": \"%s\", "
+                 "\"weighted\": %s, \"requests\": %zu, \"joins\": %zu, "
+                 "\"leaves\": %zu, \"membership_episodes\": %zu, "
+                 "\"disruption\": %.6f, \"disruption_minimum\": %.6f, "
+                 "\"load_chi_over_dof\": %.4f, \"worst_chi_over_dof\": %.4f, "
+                 "\"recovery_ticks\": %.2f, \"recovered\": %s, "
+                 "\"avg_request_ns\": %.1f}%s\n",
+                 c.playbook.c_str(), c.algorithm.c_str(),
+                 c.weighted ? "true" : "false", c.requests, c.joins, c.leaves,
+                 c.membership_episodes, c.disruption, c.disruption_minimum,
+                 c.load_chi_over_dof, c.worst_chi_over_dof, c.recovery_ticks,
+                 c.recovered ? "true" : "false", c.avg_request_ns,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdhash;
+  std::string json_path = "BENCH_scenarios.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const emulator_options opts = parse_emulator_options(argc, argv);
+  if (!opts.ok()) {
+    for (const std::string& error : opts.errors) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+    return 1;
+  }
+
+  scenario_matrix_config config;
+  if (opts.scenario_set) {
+    config.playbooks = {opts.scenario};
+  }
+  if (quick) {
+    // Smoke-run shape for CI sanitizer lanes: the full phase structure
+    // and every marker still fire, just over fewer ticks and servers.
+    config.tuning.phase_ticks = 48;
+    config.tuning.base_rate = 40.0;
+    config.tuning.servers = 32;
+    config.tuning.rack_size = 4;
+    config.probes = 512;
+  }
+  const std::vector<scenario_cell> cells = run_scenario_matrix(config);
+
+  std::printf("== Scenario matrix (%zu cells, %zu probes, recovery "
+              "threshold χ²/dof <= %.1f%s) ==\n",
+              cells.size(), config.probes, config.recovery_chi_over_dof,
+              quick ? ", quick tuning" : "");
+  std::string current_playbook;
+  table_printer* table = nullptr;
+  table_printer storage({""});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const scenario_cell& c = cells[i];
+    if (c.playbook != current_playbook) {
+      if (table != nullptr) {
+        table->print(std::cout);
+      }
+      current_playbook = c.playbook;
+      std::printf("\n-- %s (%zu requests, %zu joins, %zu leaves, "
+                  "%zu membership episodes) --\n",
+                  c.playbook.c_str(), c.requests, c.joins, c.leaves,
+                  c.membership_episodes);
+      storage = table_printer({"algorithm", "weighted", "disruption",
+                               "forced min", "chi2/dof", "worst chi2",
+                               "recovery", "ns/req"});
+      table = &storage;
+    }
+    table->add_row(
+        {c.algorithm, c.weighted ? "yes" : "no", format_double(c.disruption, 4),
+         format_double(c.disruption_minimum, 4),
+         format_double(c.load_chi_over_dof, 2),
+         format_double(c.worst_chi_over_dof, 2),
+         c.recovery_ticks < 0.0
+             ? std::string("n/a")
+             : format_double(c.recovery_ticks, 1) +
+                   (c.recovered ? "" : " (unrecovered)"),
+         format_double(c.avg_request_ns, 0)});
+  }
+  if (table != nullptr) {
+    table->print(std::cout);
+  }
+  std::printf(
+      "\nDisruption is the mean probe remap fraction per membership\n"
+      "episode; 'forced min' is the measured lower bound (probes that\n"
+      "had to move: their server left, or they landed on a joiner).\n"
+      "chi2/dof compares probe load against the weight-proportional\n"
+      "expectation (1 = ideally balanced); recovery counts ticks from\n"
+      "each disruptive marker until chi2/dof is back under %.1f.\n",
+      config.recovery_chi_over_dof);
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"scenarios\",\n"
+               "  \"quick\": %s,\n"
+               "  \"probes\": %zu,\n"
+               "  \"recovery_chi_over_dof\": %.2f,\n"
+               "  \"tuning\": {\"phase_ticks\": %zu, \"base_rate\": %.1f, "
+               "\"servers\": %zu, \"rack_size\": %zu, \"seed\": %llu},\n",
+               quick ? "true" : "false", config.probes,
+               config.recovery_chi_over_dof, config.tuning.phase_ticks,
+               config.tuning.base_rate, config.tuning.servers,
+               config.tuning.rack_size,
+               static_cast<unsigned long long>(config.tuning.seed));
+  emit_cells(out, cells);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -11,10 +11,15 @@
 /// shard worker resolves its requests against the snapshot of the epoch
 /// they arrived under.  Pass --replicated to run the PR-2 pipeline (one
 /// full table replica per shard, membership broadcast to all) and watch
-/// the table-memory column grow with the shard count.
+/// the table-memory column grow with the shard count.  Pass --scenario
+/// <name> to replace the default Zipf/churn workload with a compiled
+/// production playbook (steady, diurnal, flash-crowd, rack-failure,
+/// rolling-upgrade, grey-server) — the scenario engine emits the same
+/// plain event stream, so nothing else changes.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "emu/emulator.hpp"
@@ -22,6 +27,8 @@
 #include "emu/sharded_emulator.hpp"
 #include "exp/factory.hpp"
 #include "exp/sharded.hpp"
+#include "scenario/playbooks.hpp"
+#include "scenario/scenario.hpp"
 #include "util/table_printer.hpp"
 
 int main(int argc, char** argv) {
@@ -41,31 +48,45 @@ int main(int argc, char** argv) {
                       : std::vector<std::size_t>{1, 2, 4, 8};
 
   const runtime::cpu_topology& topo = runtime::host_topology();
+  const std::string workload_label =
+      opts.scenario_set ? "scenario '" + opts.scenario + "'"
+                        : "Zipf traffic, 1% churn";
   std::printf(
-      "== Sharded balancer: Zipf traffic, 1%% churn, hd-hierarchical,\n"
+      "== Sharded balancer: %s, hd-hierarchical,\n"
       "   %s membership%s, placement %s, %zu producer(s), %s channels ==\n"
       "   (topology: %zu core(s), %zu allowed CPU(s), %zu NUMA node(s)%s)\n\n",
-      replicated ? "replicated" : "snapshot",
+      workload_label.c_str(), replicated ? "replicated" : "snapshot",
       replicated ? "" : " (pass --replicated for the PR-2 pipeline)",
       std::string(runtime::to_string(opts.placement)).c_str(), opts.producers,
       std::string(to_string(opts.channel)).c_str(), topo.physical_cores(),
       topo.allowed_cpus().size(), topo.numa_nodes(),
       opts.shards_auto ? ", --shards auto" : "");
 
-  workload_config workload;
-  workload.initial_servers = 48;
-  workload.request_count = 40'000;
-  workload.distribution = request_distribution::zipf;
-  workload.zipf_skew = 0.9;
-  workload.key_universe = 200'000;
-  workload.churn_rate = 0.01;
-  workload.seed = 20'26;
-  const generator gen(workload);
-  const auto events = gen.generate();
+  // Either the historical Zipf/churn generator stream or a compiled
+  // production playbook — both are the same plain event vocabulary.
+  std::vector<event> events;
+  std::size_t capacity_floor = 256;  // headroom for churn joins
+  if (opts.scenario_set) {
+    const compiled_scenario compiled =
+        compile_scenario(make_scenario(opts.scenario));
+    events = compiled.events;
+    capacity_floor = std::max(capacity_floor,
+                              2 * (compiled.max_pool_weight + 2));
+  } else {
+    workload_config workload;
+    workload.initial_servers = 48;
+    workload.request_count = 40'000;
+    workload.distribution = request_distribution::zipf;
+    workload.zipf_skew = 0.9;
+    workload.key_universe = 200'000;
+    workload.churn_rate = 0.01;
+    workload.seed = 20'26;
+    events = generator(workload).generate();
+  }
 
   table_options options;
   options.hd.dimension = 4096;
-  options.hd.capacity = 256;  // headroom for churn joins
+  options.hd.capacity = capacity_floor;
   // Snapshot mode publishes the maintained slot cache with each epoch
   // (the accelerator steady state all shards share); the reference run
   // below keeps it off, so 'identical' also certifies the cache.
@@ -114,10 +135,11 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::printf(
-      "\nEvery row answers the same 40k-request stream; 'identical' checks\n"
+      "\nEvery row answers the same %zu-request stream; 'identical' checks\n"
       "the merged per-server load histogram against the single-table\n"
       "reference run — sharding changes throughput, never assignments.\n"
       "%s",
+      expected.requests,
       replicated
           ? "Replicated mode: table KiB grows with the shard count (one\n"
             "full replica per worker).\n"

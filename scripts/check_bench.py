@@ -18,7 +18,11 @@ the same way: report-only (loopback TCP throughput is even noisier
 than in-process threading), printing delivered req/s and the reply
 latency percentiles.  ``BENCH_channel.json`` files (``bench_channel``)
 are likewise report-only, printing the ring-vs-mutex hand-off speedup
-per scenario.  Pass ``--sharded-ref <BENCH_sharded_emulator
+per scenario, and ``BENCH_scenarios.json`` files (``bench_scenarios``)
+print per-cell disruption / load-balance / recovery drift — the matrix
+is deterministic, so drift means the workload or an algorithm changed,
+but robustness characterisation is never a perf gate.  Pass
+``--sharded-ref <BENCH_sharded_emulator
 .json>`` to also print the delivered-vs-service comparison line — how
 much of the in-process shard pipeline's service rate the socket path
 delivers end to end.
@@ -183,6 +187,66 @@ def report_channel(base: dict, fresh: dict) -> int:
     return 0
 
 
+SCENARIOS_BENCHMARK = "scenarios"
+
+
+def is_scenarios(doc: dict) -> bool:
+    return doc.get("benchmark") == SCENARIOS_BENCHMARK
+
+
+def report_scenarios(base: dict, fresh: dict) -> int:
+    """Report-only comparison of two scenario-matrix JSONs (exit 0):
+    per-cell disruption / load-balance / recovery deltas.  The metrics
+    are deterministic for a fixed seed, so any delta means the workload
+    or an algorithm changed — worth a look, never a gate (the matrix is
+    a robustness characterisation, not a perf baseline)."""
+    print("check_bench: scenario-matrix trajectory — report only, never "
+          "gated (robustness characterisation, not a perf baseline)")
+    if base.get("quick") != fresh.get("quick"):
+        print(
+            f"  note: quick flags differ (baseline "
+            f"{base.get('quick')}, fresh {fresh.get('quick')}); "
+            "cells are not like-for-like"
+        )
+
+    def cells_by_key(doc: dict) -> dict:
+        return {
+            (c.get("playbook"), c.get("algorithm")): c
+            for c in doc.get("cells", [])
+            if isinstance(c, dict)
+        }
+
+    base_cells = cells_by_key(base)
+    fresh_cells = cells_by_key(fresh)
+    drifted = 0
+    for key in sorted(set(base_cells) | set(fresh_cells)):
+        b = base_cells.get(key)
+        f = fresh_cells.get(key)
+        if b is None or f is None:
+            print(f"  note: cell {key} present in only one run")
+            continue
+        deltas = []
+        for field, digits in (("disruption", 4), ("load_chi_over_dof", 2),
+                              ("recovery_ticks", 1)):
+            bv = b.get(field, 0.0)
+            fv = f.get(field, 0.0)
+            if round(bv - fv, digits) != 0.0:
+                deltas.append(f"{field} {bv:.{digits}f} -> {fv:.{digits}f}")
+        if b.get("recovered") != f.get("recovered"):
+            deltas.append(
+                f"recovered {b.get('recovered')} -> {f.get('recovered')}"
+            )
+        if deltas:
+            drifted += 1
+            print(f"  [note] {key[0]}/{key[1]}: " + ", ".join(deltas))
+    print(
+        f"check_bench: scenario matrix accepted (not gated); "
+        f"{drifted} cell(s) drifted out of "
+        f"{len(set(base_cells) | set(fresh_cells))}"
+    )
+    return 0
+
+
 NET_BENCHMARK = "net_frontend"
 
 
@@ -284,6 +348,13 @@ def main() -> int:
                 "different benchmark's JSON"
             )
         return report_channel(base, fresh)
+    if is_scenarios(base) or is_scenarios(fresh):
+        if is_scenarios(base) != is_scenarios(fresh):
+            sys.exit(
+                "check_bench: cannot compare a scenario-matrix JSON "
+                "against a different benchmark's JSON"
+            )
+        return report_scenarios(base, fresh)
     if is_net(base) or is_net(fresh):
         if is_net(base) != is_net(fresh):
             sys.exit(

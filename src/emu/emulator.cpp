@@ -103,9 +103,9 @@ void apply_event_batch(dynamic_table& table, dynamic_table* shadow,
     pending.clear();
     switch (e.kind) {
       case event_kind::join:
-        table.join(e.id);
+        table.join(e.id, e.weight);
         if (shadow != nullptr) {
-          shadow->join(e.id);
+          shadow->join(e.id, e.weight);
         }
         ++stats.joins;
         break;

@@ -17,10 +17,15 @@ enum class event_kind : std::uint8_t {
 };
 
 /// One generator event; `id` is a request id or a server id depending on
-/// `kind`.
+/// `kind`.  Join events additionally carry the server's relative
+/// capacity `weight` (1.0 for homogeneous pools — the generator always
+/// emits 1.0; the scenario layer's grey-server playbooks emit decayed
+/// weights).  The field is meaningless for request/leave events and
+/// stays at its default there.
 struct event {
   event_kind kind = event_kind::request;
   std::uint64_t id = 0;
+  double weight = 1.0;
 
   friend bool operator==(const event&, const event&) = default;
 };

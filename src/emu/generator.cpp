@@ -1,5 +1,7 @@
 #include "emu/generator.hpp"
 
+#include <cmath>
+
 #include "hashing/splitmix_hash.hpp"
 #include "util/require.hpp"
 
@@ -7,8 +9,16 @@ namespace hdhash {
 
 generator::generator(workload_config config) : config_(config) {
   HDHASH_REQUIRE(config_.key_universe > 0, "key universe must be non-empty");
-  HDHASH_REQUIRE(config_.churn_rate >= 0.0 && config_.churn_rate <= 1.0,
-                 "churn rate must be a probability");
+  // std::isfinite first: a NaN churn rate would sail through a bare
+  // range comparison written the other way around, and an infinite
+  // zipf skew would overflow the sampler's CDF accumulation.
+  HDHASH_REQUIRE(std::isfinite(config_.churn_rate) &&
+                     config_.churn_rate >= 0.0 && config_.churn_rate <= 1.0,
+                 "churn rate must be a probability in [0, 1]");
+  if (config_.distribution == request_distribution::zipf) {
+    HDHASH_REQUIRE(std::isfinite(config_.zipf_skew) && config_.zipf_skew >= 0.0,
+                   "zipf skew must be a finite non-negative exponent");
+  }
 }
 
 std::uint64_t generator::server_id_at(std::uint64_t seed, std::size_t index) {

@@ -22,8 +22,11 @@ namespace {
 
 /// One epoch's slice of a snapshot-mode batch: requests that arrived
 /// under `snap` and must be resolved against exactly that table state.
+/// With shadow oracles enabled, `shadow_snap` is the same epoch of the
+/// pristine shadow publisher (null otherwise).
 struct epoch_segment {
   std::shared_ptr<const table_snapshot> snap;
+  std::shared_ptr<const table_snapshot> shadow_snap;
   std::vector<request_id> requests;
 };
 
@@ -57,6 +60,7 @@ struct epoch_batch {
   void reset() {
     for (std::size_t i = 0; i < used; ++i) {
       segments[i].snap.reset();
+      segments[i].shadow_snap.reset();
       segments[i].requests.clear();
     }
     used = 0;
@@ -64,9 +68,12 @@ struct epoch_batch {
 };
 
 /// Resolves one epoch segment against its snapshot and accounts the
-/// per-shard statistics; `answers` is reused across calls.
+/// per-shard statistics; with a shadow snapshot present, each answer is
+/// checked against the pristine oracle's for mismatch accounting.
+/// `answers`/`truth` are reused across calls.
 void answer_segment(const epoch_segment& segment, run_stats& stats,
-                    timing_mode timing, std::vector<server_id>& answers) {
+                    timing_mode timing, std::vector<server_id>& answers,
+                    std::vector<server_id>& truth) {
   if (segment.requests.empty()) {
     return;
   }
@@ -81,9 +88,21 @@ void answer_segment(const epoch_segment& segment, run_stats& stats,
     table.lookup_batch(segment.requests, answers);
   }
   ++stats.batches;
+  const dynamic_table* shadow =
+      segment.shadow_snap ? &segment.shadow_snap->table() : nullptr;
+  if (shadow != nullptr) {
+    truth.resize(segment.requests.size());
+    shadow->lookup_batch(segment.requests, truth);
+  }
   for (std::size_t i = 0; i < segment.requests.size(); ++i) {
     ++stats.requests;
     ++stats.load[answers[i]];
+    if (shadow != nullptr && answers[i] != truth[i]) {
+      ++stats.mismatches;
+      if (!shadow->contains(answers[i])) {
+        ++stats.invalid_assignments;
+      }
+    }
   }
 }
 
@@ -235,10 +254,6 @@ sharded_emulator::sharded_emulator(table_factory factory,
                  "channel depth must be positive");
   HDHASH_REQUIRE(factory != nullptr, "table factory must be callable");
   HDHASH_REQUIRE(
-      !(config_.shadow && config_.membership == membership_mode::snapshot),
-      "shadow oracles certify per-shard replication — use "
-      "membership_mode::replicated");
-  HDHASH_REQUIRE(
       config_.producers == 1 ||
           config_.membership == membership_mode::snapshot,
       "multi-producer ingest needs epoch-sequenced membership — "
@@ -308,6 +323,12 @@ sharded_report sharded_emulator::run_replicated(std::span<const event> events) {
   if (config_.shadow) {
     for (std::size_t s = 0; s < shards; ++s) {
       shadows[s] = tables_[s]->clone();
+    }
+  }
+  // Fault injection happens after the pristine clones, before any event.
+  if (config_.corrupt) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      config_.corrupt(*tables_[s], s);
     }
   }
 
@@ -403,6 +424,20 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   // pipeline's init generation (the lookup_batch output is the hottest
   // repeatedly written buffer each worker owns).
   std::vector<std::vector<server_id>> answers(shards);
+  std::vector<std::vector<server_id>> truth(shards);
+
+  // Shadow oracle: a second publisher wrapping a pristine clone, taken
+  // before the corrupt hook runs.  The clone copies on write, so later
+  // corruption of the producer table (and the snapshots published from
+  // it) never reaches the shadow's epochs.
+  std::unique_ptr<snapshot_publisher> shadow_publisher;
+  if (config_.shadow) {
+    shadow_publisher =
+        std::make_unique<snapshot_publisher>(publisher_->table().clone());
+  }
+  if (config_.corrupt) {
+    config_.corrupt(publisher_->table(), 0);
+  }
 
   const auto start = clock::now();
 
@@ -419,6 +454,7 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   // the determinism guarantee.
   struct epoch_run {
     std::shared_ptr<const table_snapshot> snap;
+    std::shared_ptr<const table_snapshot> shadow_snap;  // shadow mode only
     std::size_t begin = 0;  ///< request-index range [begin, end)
     std::size_t end = 0;
   };
@@ -431,10 +467,16 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   for (const event& e : events) {
     if (e.kind != event_kind::request) {
       if (e.kind == event_kind::join) {
-        publisher_->join(e.id);
+        publisher_->join(e.id, e.weight);
+        if (shadow_publisher) {
+          shadow_publisher->join(e.id, e.weight);
+        }
         ++logical_joins;
       } else {
         publisher_->leave(e.id);
+        if (shadow_publisher) {
+          shadow_publisher->leave(e.id);
+        }
         ++logical_leaves;
       }
       epoch_dirty = true;
@@ -443,7 +485,12 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
     if (epoch_dirty) {
       auto snap = publisher_->current();
       if (runs.empty() || runs.back().snap != snap) {
-        runs.push_back({std::move(snap), requests.size(), requests.size()});
+        // The shadow publisher sees the same membership sequence, so
+        // its epochs advance in lockstep with the primary's.
+        runs.push_back({std::move(snap),
+                        shadow_publisher ? shadow_publisher->current()
+                                         : nullptr,
+                        requests.size(), requests.size()});
       }
       epoch_dirty = false;
     }
@@ -457,7 +504,7 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   const std::size_t capacity = config_.buffer_capacity;
   run_mesh<epoch_batch>(
       *pool_, shards, producers, config_.channel, config_.channel_depth,
-      [capacity, &answers](std::size_t s) {
+      [capacity, &answers, &truth](std::size_t s) {
         // One pre-touched segment per recycled batch; under churn a
         // batch grows more segments on demand (reused in place after
         // the first recycle round-trip).  The worker's answer scratch
@@ -469,13 +516,15 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
         batch.segments.back().requests.clear();
         answers[s].resize(capacity);
         answers[s].clear();
+        truth[s].resize(capacity);
+        truth[s].clear();
         return batch;
       },
       [](epoch_batch& batch) { batch.reset(); },
       [&](std::size_t s, const epoch_batch& batch) {
         for (std::size_t i = 0; i < batch.used; ++i) {
           answer_segment(batch.segments[i], report.per_shard[s], timing,
-                         answers[s]);
+                         answers[s], truth[s]);
         }
       },
       [&](std::size_t p, auto& session, auto& pools) {
@@ -514,6 +563,7 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
           if (segment == nullptr || segment->snap != runs[r].snap) {
             segment = &batch.append();
             segment->snap = runs[r].snap;
+            segment->shadow_snap = runs[r].shadow_snap;
           }
           segment->requests.push_back(requests[i]);
           if (++pending_requests[s] >= capacity) {
@@ -543,6 +593,9 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   report.merged.joins = logical_joins;
   report.merged.leaves = logical_leaves;
   report.table_memory_bytes = publisher_->memory_bytes();
+  if (shadow_publisher) {
+    report.table_memory_bytes += shadow_publisher->memory_bytes();
+  }
   report.snapshots_published = publisher_->published_epochs();
   return report;
 }

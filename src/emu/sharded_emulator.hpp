@@ -27,9 +27,20 @@
 ///    of the epoch it arrived under.  Churn is O(1) per event and table
 ///    memory is ~one replica regardless of shard count.
 ///  * replicated — the PR-2 pipeline: join/leave broadcast to every
-///    shard, each worker owning a full table replica.  Kept for the
-///    shadow-oracle mismatch experiments (each shard replays against a
-///    pristine clone) and as the comparison baseline.
+///    shard, each worker owning a full table replica.  Kept as the
+///    comparison baseline and the shadow-oracle conformance reference.
+///
+/// Shadow oracles (sharded_config::shadow) work in both modes: each
+/// request is answered twice, once by the (possibly fault-injected)
+/// table under test and once by a pristine clone taken before the
+/// sharded_config::corrupt hook ran, and disagreements count as
+/// mismatches.  In snapshot mode the oracle is a *second*
+/// snapshot_publisher wrapping the clone: the pre-scan applies every
+/// membership event to both publishers in lockstep, so each epoch run
+/// carries a (corrupted snapshot, pristine shadow snapshot) pair and
+/// workers account mismatches against exactly the epoch a request
+/// arrived under — same counters, none of replicated mode's O(shards)
+/// membership cost.
 ///
 /// Determinism: requests are routed to exactly one shard and observe
 /// exactly the membership state that preceded them in the stream (per
@@ -102,10 +113,21 @@ struct sharded_config {
   /// (timing_mode::thread_cpu), so the per-shard service rate is not
   /// polluted by preemption when shards outnumber cores.
   bool timing = true;
-  /// Give every shard a pristine shadow clone for mismatch accounting.
-  /// Requires membership_mode::replicated (the oracle certifies the
-  /// per-shard replication plumbing).
+  /// Answer every request against a pristine shadow oracle as well and
+  /// count disagreements (run_stats::mismatches).  In snapshot mode the
+  /// oracle is one epoch-published clone of the producer table shared
+  /// by all shards; in replicated mode each shard replays against its
+  /// own pristine clone.  Both modes count bit-identically.
   bool shadow = false;
+  /// Fault-injection hook, called once per *mutable* table after the
+  /// shadow oracles (if any) are cloned and before any event applies:
+  /// with the producer-owned table (shard 0) in snapshot mode, with
+  /// each shard replica in replicated mode.  The shadows stay pristine
+  /// — copy-on-write un-shares corrupted state on first write — so the
+  /// mismatch counters measure exactly the injected corruption.  For
+  /// mode-conformant counts the hook must corrupt identically whatever
+  /// the shard index (seed the injector off the table, not the shard).
+  std::function<void(dynamic_table& table, std::size_t shard)> corrupt;
   /// How shard workers are placed on the host topology (runtime layer,
   /// src/runtime/).  Default: `compact` — pin where the platform
   /// supports it, one worker per allowed CPU in NUMA-node order —

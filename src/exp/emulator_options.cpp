@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "runtime/worker_pool.hpp"
+#include "scenario/playbooks.hpp"
 
 namespace hdhash {
 
@@ -81,6 +82,18 @@ emulator_options parse_emulator_options(int argc, char** argv) {
         opts.channel = *kind;
       } else {
         opts.errors.push_back("--channel needs one of ring|mutex");
+      }
+    } else if (const char* value = flag_value(argc, argv, &i, "--scenario")) {
+      opts.scenario_set = true;
+      if (is_scenario_name(value)) {
+        opts.scenario = value;
+      } else {
+        std::string message = "--scenario needs one of";
+        for (const std::string_view name : scenario_names()) {
+          message += ' ';
+          message += name;
+        }
+        opts.errors.push_back(std::move(message));
       }
     } else if (std::strcmp(argv[i], "--replicated") == 0) {
       opts.membership = membership_mode::replicated;

@@ -1,8 +1,8 @@
 /// \file emulator_options.hpp
 /// \brief One emulator flag surface for every driver: the parsed
 /// `emulator_options` struct behind `--shards`, `--producers`, `--pin`,
-/// `--replicated` and `--channel`, consumed by the benches, the
-/// examples and the shard-sweep driver.
+/// `--replicated`, `--channel` and `--scenario`, consumed by the
+/// benches, the examples and the shard-sweep driver.
 ///
 /// Each of those knobs used to have its own ad-hoc scanner
 /// (`parse_shards_flag`, `parse_pin_flag`, `parse_replicated_flag`,
@@ -61,6 +61,14 @@ struct emulator_options {
   /// --channel ring|mutex; default per HDHASH_CHANNEL.
   bool channel_set = false;
   channel_kind channel = default_channel_kind();
+
+  /// --scenario <name>: a named production playbook
+  /// (scenario/playbooks.hpp) the driver should compile its workload
+  /// from instead of the plain generator.  Empty when the flag is
+  /// absent; an unknown name lands in `errors` listing every valid
+  /// playbook.
+  bool scenario_set = false;
+  std::string scenario;
 
   /// One human-readable message per malformed known flag ("--shards
   /// needs a positive integer or auto").  Empty = parse clean.

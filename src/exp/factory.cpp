@@ -21,4 +21,13 @@ std::vector<std::string_view> all_algorithms() {
           "jump", "maglev", "hd", "hd-hierarchical"};
 }
 
+bool algorithm_supports_weights(std::string_view algorithm) {
+  // Validate the name through the spec builder so unknown algorithms
+  // fail with the same error everywhere.
+  (void)table_spec::algorithm(algorithm);
+  return algorithm == "consistent" || algorithm == "consistent-rank" ||
+         algorithm == "weighted-rendezvous" || algorithm == "hd" ||
+         algorithm == "hd-hierarchical";
+}
+
 }  // namespace hdhash

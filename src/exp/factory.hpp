@@ -40,4 +40,12 @@ std::vector<std::string_view> paper_algorithms();
 /// Every algorithm in the library (paper set + modular, jump, maglev).
 std::vector<std::string_view> all_algorithms();
 
+/// True when the named algorithm accepts join weights != 1 (consistent
+/// via ring-point multiplicity, weighted-rendezvous natively, hd and
+/// hd-hierarchical via circle-slot replication).  The scenario matrix
+/// uses this to compile weighted playbooks per algorithm: weight-blind
+/// algorithms get the identical stream with weights clamped to 1.
+/// \throws precondition_error listing all valid names for unknown ones.
+bool algorithm_supports_weights(std::string_view algorithm);
+
 }  // namespace hdhash

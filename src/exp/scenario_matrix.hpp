@@ -1,0 +1,92 @@
+/// \file scenario_matrix.hpp
+/// \brief The scenario × algorithm result matrix — the repo's standing
+/// correctness-and-robustness harness over the production playbooks.
+///
+/// Every named playbook (scenario/playbooks.hpp) is compiled once and
+/// replayed tick by tick through every table algorithm; each cell
+/// reports the three production qualities the scenarios probe:
+///
+///  * **disruption** — after every tick that changed membership, a
+///    fixed probe set is re-resolved and the fraction that remapped is
+///    compared against the measured lower bound (probes that *had* to
+///    move: previously on a leaver, or newly on a joiner);
+///  * **load balance** — χ²/statistic-per-dof of the probe assignment
+///    against the weight-proportional expectation, sampled after every
+///    membership episode and at each phase end (1 ≈ ideally uniform);
+///  * **recovery time** — ticks from each disruptive marker (rack
+///    failure, first upgrade wave, …) until the probe χ²/dof is back
+///    under the recovery threshold.
+///
+/// Weight-capable algorithms replay weighted playbook compilations;
+/// weight-blind ones replay the identical stream with weights clamped
+/// to 1 (same events, ids and ticks), so cells stay comparable across
+/// the whole algorithm axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/factory.hpp"
+#include "scenario/playbooks.hpp"
+
+namespace hdhash {
+
+/// Matrix extent and measurement knobs.
+struct scenario_matrix_config {
+  /// Playbooks to run (matrix rows); empty = every named playbook.
+  std::vector<std::string> playbooks;
+  /// Algorithms to run (matrix columns); empty = all_algorithms().
+  std::vector<std::string> algorithms;
+  /// Size knobs forwarded to make_scenario (tests shrink these).
+  scenario_tuning tuning;
+  /// Base table options; hd capacity is raised automatically to cover
+  /// each scenario's peak pool weight, and the hd slot cache is turned
+  /// on (the matrix replays long membership histories).
+  table_options options;
+  /// Probe-set size for disruption / load-balance sweeps.
+  std::size_t probes = 2048;
+  /// A cell counts as recovered once probe χ²/dof is at or below this.
+  double recovery_chi_over_dof = 2.0;
+};
+
+/// One (playbook, algorithm) cell of the matrix.
+struct scenario_cell {
+  std::string playbook;
+  std::string algorithm;
+  /// The playbook was compiled with real join weights (the algorithm
+  /// accepts them); false = weights clamped to 1.
+  bool weighted = false;
+  std::size_t requests = 0;  ///< request events replayed
+  std::size_t joins = 0;     ///< join events (incl. the initial burst)
+  std::size_t leaves = 0;    ///< leave events
+  /// Ticks on which membership changed (each is one disruption sample).
+  std::size_t membership_episodes = 0;
+  /// Mean fraction of the probe set remapped per membership episode.
+  double disruption = 0.0;
+  /// Mean measured lower bound: probes that had to remap (previously
+  /// on a leaver or newly on a joiner).  disruption == this bound is
+  /// minimal-disruption behaviour; the gap is gratuitous remapping.
+  double disruption_minimum = 0.0;
+  /// Mean probe χ²/dof at phase ends (1 ≈ ideally balanced).
+  double load_chi_over_dof = 0.0;
+  /// Worst probe χ²/dof seen at any episode or phase end.
+  double worst_chi_over_dof = 0.0;
+  /// Mean ticks from a disruptive marker until χ²/dof recovered; 0 =
+  /// instant (balanced right after the episode), -1 = the playbook has
+  /// no disruptive markers.  Unrecovered markers count their full
+  /// remaining run length and clear `recovered`.
+  double recovery_ticks = -1.0;
+  /// Every disruptive marker recovered before the run ended.
+  bool recovered = true;
+  /// Mean wall nanoseconds per replayed request (per-tick batches).
+  double avg_request_ns = 0.0;
+};
+
+/// Runs the matrix: one cell per (playbook, algorithm) pair, playbooks
+/// in row-major order.  Deterministic for a fixed config.
+/// \throws precondition_error on unknown playbook/algorithm names or a
+/// degenerate tuning.
+std::vector<scenario_cell> run_scenario_matrix(
+    const scenario_matrix_config& config);
+
+}  // namespace hdhash

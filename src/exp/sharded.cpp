@@ -91,9 +91,10 @@ std::vector<shard_sweep_point> run_shard_sweep(std::string_view algorithm,
   emulator reference(*reference_table, config.buffer_capacity);
   const run_stats expected = reference.run(events);
 
-  // Shadow oracles mirror per-shard replicas; snapshot mode has none.
-  const membership_mode membership =
-      config.shadow ? membership_mode::replicated : config.membership;
+  // Shadow oracles run in either mode since the scenario engine landed
+  // epoch-published shadow snapshots; the sweep honours the caller's
+  // membership choice unconditionally.
+  const membership_mode membership = config.membership;
   // Snapshot mode publishes the accelerator steady state per epoch: the
   // hd slot cache is maintained incrementally by the producer and every
   // shard resolves from the shared frozen slot array.  The reference

@@ -36,10 +36,11 @@ struct shard_sweep_config {
   channel_kind channel = default_channel_kind();
   /// Membership mode of the sharded runs (the reference run is always a
   /// plain single-table emulator).  Snapshot by default — epoch-
-  /// published shared state; forced to replicated when `shadow` is set
-  /// (the oracle certifies per-shard replication).
+  /// published shared state; shadow oracles work in either mode (an
+  /// epoch-published pristine clone in snapshot mode, one clone per
+  /// replica in replicated mode).
   membership_mode membership = membership_mode::snapshot;
-  bool shadow = false;             ///< per-shard pristine mismatch oracle
+  bool shadow = false;             ///< pristine mismatch oracle per run
   /// Worker placement policy of every sharded run (src/runtime/):
   /// compact by default (HDHASH_PIN overrides process-wide); never
   /// affects assignments, only where workers execute.

@@ -1,0 +1,149 @@
+#include "scenario/playbooks.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+namespace {
+
+scenario_config base_config(std::string name, const scenario_tuning& tuning) {
+  scenario_config config;
+  config.name = std::move(name);
+  config.initial_servers = tuning.servers;
+  config.rack_size = tuning.rack_size;
+  config.seed = tuning.seed;
+  return config;
+}
+
+scenario_phase make_phase(std::string name, std::size_t ticks,
+                          arrival_process arrival,
+                          churn_process churn = churn_process::none(),
+                          weight_process weight = weight_process::constant()) {
+  scenario_phase phase;
+  phase.name = std::move(name);
+  phase.ticks = ticks;
+  phase.arrival = arrival;
+  phase.churn = churn;
+  phase.weight = weight;
+  return phase;
+}
+
+}  // namespace
+
+std::vector<std::string_view> scenario_names() {
+  return {"steady",       "diurnal",         "flash-crowd",
+          "rack-failure", "rolling-upgrade", "grey-server"};
+}
+
+bool is_scenario_name(std::string_view name) {
+  const auto names = scenario_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+scenario_config make_scenario(std::string_view name,
+                              const scenario_tuning& tuning) {
+  HDHASH_REQUIRE(tuning.phase_ticks >= 16,
+                 "scenario tuning needs at least 16 ticks per phase");
+  HDHASH_REQUIRE(tuning.rack_size >= 1, "rack size must be positive");
+  HDHASH_REQUIRE(tuning.servers >= 2 * tuning.rack_size,
+                 "scenario tuning needs at least two racks of servers");
+  const std::size_t ticks = tuning.phase_ticks;
+  const double rate = tuning.base_rate;
+
+  if (name == "steady") {
+    // Control row: flat arrivals, static membership.  Load-balance χ²
+    // here is each algorithm's intrinsic uniformity.
+    scenario_config config = base_config("steady", tuning);
+    config.phases.push_back(
+        make_phase("steady", ticks, arrival_process::constant(rate)));
+    return config;
+  }
+  if (name == "diurnal") {
+    // Two full day/night sine cycles (±60% around the mean) with light
+    // generator-style churn running throughout.
+    scenario_config config = base_config("diurnal", tuning);
+    config.phases.push_back(make_phase(
+        "day-night", 2 * ticks, arrival_process::diurnal(rate, 0.6, ticks),
+        churn_process::bernoulli(0.02)));
+    return config;
+  }
+  if (name == "flash-crowd") {
+    // Warm-up ramp, then a 6x spike of zipf-skewed traffic (flash
+    // crowds are hot-key events) with autoscale joining capacity when
+    // per-server load doubles, then a cooldown at the base rate.
+    scenario_config config = base_config("flash-crowd", tuning);
+    config.distribution = request_distribution::zipf;
+    config.zipf_skew = 0.99;
+    const double trigger =
+        2.0 * rate / static_cast<double>(tuning.servers);
+    const std::size_t step = std::max<std::size_t>(1, tuning.servers / 8);
+    config.phases.push_back(make_phase(
+        "warmup", ticks / 2, arrival_process::ramp(rate / 2.0, rate)));
+    config.phases.push_back(make_phase(
+        "spike", ticks,
+        arrival_process::flash_crowd(rate, 6.0, ticks / 8, ticks / 2),
+        churn_process::autoscale(trigger, step, ticks / 16)));
+    config.phases.push_back(
+        make_phase("cooldown", ticks / 2, arrival_process::constant(rate)));
+    return config;
+  }
+  if (name == "rack-failure") {
+    // Rack 1 dies a quarter into the failure phase; an equal count of
+    // replacement servers joins a quarter-phase later.
+    scenario_config config = base_config("rack-failure", tuning);
+    config.phases.push_back(
+        make_phase("steady", ticks / 2, arrival_process::constant(rate)));
+    config.phases.push_back(make_phase(
+        "failure", ticks, arrival_process::constant(rate),
+        churn_process::rack_failure(ticks / 4, 1, ticks / 4)));
+    config.phases.push_back(
+        make_phase("aftermath", ticks / 2, arrival_process::constant(rate)));
+    return config;
+  }
+  if (name == "rolling-upgrade") {
+    // Replace the whole starting fleet in 16 waves across the upgrade
+    // phase, each wave a leave + fresh join per replaced server.
+    scenario_config config = base_config("rolling-upgrade", tuning);
+    const std::size_t wave_size =
+        std::max<std::size_t>(1, tuning.servers / 16);
+    const std::size_t waves =
+        (tuning.servers + wave_size - 1) / wave_size;
+    const std::size_t interval = std::max<std::size_t>(1, ticks / (waves + 1));
+    config.phases.push_back(
+        make_phase("steady", ticks / 2, arrival_process::constant(rate)));
+    config.phases.push_back(make_phase(
+        "upgrade", ticks, arrival_process::constant(rate),
+        churn_process::rolling_upgrade(interval, wave_size)));
+    return config;
+  }
+  if (name == "grey-server") {
+    // One rack's worth of servers goes grey: weight 4 decays 4→2→1
+    // across the degrading phase (each step a leave + rejoin at the
+    // lower weight).  Weight-capable algorithms track the decay;
+    // weight-blind ones run the identical stream clamped to weight 1.
+    scenario_config config = base_config("grey-server", tuning);
+    config.initial_weight = 4.0;
+    config.phases.push_back(
+        make_phase("healthy", ticks / 2, arrival_process::constant(rate)));
+    config.phases.push_back(make_phase(
+        "degrading", ticks, arrival_process::constant(rate),
+        churn_process::none(),
+        weight_process::grey_decay(tuning.rack_size, ticks / 4, 0.5, 1.0)));
+    return config;
+  }
+
+  std::string message = "unknown scenario \"";
+  message += name;
+  message += "\"; valid playbooks:";
+  for (const std::string_view known : scenario_names()) {
+    message += ' ';
+    message += known;
+  }
+  HDHASH_REQUIRE(false, message.c_str());
+  return {};  // unreachable
+}
+
+}  // namespace hdhash

@@ -1,0 +1,65 @@
+/// \file playbooks.hpp
+/// \brief Named production playbooks — the scenario matrix's rows.
+///
+/// Six reproducible scenarios built from the process DSL, each
+/// capturing one production traffic shape the single-shape generator
+/// cannot express:
+///
+///  * `steady`          — flat arrivals, static membership (control row)
+///  * `diurnal`         — two day/night sine cycles with light Bernoulli
+///                        churn
+///  * `flash-crowd`     — warm-up ramp, then a 6x zipf-skewed spike with
+///                        load-triggered autoscale joins, then cooldown
+///  * `rack-failure`    — a correlated 8-server rack dies mid-phase and
+///                        replacement capacity joins after a delay
+///  * `rolling-upgrade` — the whole fleet is replaced in periodic
+///                        leave+join waves
+///  * `grey-server`     — a victim set's capacity weight decays 4→2→1
+///                        (each step a leave + rejoin at the lower
+///                        weight)
+///
+/// All playbooks derive their sizes from one scenario_tuning block, so
+/// tests shrink every scenario the same way the benches keep the full
+/// size — and the tick schedules stay proportionally identical.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace hdhash {
+
+/// Size knobs shared by every named playbook.  Playbooks derive all
+/// their schedule parameters (failure ticks, wave intervals, decay
+/// steps) from these, so scaling them scales the whole scenario
+/// proportionally.
+struct scenario_tuning {
+  /// Nominal ticks per phase (>= 16, so derived schedule fractions
+  /// like `phase_ticks / 8` stay non-degenerate).
+  std::size_t phase_ticks = 240;
+  /// Nominal requests per tick off-peak.
+  double base_rate = 120.0;
+  /// Initial pool size (>= 2 * rack_size, so a rack can fail without
+  /// emptying the pool).
+  std::size_t servers = 64;
+  /// Correlated-failure group width.
+  std::size_t rack_size = 8;
+  /// Determinism root forwarded to scenario_config::seed.
+  std::uint64_t seed = 42;
+};
+
+/// The named playbooks, in matrix row order.
+std::vector<std::string_view> scenario_names();
+
+/// True when `name` is a known playbook.
+bool is_scenario_name(std::string_view name);
+
+/// Builds the named playbook's scenario at the given tuning.
+/// \throws precondition_error listing every valid name for unknown
+/// ones, and on a degenerate tuning (see scenario_tuning).
+scenario_config make_scenario(std::string_view name,
+                              const scenario_tuning& tuning = {});
+
+}  // namespace hdhash

@@ -1,0 +1,133 @@
+#include "scenario/process.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/require.hpp"
+
+namespace hdhash {
+
+double arrival_process::rate_at(std::size_t tick,
+                                std::size_t phase_ticks) const {
+  HDHASH_REQUIRE(phase_ticks > 0, "phase must span at least one tick");
+  HDHASH_REQUIRE(tick < phase_ticks, "tick outside the phase");
+  switch (shape) {
+    case shape_kind::constant:
+      return base_rate;
+    case shape_kind::diurnal: {
+      const std::size_t cycle = period == 0 ? phase_ticks : period;
+      const double angle = 2.0 * std::numbers::pi *
+                           static_cast<double>(tick) /
+                           static_cast<double>(cycle);
+      return base_rate * (1.0 + amplitude * std::sin(angle));
+    }
+    case shape_kind::flash_crowd: {
+      const std::size_t end =
+          spike_ticks == 0 ? phase_ticks : spike_start + spike_ticks;
+      const bool live = tick >= spike_start && tick < end;
+      return base_rate * (live ? spike_factor : 1.0);
+    }
+    case shape_kind::ramp: {
+      if (phase_ticks == 1) {
+        return base_rate;
+      }
+      const double t = static_cast<double>(tick) /
+                       static_cast<double>(phase_ticks - 1);
+      return base_rate + (end_rate - base_rate) * t;
+    }
+  }
+  return base_rate;  // unreachable; keeps -Wreturn-type quiet
+}
+
+arrival_process arrival_process::constant(double rate) {
+  arrival_process p;
+  p.shape = shape_kind::constant;
+  p.base_rate = rate;
+  return p;
+}
+
+arrival_process arrival_process::diurnal(double mean, double amplitude,
+                                         std::size_t period) {
+  arrival_process p;
+  p.shape = shape_kind::diurnal;
+  p.base_rate = mean;
+  p.amplitude = amplitude;
+  p.period = period;
+  return p;
+}
+
+arrival_process arrival_process::flash_crowd(double base, double factor,
+                                             std::size_t start,
+                                             std::size_t ticks) {
+  arrival_process p;
+  p.shape = shape_kind::flash_crowd;
+  p.base_rate = base;
+  p.spike_factor = factor;
+  p.spike_start = start;
+  p.spike_ticks = ticks;
+  return p;
+}
+
+arrival_process arrival_process::ramp(double from, double to) {
+  arrival_process p;
+  p.shape = shape_kind::ramp;
+  p.base_rate = from;
+  p.end_rate = to;
+  return p;
+}
+
+churn_process churn_process::none() { return churn_process{}; }
+
+churn_process churn_process::bernoulli(double rate) {
+  churn_process p;
+  p.shape = shape_kind::bernoulli;
+  p.rate = rate;
+  return p;
+}
+
+churn_process churn_process::rack_failure(std::size_t failure_tick,
+                                          std::size_t rack,
+                                          std::size_t recovery_delay) {
+  churn_process p;
+  p.shape = shape_kind::rack_failure;
+  p.failure_tick = failure_tick;
+  p.rack = rack;
+  p.recovery_delay = recovery_delay;
+  return p;
+}
+
+churn_process churn_process::rolling_upgrade(std::size_t wave_interval,
+                                             std::size_t wave_size) {
+  churn_process p;
+  p.shape = shape_kind::rolling_upgrade;
+  p.wave_interval = wave_interval;
+  p.wave_size = wave_size;
+  return p;
+}
+
+churn_process churn_process::autoscale(double scale_up_load,
+                                       std::size_t scale_step,
+                                       std::size_t cooldown) {
+  churn_process p;
+  p.shape = shape_kind::autoscale;
+  p.scale_up_load = scale_up_load;
+  p.scale_step = scale_step;
+  p.cooldown = cooldown;
+  return p;
+}
+
+weight_process weight_process::constant() { return weight_process{}; }
+
+weight_process weight_process::grey_decay(std::size_t victims,
+                                          std::size_t interval, double factor,
+                                          double floor) {
+  weight_process p;
+  p.shape = shape_kind::grey_decay;
+  p.victims = victims;
+  p.decay_interval = interval;
+  p.decay_factor = factor;
+  p.weight_floor = floor;
+  return p;
+}
+
+}  // namespace hdhash

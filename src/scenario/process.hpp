@@ -1,0 +1,165 @@
+/// \file process.hpp
+/// \brief The three composable processes a scenario phase is built
+/// from: an *arrival* process (requests per tick), a *churn* process
+/// (membership events per tick) and a *weight* process (capacity decay
+/// of grey servers).
+///
+/// Each process is a small declarative parameter block — plain data, so
+/// phases compose by aggregation and compile deterministically (see
+/// scenario.hpp).  The shapes cover what production fleets actually
+/// see and the paper's single-shape generator does not: diurnal load
+/// swings, flash crowds, correlated rack failures, rolling upgrades,
+/// load-triggered autoscaling and slow/grey servers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdhash {
+
+/// Deterministic requests-per-tick rate shape of one phase.  All
+/// shapes are evaluated by rate_at(); the compiler accumulates the
+/// (fractional) rate with error diffusion, so the number of requests a
+/// phase emits tracks the rate integral to within one request.
+struct arrival_process {
+  /// Which rate shape rate_at() evaluates.
+  enum class shape_kind : std::uint8_t {
+    constant,     ///< flat `base_rate` requests per tick
+    diurnal,      ///< sine around `base_rate` (day/night swing)
+    flash_crowd,  ///< `base_rate`, times `spike_factor` inside the spike
+    ramp,         ///< linear `base_rate` → `end_rate` over the phase
+  };
+
+  shape_kind shape = shape_kind::constant;
+  /// Requests per tick: the flat rate (constant), the mean (diurnal),
+  /// the off-spike rate (flash_crowd) or the first tick's rate (ramp).
+  double base_rate = 32.0;
+  /// Diurnal peak deviation as a fraction of base_rate, in [0, 1]
+  /// (0.6 swings between 0.4x and 1.6x the mean).
+  double amplitude = 0.5;
+  /// Diurnal ticks per full day/night cycle; 0 = one cycle per phase.
+  std::size_t period = 0;
+  /// Flash-crowd rate multiplier while the spike is live (>= 1).
+  double spike_factor = 8.0;
+  /// Flash-crowd first spiked tick (phase-relative).
+  std::size_t spike_start = 0;
+  /// Flash-crowd spike width in ticks; 0 = spike to the phase end.
+  std::size_t spike_ticks = 0;
+  /// Ramp rate at the last tick of the phase.
+  double end_rate = 0.0;
+
+  /// Requests-per-tick rate at phase-relative `tick` of a phase
+  /// `phase_ticks` long.  Pure: same arguments, same rate.
+  /// \param tick         phase-relative tick in [0, phase_ticks).
+  /// \param phase_ticks  length of the enclosing phase, > 0.
+  double rate_at(std::size_t tick, std::size_t phase_ticks) const;
+
+  /// Flat `rate` requests per tick.
+  static arrival_process constant(double rate);
+  /// Sine around `mean` with peak deviation `amplitude`·mean, one full
+  /// cycle every `period` ticks (0 = one cycle per phase).
+  static arrival_process diurnal(double mean, double amplitude,
+                                 std::size_t period = 0);
+  /// `base` requests per tick, times `factor` for the `ticks` ticks
+  /// starting at `start` (0 ticks = spike to the phase end).
+  static arrival_process flash_crowd(double base, double factor,
+                                     std::size_t start, std::size_t ticks);
+  /// Linear ramp `from` → `to` across the phase.
+  static arrival_process ramp(double from, double to);
+};
+
+/// Membership-event shape of one phase.  Bernoulli churn reproduces
+/// the generator's alternating join/leave process; the other shapes
+/// are the production failure playbooks: a whole rack leaving at once,
+/// a rolling upgrade's leave+join waves, and load-triggered autoscale
+/// joins.
+struct churn_process {
+  /// Which membership process the compiler runs for the phase.
+  enum class shape_kind : std::uint8_t {
+    none,             ///< membership is static for the phase
+    bernoulli,        ///< per-tick coin flip, alternating join/leave
+    rack_failure,     ///< one correlated group leaves at `failure_tick`
+    rolling_upgrade,  ///< periodic leave+join replacement waves
+    autoscale,        ///< joins triggered by per-server arrival load
+  };
+
+  shape_kind shape = shape_kind::none;
+  /// Bernoulli per-tick probability of one churn event.
+  double rate = 0.0;
+  /// Rack failure: phase-relative tick the rack dies.
+  std::size_t failure_tick = 0;
+  /// Rack failure: index of the failing rack (see
+  /// scenario_config::rack_size; rack r holds join-burst positions
+  /// [r*rack_size, (r+1)*rack_size)).
+  std::size_t rack = 0;
+  /// Rack failure: ticks after the failure until an equal count of
+  /// replacement servers joins; 0 = capacity is never restored.
+  std::size_t recovery_delay = 0;
+  /// Rolling upgrade: ticks between replacement waves (> 0).
+  std::size_t wave_interval = 0;
+  /// Rolling upgrade: servers replaced (leave+join) per wave.
+  std::size_t wave_size = 1;
+  /// Autoscale: requests/tick/server threshold that triggers a scale-up.
+  double scale_up_load = 0.0;
+  /// Autoscale: servers joined per trigger.
+  std::size_t scale_step = 1;
+  /// Autoscale: minimum ticks between consecutive triggers.
+  std::size_t cooldown = 0;
+
+  /// Static membership.
+  static churn_process none();
+  /// Generator-style alternating join/leave churn at per-tick
+  /// probability `rate`.
+  static churn_process bernoulli(double rate);
+  /// The `rack`-th join-burst group leaves at `failure_tick`; an equal
+  /// count of fresh servers joins `recovery_delay` ticks later (0 =
+  /// never).
+  static churn_process rack_failure(std::size_t failure_tick,
+                                    std::size_t rack,
+                                    std::size_t recovery_delay);
+  /// Every `wave_interval` ticks, the `wave_size` longest-serving
+  /// original servers are replaced (leave + fresh join) until the
+  /// whole starting fleet has been upgraded.
+  static churn_process rolling_upgrade(std::size_t wave_interval,
+                                       std::size_t wave_size = 1);
+  /// Joins `scale_step` servers whenever the tick's arrival rate per
+  /// pool member exceeds `scale_up_load`, at most once per `cooldown`
+  /// ticks.
+  static churn_process autoscale(double scale_up_load,
+                                 std::size_t scale_step,
+                                 std::size_t cooldown);
+};
+
+/// Capacity-weight shape of one phase.  grey_decay models slow/grey
+/// servers: a fixed victim set halves (decay_factor) its weight every
+/// decay_interval ticks until the floor, each step compiled as a
+/// leave + rejoin at the decayed weight so the event stream stays the
+/// plain join/leave/request vocabulary every consumer already speaks.
+struct weight_process {
+  /// Which weight process the compiler runs for the phase.
+  enum class shape_kind : std::uint8_t {
+    constant,    ///< weights hold for the phase
+    grey_decay,  ///< a victim set's weight decays geometrically
+  };
+
+  shape_kind shape = shape_kind::constant;
+  /// Grey decay: how many of the initial join burst's servers go grey
+  /// (victims are burst positions [0, victims), skipping any that
+  /// already left).
+  std::size_t victims = 0;
+  /// Grey decay: ticks between decay steps (> 0).
+  std::size_t decay_interval = 0;
+  /// Grey decay: weight multiplier per step, in (0, 1).
+  double decay_factor = 0.5;
+  /// Grey decay: decay stops once a victim's weight reaches this.
+  double weight_floor = 1.0;
+
+  /// Weights hold for the phase.
+  static weight_process constant();
+  /// The first `victims` join-burst servers decay: weight times
+  /// `factor` every `interval` ticks, stopping at `floor`.
+  static weight_process grey_decay(std::size_t victims, std::size_t interval,
+                                   double factor, double floor);
+};
+
+}  // namespace hdhash

@@ -1,0 +1,339 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "hashing/splitmix_hash.hpp"
+#include "stats/zipf.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace hdhash {
+
+namespace {
+
+void validate_phase(const scenario_phase& phase,
+                    const scenario_config& config) {
+  HDHASH_REQUIRE(phase.ticks > 0, "scenario phase must span at least one tick");
+  const arrival_process& a = phase.arrival;
+  HDHASH_REQUIRE(std::isfinite(a.base_rate) && a.base_rate >= 0.0,
+                 "arrival rate must be finite and non-negative");
+  switch (a.shape) {
+    case arrival_process::shape_kind::constant:
+      break;
+    case arrival_process::shape_kind::diurnal:
+      HDHASH_REQUIRE(std::isfinite(a.amplitude) && a.amplitude >= 0.0 &&
+                         a.amplitude <= 1.0,
+                     "diurnal amplitude must be in [0, 1]");
+      break;
+    case arrival_process::shape_kind::flash_crowd:
+      HDHASH_REQUIRE(std::isfinite(a.spike_factor) && a.spike_factor >= 1.0,
+                     "flash-crowd spike factor must be >= 1");
+      HDHASH_REQUIRE(a.spike_start < phase.ticks,
+                     "flash-crowd spike must start inside the phase");
+      break;
+    case arrival_process::shape_kind::ramp:
+      HDHASH_REQUIRE(std::isfinite(a.end_rate) && a.end_rate >= 0.0,
+                     "ramp end rate must be finite and non-negative");
+      break;
+  }
+  const churn_process& c = phase.churn;
+  switch (c.shape) {
+    case churn_process::shape_kind::none:
+      break;
+    case churn_process::shape_kind::bernoulli:
+      HDHASH_REQUIRE(std::isfinite(c.rate) && c.rate >= 0.0 && c.rate <= 1.0,
+                     "bernoulli churn rate must be a probability in [0, 1]");
+      break;
+    case churn_process::shape_kind::rack_failure:
+      HDHASH_REQUIRE(c.failure_tick < phase.ticks,
+                     "rack failure must happen inside the phase");
+      HDHASH_REQUIRE(c.rack * config.rack_size < config.initial_servers,
+                     "failing rack must exist in the initial join burst");
+      break;
+    case churn_process::shape_kind::rolling_upgrade:
+      HDHASH_REQUIRE(c.wave_interval > 0,
+                     "rolling-upgrade wave interval must be positive");
+      HDHASH_REQUIRE(c.wave_size >= 1,
+                     "rolling-upgrade wave size must be positive");
+      break;
+    case churn_process::shape_kind::autoscale:
+      HDHASH_REQUIRE(std::isfinite(c.scale_up_load) && c.scale_up_load > 0.0,
+                     "autoscale trigger load must be finite and positive");
+      HDHASH_REQUIRE(c.scale_step >= 1, "autoscale step must be positive");
+      break;
+  }
+  const weight_process& w = phase.weight;
+  if (w.shape == weight_process::shape_kind::grey_decay) {
+    HDHASH_REQUIRE(w.victims >= 1 && w.victims <= config.initial_servers,
+                   "grey-decay victims must name initial join-burst servers");
+    HDHASH_REQUIRE(w.decay_interval > 0,
+                   "grey-decay interval must be positive");
+    HDHASH_REQUIRE(std::isfinite(w.decay_factor) && w.decay_factor > 0.0 &&
+                       w.decay_factor < 1.0,
+                   "grey-decay factor must be in (0, 1)");
+    HDHASH_REQUIRE(std::isfinite(w.weight_floor) && w.weight_floor > 0.0,
+                   "grey-decay weight floor must be finite and positive");
+  }
+}
+
+void validate(const scenario_config& config) {
+  HDHASH_REQUIRE(!config.phases.empty(), "scenario needs at least one phase");
+  HDHASH_REQUIRE(config.initial_servers >= 1,
+                 "scenario needs a non-empty initial pool");
+  HDHASH_REQUIRE(config.rack_size >= 1, "rack size must be positive");
+  HDHASH_REQUIRE(config.key_universe > 0, "key universe must be non-empty");
+  HDHASH_REQUIRE(std::isfinite(config.initial_weight) &&
+                     config.initial_weight > 0.0,
+                 "initial weight must be finite and positive");
+  if (config.distribution == request_distribution::zipf) {
+    HDHASH_REQUIRE(std::isfinite(config.zipf_skew) && config.zipf_skew >= 0.0,
+                   "zipf skew must be a finite non-negative exponent");
+  }
+  std::size_t total_ticks = 0;
+  for (const scenario_phase& phase : config.phases) {
+    validate_phase(phase, config);
+    total_ticks += phase.ticks;
+  }
+  HDHASH_REQUIRE(
+      total_ticks <= std::numeric_limits<std::uint32_t>::max(),
+      "scenario tick count exceeds the per-event tick representation");
+}
+
+/// One pool member as the compiler tracks it.  `weight` is the
+/// *logical* weight — the unweighted compile clamps only at event
+/// emission, so the control flow (and hence the event kinds, ids and
+/// ticks) is bit-identical whichever way a scenario is compiled.
+struct member {
+  std::uint64_t id = 0;
+  double weight = 1.0;
+  std::size_t rack = 0;
+};
+
+}  // namespace
+
+compiled_scenario compile_scenario(const scenario_config& config,
+                                   bool weighted) {
+  validate(config);
+
+  compiled_scenario out;
+  out.name = config.name;
+  xoshiro256 rng(config.seed);
+  std::vector<zipf_sampler> sampler;  // 0 or 1 elements (no default ctor)
+  if (config.distribution == request_distribution::zipf) {
+    sampler.emplace_back(config.key_universe, config.zipf_skew);
+  }
+
+  std::vector<member> pool;        // current membership, in join order
+  std::size_t next_server = 0;     // generator::server_id_at counter
+  std::size_t pool_weight = 0;     // sum of ceil(weight) over the pool
+  bool next_churn_is_join = true;  // bernoulli alternation (generator's)
+
+  const auto fresh_member = [&](double weight) {
+    member m{generator::server_id_at(config.seed, next_server), weight,
+             next_server / config.rack_size};
+    ++next_server;
+    return m;
+  };
+  const auto slots = [&](const member& m) {
+    return static_cast<std::size_t>(std::ceil(weighted ? m.weight : 1.0));
+  };
+  const auto emit_join = [&](member m, std::size_t tick) {
+    out.events.push_back(
+        event{event_kind::join, m.id, weighted ? m.weight : 1.0});
+    out.event_ticks.push_back(static_cast<std::uint32_t>(tick));
+    ++out.joins;
+    pool_weight += slots(m);
+    pool.push_back(std::move(m));
+    out.max_pool_size = std::max(out.max_pool_size, pool.size());
+    out.max_pool_weight = std::max(out.max_pool_weight, pool_weight);
+  };
+  const auto emit_leave = [&](std::size_t index, std::size_t tick) {
+    out.events.push_back(event{event_kind::leave, pool[index].id, 1.0});
+    out.event_ticks.push_back(static_cast<std::uint32_t>(tick));
+    ++out.leaves;
+    pool_weight -= slots(pool[index]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(index));
+  };
+  const auto index_of = [&](std::uint64_t id) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].id == id) {
+        return i;
+      }
+    }
+    return pool.size();
+  };
+  const auto mark = [&](std::string label, std::size_t tick, bool disruptive) {
+    out.markers.push_back(scenario_marker{std::move(label), tick,
+                                          out.events.size(), disruptive});
+  };
+
+  // Initial join burst: tick 0, before (and visible to) phase 0.
+  out.initial_servers.reserve(config.initial_servers);
+  for (std::size_t i = 0; i < config.initial_servers; ++i) {
+    member m = fresh_member(config.initial_weight);
+    out.initial_servers.push_back(m.id);
+    emit_join(std::move(m), 0);
+  }
+
+  std::size_t global_tick = 0;
+  for (const scenario_phase& phase : config.phases) {
+    phase_span span;
+    span.name = phase.name;
+    span.first_event = out.events.size();
+    span.first_tick = global_tick;
+    const std::size_t requests_before = out.requests;
+    const std::size_t joins_before = out.joins;
+    const std::size_t leaves_before = out.leaves;
+
+    // Per-phase process state.
+    const churn_process& churn = phase.churn;
+    const weight_process& wproc = phase.weight;
+    double arrival_acc = 0.0;  // error-diffusion remainder
+    std::size_t rack_losses = 0;
+    std::vector<std::uint64_t> upgrade_queue;  // rolling: fleet at entry
+    std::size_t upgrade_cursor = 0;
+    bool first_wave = true;
+    std::size_t last_scale_tick = 0;
+    bool scaled_yet = false;
+    bool first_decay = true;
+    if (churn.shape == churn_process::shape_kind::rolling_upgrade) {
+      upgrade_queue.reserve(pool.size());
+      for (const member& m : pool) {
+        upgrade_queue.push_back(m.id);
+      }
+    }
+
+    for (std::size_t t = 0; t < phase.ticks; ++t, ++global_tick) {
+      const double rate = phase.arrival.rate_at(t, phase.ticks);
+
+      // 1. Churn process: this tick's membership events come first, so
+      // the tick's requests observe them (stream order is the contract).
+      switch (churn.shape) {
+        case churn_process::shape_kind::none:
+          break;
+        case churn_process::shape_kind::bernoulli:
+          if (churn.rate > 0.0 && uniform_unit(rng) < churn.rate) {
+            if (next_churn_is_join || pool.empty()) {
+              emit_join(fresh_member(1.0), global_tick);
+            } else {
+              const std::size_t victim = static_cast<std::size_t>(
+                  uniform_below(rng, pool.size()));
+              emit_leave(victim, global_tick);
+            }
+            next_churn_is_join = !next_churn_is_join;
+          }
+          break;
+        case churn_process::shape_kind::rack_failure:
+          if (t == churn.failure_tick) {
+            mark("rack-failure", global_tick, /*disruptive=*/true);
+            for (std::size_t i = pool.size(); i-- > 0;) {
+              if (pool[i].rack == churn.rack) {
+                emit_leave(i, global_tick);
+                ++rack_losses;
+              }
+            }
+            HDHASH_REQUIRE(rack_losses > 0,
+                           "failing rack had no live members");
+            HDHASH_REQUIRE(!pool.empty(),
+                           "rack failure may not empty the pool");
+          } else if (churn.recovery_delay > 0 &&
+                     t == churn.failure_tick + churn.recovery_delay) {
+            mark("capacity-restored", global_tick, /*disruptive=*/false);
+            for (std::size_t i = 0; i < rack_losses; ++i) {
+              emit_join(fresh_member(1.0), global_tick);
+            }
+          }
+          break;
+        case churn_process::shape_kind::rolling_upgrade:
+          if (t > 0 && t % churn.wave_interval == 0 &&
+              upgrade_cursor < upgrade_queue.size()) {
+            mark("upgrade-wave", global_tick, /*disruptive=*/first_wave);
+            first_wave = false;
+            std::size_t replaced = 0;
+            while (replaced < churn.wave_size &&
+                   upgrade_cursor < upgrade_queue.size()) {
+              const std::size_t index =
+                  index_of(upgrade_queue[upgrade_cursor++]);
+              if (index == pool.size()) {
+                continue;  // already left through another process
+              }
+              const double weight = pool[index].weight;
+              emit_leave(index, global_tick);
+              emit_join(fresh_member(weight), global_tick);
+              ++replaced;
+            }
+          }
+          break;
+        case churn_process::shape_kind::autoscale:
+          if (!pool.empty() &&
+              rate / static_cast<double>(pool.size()) > churn.scale_up_load &&
+              (!scaled_yet || t - last_scale_tick >= churn.cooldown)) {
+            mark("autoscale", global_tick, /*disruptive=*/!scaled_yet);
+            scaled_yet = true;
+            last_scale_tick = t;
+            for (std::size_t i = 0; i < churn.scale_step; ++i) {
+              emit_join(fresh_member(1.0), global_tick);
+            }
+          }
+          break;
+      }
+
+      // 2. Weight process: grey servers decay as leave + rejoin at the
+      // reduced weight, keeping the stream in the plain event vocabulary.
+      if (wproc.shape == weight_process::shape_kind::grey_decay && t > 0 &&
+          t % wproc.decay_interval == 0) {
+        bool marked = false;
+        for (std::size_t v = 0; v < wproc.victims; ++v) {
+          const std::size_t index = index_of(out.initial_servers[v]);
+          if (index == pool.size() ||
+              pool[index].weight <= wproc.weight_floor) {
+            continue;  // victim left, or already at the floor
+          }
+          if (!marked) {
+            mark("grey-decay", global_tick, /*disruptive=*/first_decay);
+            first_decay = false;
+            marked = true;
+          }
+          member grey = pool[index];
+          grey.weight = std::max(wproc.weight_floor,
+                                 grey.weight * wproc.decay_factor);
+          emit_leave(index, global_tick);
+          emit_join(std::move(grey), global_tick);
+        }
+      }
+
+      // 3. Arrivals: diffuse the fractional rate so the phase's request
+      // count tracks the rate integral to within one request.
+      arrival_acc += rate;
+      const double whole = std::floor(arrival_acc);
+      arrival_acc -= whole;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(whole); ++i) {
+        std::uint64_t key;
+        if (config.distribution == request_distribution::uniform) {
+          key = uniform_below(rng, config.key_universe);
+        } else {
+          key = sampler.front().sample(rng);
+        }
+        // Same id derivation as the generator: requests carry opaque
+        // mixed identifiers, not the integers 0..universe.
+        out.events.push_back(event{event_kind::request,
+                                   splitmix_hash::mix(key + 0xfeed)});
+        out.event_ticks.push_back(static_cast<std::uint32_t>(global_tick));
+        ++out.requests;
+      }
+    }
+
+    span.end_event = out.events.size();
+    span.end_tick = global_tick;
+    span.requests = out.requests - requests_before;
+    span.joins = out.joins - joins_before;
+    span.leaves = out.leaves - leaves_before;
+    out.phases.push_back(std::move(span));
+  }
+  out.total_ticks = global_tick;
+  return out;
+}
+
+}  // namespace hdhash

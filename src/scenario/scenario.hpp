@@ -1,0 +1,124 @@
+/// \file scenario.hpp
+/// \brief Composable scenario DSL over the event generator: an ordered
+/// list of phases, each pairing an arrival, churn and weight process
+/// (scenario/process.hpp), compiled into the plain `event` stream the
+/// emulator, the sharded emulator and every experiment driver already
+/// consume unchanged.
+///
+/// Time is modelled in abstract *ticks* (one scheduling quantum — a
+/// second, a minute; the unit never appears in the events, only in the
+/// side tables).  Compilation walks the phases tick by tick: each tick
+/// first runs the phase's churn process, then its weight process, then
+/// emits the tick's arrivals — so a tick's requests always observe the
+/// membership state published earlier in that tick, exactly the
+/// stream-order contract the emulators preserve.  Fractional arrival
+/// rates accumulate with error diffusion, so a phase's request count
+/// matches its rate integral to within one request.
+///
+/// Everything is deterministic from scenario_config::seed: the same
+/// config compiles to the bit-identical event stream, markers and
+/// spans on every call (the property the scenario test suite pins).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emu/event.hpp"
+#include "emu/generator.hpp"
+#include "scenario/process.hpp"
+
+namespace hdhash {
+
+/// One scenario phase: `ticks` ticks of the given arrival + churn +
+/// weight processes.
+struct scenario_phase {
+  std::string name;          ///< label carried into spans and reports
+  std::size_t ticks = 0;     ///< phase length (> 0)
+  arrival_process arrival;   ///< requests per tick
+  churn_process churn;       ///< membership events
+  weight_process weight;     ///< capacity-weight evolution
+};
+
+/// Declarative scenario description: the pool/keyspace parameters the
+/// workload_config already speaks, plus the ordered phase list.
+struct scenario_config {
+  std::string name;                  ///< scenario label for reports
+  std::size_t initial_servers = 64;  ///< join burst before phase 0
+  double initial_weight = 1.0;       ///< weight of every initial server
+  /// Correlated-failure group width: join-burst position i belongs to
+  /// rack i / rack_size, and later joins keep numbering racks off the
+  /// same counter (see churn_process::rack_failure).
+  std::size_t rack_size = 8;
+  std::size_t key_universe = 1'000'000;  ///< distinct request identifiers
+  request_distribution distribution = request_distribution::uniform;
+  double zipf_skew = 0.99;           ///< used when distribution == zipf
+  std::uint64_t seed = 42;           ///< determinism root
+  std::vector<scenario_phase> phases;
+};
+
+/// Event-index and tick extent of one compiled phase, plus its event
+/// census — phase boundaries are exact, by construction.
+struct phase_span {
+  std::string name;             ///< scenario_phase::name
+  std::size_t first_event = 0;  ///< events[first_event] is the phase's first
+  std::size_t end_event = 0;    ///< one past the phase's last event
+  std::size_t first_tick = 0;   ///< global tick the phase starts on
+  std::size_t end_tick = 0;     ///< one past the phase's last tick
+  std::size_t requests = 0;     ///< request events in the span
+  std::size_t joins = 0;        ///< join events in the span
+  std::size_t leaves = 0;       ///< leave events in the span
+};
+
+/// A notable compiled episode (rack failure, autoscale trigger, decay
+/// step, …), anchored to its tick and first emitted event.  Markers
+/// with `disruptive` set are where the matrix driver starts its
+/// recovery-time clock.
+struct scenario_marker {
+  std::string label;            ///< e.g. "rack-failure", "autoscale"
+  std::size_t tick = 0;         ///< global tick of the episode
+  std::size_t event_index = 0;  ///< index of the episode's first event
+  bool disruptive = false;      ///< anchors recovery-time measurement
+};
+
+/// A compiled scenario: the event stream plus the side tables that let
+/// drivers report per-phase and per-episode metrics without re-deriving
+/// the schedule.
+struct compiled_scenario {
+  std::string name;                        ///< scenario_config::name
+  std::vector<event> events;               ///< feed to any emulator
+  /// Global tick each event was emitted on (parallel to `events`).
+  std::vector<std::uint32_t> event_ticks;
+  std::vector<phase_span> phases;          ///< exact per-phase extents
+  std::vector<scenario_marker> markers;    ///< notable episodes
+  /// Ids of the initial join burst, in join order (events[0 ..
+  /// initial_servers.size()) are their joins, all on tick 0).
+  std::vector<std::uint64_t> initial_servers;
+  std::size_t total_ticks = 0;             ///< sum of phase lengths
+  /// Peak concurrent pool size over the run — size tables to this.
+  std::size_t max_pool_size = 0;
+  /// Peak sum of rounded-up member weights — size slot-replicating
+  /// tables (hd) to this.
+  std::size_t max_pool_weight = 0;
+  std::size_t requests = 0;                ///< total request events
+  std::size_t joins = 0;                   ///< total join events
+  std::size_t leaves = 0;                  ///< total leave events
+};
+
+/// Compiles a scenario to its event stream.  Deterministic: identical
+/// config (and `weighted`) → bit-identical result.
+///
+/// `weighted` = false clamps every join's weight to 1.0 without
+/// changing anything else — same event kinds, ids, ticks and order —
+/// so a weight-blind algorithm (modular, jump, …) runs the *same*
+/// playbook as a weight-capable one and the matrix stays comparable
+/// cell to cell.
+/// \param config    the scenario; phases must be non-empty and valid
+///                  (positive ticks, finite non-negative rates, …).
+/// \param weighted  compile join weights (true) or clamp them to 1.
+/// \throws precondition_error on an invalid configuration.
+compiled_scenario compile_scenario(const scenario_config& config,
+                                   bool weighted = true);
+
+}  // namespace hdhash

@@ -1,5 +1,6 @@
 #include "emu/generator.hpp"
 
+#include <limits>
 #include <map>
 #include <set>
 
@@ -145,6 +146,28 @@ TEST(GeneratorTest, InvalidConfigThrows) {
   workload_config bad_churn;
   bad_churn.churn_rate = 1.5;
   EXPECT_THROW(generator{bad_churn}, precondition_error);
+  workload_config negative_churn;
+  negative_churn.churn_rate = -0.1;
+  EXPECT_THROW(generator{negative_churn}, precondition_error);
+  workload_config nan_churn;
+  nan_churn.churn_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(generator{nan_churn}, precondition_error);
+
+  // Zipf skew is validated at construction too — but only when the
+  // distribution actually samples it.
+  workload_config negative_skew;
+  negative_skew.distribution = request_distribution::zipf;
+  negative_skew.zipf_skew = -1.0;
+  EXPECT_THROW(generator{negative_skew}, precondition_error);
+  workload_config infinite_skew;
+  infinite_skew.distribution = request_distribution::zipf;
+  infinite_skew.zipf_skew = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(generator{infinite_skew}, precondition_error);
+  workload_config unused_skew;
+  unused_skew.distribution = request_distribution::uniform;
+  unused_skew.zipf_skew = -1.0;  // uniform never reads it
+  unused_skew.request_count = 16;
+  EXPECT_NO_THROW(generator{unused_skew});
 }
 
 }  // namespace

@@ -137,17 +137,24 @@ TEST(ShardedEmulatorTest, EveryShardReplicatesTheFullPool) {
 }
 
 TEST(ShardedEmulatorTest, ShadowOraclesSeeNoMismatch) {
+  // In both membership modes an uncorrupted run must agree with its
+  // shadow on every answer (the deeper conformance suite — corrupted
+  // tables, bit-identical counts across modes — lives in
+  // scenario_oracle_test.cpp).
   const generator gen(churn_workload());
   const auto events = gen.generate();
-  sharded_config config;
-  config.shards = 4;
-  config.shadow = true;
-  config.membership = membership_mode::replicated;
-  sharded_emulator emu(factory_for("hd-hierarchical"), config);
-  const sharded_report report = emu.run(events);
-  EXPECT_GT(report.merged.requests, 0u);
-  EXPECT_EQ(report.merged.mismatches, 0u);
-  EXPECT_EQ(report.merged.invalid_assignments, 0u);
+  for (const auto membership : {membership_mode::snapshot,
+                                membership_mode::replicated}) {
+    sharded_config config;
+    config.shards = 4;
+    config.shadow = true;
+    config.membership = membership;
+    sharded_emulator emu(factory_for("hd-hierarchical"), config);
+    const sharded_report report = emu.run(events);
+    EXPECT_GT(report.merged.requests, 0u);
+    EXPECT_EQ(report.merged.mismatches, 0u);
+    EXPECT_EQ(report.merged.invalid_assignments, 0u);
+  }
 }
 
 TEST(ShardedEmulatorTest, DegenerateConfigurationsStillComplete) {
@@ -273,13 +280,6 @@ TEST(ShardedEmulatorTest, RejectsInvalidConfiguration) {
   sharded_config zero_buffer;
   zero_buffer.buffer_capacity = 0;
   EXPECT_THROW(sharded_emulator(factory_for("consistent"), zero_buffer),
-               precondition_error);
-  // Shadow oracles certify per-shard replication; snapshot mode has no
-  // per-shard tables to mirror.
-  sharded_config shadow_snapshot;
-  shadow_snapshot.shadow = true;
-  shadow_snapshot.membership = membership_mode::snapshot;
-  EXPECT_THROW(sharded_emulator(factory_for("consistent"), shadow_snapshot),
                precondition_error);
   sharded_config zero_producers;
   zero_producers.producers = 0;

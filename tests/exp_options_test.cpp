@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/sharded.hpp"
 #include "runtime/cpu_topology.hpp"
 #include "runtime/placement_plan.hpp"
+#include "scenario/playbooks.hpp"
 
 namespace hdhash {
 namespace {
@@ -84,6 +87,36 @@ TEST(EmulatorOptionsTest, CollectsEveryMalformedFlag) {
       parse({"--shards=zero", "--pin=everywhere", "--channel=lockfree"});
   EXPECT_FALSE(opts.ok());
   EXPECT_EQ(opts.errors.size(), 3u);
+}
+
+TEST(EmulatorOptionsTest, ParsesScenarioByName) {
+  for (const std::string_view name : scenario_names()) {
+    const std::string flag = "--scenario=" + std::string(name);
+    const emulator_options opts = parse({flag.c_str()});
+    EXPECT_TRUE(opts.ok()) << name;
+    EXPECT_TRUE(opts.scenario_set);
+    EXPECT_EQ(opts.scenario, name);
+  }
+  const emulator_options spaced = parse({"--scenario", "rack-failure"});
+  EXPECT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced.scenario, "rack-failure");
+}
+
+TEST(EmulatorOptionsTest, UnknownScenarioCollectsAnErrorListingAll) {
+  for (const auto bad : {"--scenario=warp-drive", "--scenario="}) {
+    const emulator_options opts = parse({bad});
+    EXPECT_FALSE(opts.ok()) << bad;
+    EXPECT_TRUE(opts.scenario_set);
+    EXPECT_TRUE(opts.scenario.empty());
+    ASSERT_EQ(opts.errors.size(), 1u);
+    for (const std::string_view name : scenario_names()) {
+      EXPECT_NE(opts.errors.front().find(name), std::string::npos) << name;
+    }
+  }
+  // A malformed scenario joins the other errors instead of aborting.
+  const emulator_options opts =
+      parse({"--scenario=warp-drive", "--shards=zero"});
+  EXPECT_EQ(opts.errors.size(), 2u);
 }
 
 TEST(EmulatorOptionsTest, RejectsMultiProducerReplicated) {

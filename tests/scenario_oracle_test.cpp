@@ -1,0 +1,184 @@
+/// Shadow-oracle conformance: snapshot-mode shadows (a pristine twin
+/// publisher advancing epochs in lockstep) must produce mismatch and
+/// invalid-assignment counts bit-identical to the replicated-mode
+/// per-shard clones, with and without fault injection — the property
+/// that lets robustness scenarios run on the default snapshot
+/// architecture.  Spins worker threads; runs in the TSan lane.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "emu/sharded_emulator.hpp"
+#include "exp/factory.hpp"
+#include "fault/injector.hpp"
+#include "scenario/playbooks.hpp"
+#include "scenario/scenario.hpp"
+
+namespace hdhash {
+namespace {
+
+table_options fast_options() {
+  table_options options;
+  options.hd.dimension = 1024;
+  options.hd.capacity = 128;
+  return options;
+}
+
+scenario_tuning small_tuning() {
+  scenario_tuning tuning;
+  tuning.phase_ticks = 32;
+  tuning.base_rate = 24.0;
+  tuning.servers = 16;
+  tuning.rack_size = 4;
+  tuning.seed = 13;
+  return tuning;
+}
+
+/// The conformance workload: a churny playbook compiled unweighted (so
+/// any algorithm replays it), split into the initial join burst — which
+/// the factory pre-applies, putting real membership into the tables
+/// *before* shadow cloning and corruption — and the live remainder.
+struct oracle_workload {
+  compiled_scenario compiled;
+  std::span<const event> live;
+
+  explicit oracle_workload(const char* playbook)
+      : compiled(compile_scenario(make_scenario(playbook, small_tuning()),
+                                  /*weighted=*/false)),
+        live(std::span<const event>(compiled.events)
+                 .subspan(compiled.phases.front().first_event)) {}
+
+  sharded_emulator::table_factory factory(std::string_view algorithm) const {
+    const std::span<const event> burst =
+        std::span<const event>(compiled.events)
+            .first(compiled.phases.front().first_event);
+    return [algorithm, burst](std::size_t) {
+      auto table = make_table(algorithm, fast_options());
+      for (const event& e : burst) {
+        table->join(e.id, e.weight);
+      }
+      return table;
+    };
+  }
+};
+
+/// Deterministic SEU corruption: every table this hook touches — each
+/// replicated-mode replica, the snapshot-mode publisher table — gets
+/// the identical flip set, because the injector is seeded off a
+/// constant, not the shard index.
+void corrupt_table(dynamic_table& table, std::size_t flips) {
+  bit_flip_injector injector(0xFA11);
+  injector.inject_random(table, flips);
+}
+
+TEST(ScenarioOracleTest, CleanSnapshotShadowSeesNoMismatch) {
+  const oracle_workload workload("rack-failure");
+  sharded_config config;
+  config.shards = 2;
+  config.shadow = true;
+  config.membership = membership_mode::snapshot;
+  sharded_emulator emu(workload.factory("hd"), config);
+  const sharded_report report = emu.run(workload.live);
+  EXPECT_EQ(report.merged.requests, workload.compiled.requests);
+  EXPECT_EQ(report.merged.mismatches, 0u);
+  EXPECT_EQ(report.merged.invalid_assignments, 0u);
+}
+
+TEST(ScenarioOracleTest, CorruptionIsCountedAgainstThePristineShadow) {
+  const oracle_workload workload("rack-failure");
+  sharded_config config;
+  config.shards = 2;
+  config.shadow = true;
+  config.membership = membership_mode::snapshot;
+  config.corrupt = [](dynamic_table& table, std::size_t) {
+    corrupt_table(table, 24);
+  };
+  sharded_emulator emu(workload.factory("consistent-rank"), config);
+  const sharded_report report = emu.run(workload.live);
+  EXPECT_EQ(report.merged.requests, workload.compiled.requests);
+  // 24 flips in a 16-server ring visibly remap rank-resolved lookups;
+  // the shadow (cloned before the corrupt hook ran) catches them.
+  EXPECT_GT(report.merged.mismatches, 0u);
+  EXPECT_LE(report.merged.invalid_assignments, report.merged.mismatches);
+}
+
+TEST(ScenarioOracleTest, SnapshotCountsMatchReplicatedBitForBit) {
+  // The acceptance bar: at 1–8 shards, the snapshot-mode mismatch /
+  // invalid-assignment counts equal the replicated-mode reference
+  // exactly — merged and per shard (request routing is mode-invariant,
+  // so per-shard totals must line up too).
+  const oracle_workload workload("rack-failure");
+  for (const char* algorithm : {"consistent-rank", "hd"}) {
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      sharded_config config;
+      config.shards = shards;
+      config.shadow = true;
+      config.corrupt = [](dynamic_table& table, std::size_t) {
+        corrupt_table(table, 24);
+      };
+
+      config.membership = membership_mode::snapshot;
+      sharded_emulator snap(workload.factory(algorithm), config);
+      const sharded_report snap_report = snap.run(workload.live);
+
+      config.membership = membership_mode::replicated;
+      sharded_emulator repl(workload.factory(algorithm), config);
+      const sharded_report repl_report = repl.run(workload.live);
+
+      EXPECT_EQ(snap_report.merged.requests, repl_report.merged.requests)
+          << algorithm << " shards=" << shards;
+      EXPECT_EQ(snap_report.merged.mismatches, repl_report.merged.mismatches)
+          << algorithm << " shards=" << shards;
+      EXPECT_EQ(snap_report.merged.invalid_assignments,
+                repl_report.merged.invalid_assignments)
+          << algorithm << " shards=" << shards;
+      ASSERT_EQ(snap_report.per_shard.size(), repl_report.per_shard.size());
+      for (std::size_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(snap_report.per_shard[s].mismatches,
+                  repl_report.per_shard[s].mismatches)
+            << algorithm << " shard " << s << "/" << shards;
+        EXPECT_EQ(snap_report.per_shard[s].invalid_assignments,
+                  repl_report.per_shard[s].invalid_assignments)
+            << algorithm << " shard " << s << "/" << shards;
+        EXPECT_EQ(snap_report.per_shard[s].requests,
+                  repl_report.per_shard[s].requests)
+            << algorithm << " shard " << s << "/" << shards;
+      }
+      if (algorithm == std::string_view("consistent-rank")) {
+        // The corrupted rank table must actually diverge — a zero count
+        // on both sides would make this conformance check vacuous.
+        EXPECT_GT(snap_report.merged.mismatches, 0u)
+            << algorithm << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ScenarioOracleTest, ShadowStaysPristineAcrossEpochChurn) {
+  // Post-burst churn (the rack failing, replacements joining) advances
+  // both publishers; corruption before the run must never leak into the
+  // shadow's later epochs through the copy-on-write rows.  hd decodes
+  // through its corrupted item memory yet the run completes with every
+  // answer checked; the count is deterministic for the fixed seed.
+  const oracle_workload workload("rack-failure");
+  sharded_config config;
+  config.shards = 4;
+  config.shadow = true;
+  config.membership = membership_mode::snapshot;
+  config.corrupt = [](dynamic_table& table, std::size_t) {
+    corrupt_table(table, 512);
+  };
+  sharded_emulator emu(workload.factory("hd"), config);
+  const sharded_report first = emu.run(workload.live);
+
+  sharded_emulator again(workload.factory("hd"), config);
+  const sharded_report second = again.run(workload.live);
+  EXPECT_EQ(first.merged.requests, second.merged.requests);
+  EXPECT_EQ(first.merged.mismatches, second.merged.mismatches);
+  EXPECT_EQ(first.merged.invalid_assignments,
+            second.merged.invalid_assignments);
+}
+
+}  // namespace
+}  // namespace hdhash
