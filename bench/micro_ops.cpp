@@ -30,6 +30,7 @@
 #include "hdc/item_memory.hpp"
 #include "hdc/ops.hpp"
 #include "hdc/similarity.hpp"
+#include "mem/hugepage_arena.hpp"
 #include "simd/hamming_kernel.hpp"
 
 namespace {
@@ -305,25 +306,32 @@ int emit_batch_json(const std::string& path) {
     return 1;
   }
   const std::string kernel_name(simd::active_kernel().name);
+  // The backing the measured tables' rows actually landed on (resolved
+  // after the panels ran, when every arena exists): trajectories taken
+  // on different hosts — hugepage pool here, plain pages on a CI
+  // runner — are only comparable when the backing is recorded.
+  const std::string backing(
+      mem::to_string(mem::registry_stats().backing));
   std::fprintf(out,
                "{\n"
                "  \"benchmark\": \"scalar_vs_batch_lookup\",\n"
                "  \"batch_size\": %zu,\n"
                "  \"dimension\": %zu,\n"
                "  \"kernel\": \"%s\",\n"
+               "  \"memory_backing\": \"%s\",\n"
                "  \"results\": [\n",
-               kBatchSize, kDim, kernel_name.c_str());
+               kBatchSize, kDim, kernel_name.c_str(), backing.c_str());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const batch_point& p = points[i];
     std::fprintf(out,
                  "    {\"algorithm\": \"%s\", \"servers\": %zu, "
                  "\"scalar_ns_per_lookup\": %.1f, "
                  "\"batch_ns_per_lookup\": %.1f, "
-                 "\"speedup\": %.2f}%s\n",
+                 "\"speedup\": %.2f, \"memory_backing\": \"%s\"}%s\n",
                  p.algorithm, p.servers, p.scalar_ns_per_lookup,
                  p.batch_ns_per_lookup,
                  p.scalar_ns_per_lookup / p.batch_ns_per_lookup,
-                 i + 1 < points.size() ? "," : "");
+                 backing.c_str(), i + 1 < points.size() ? "," : "");
     std::printf("%-16s k=%-5zu scalar %8.1f ns   batch %8.1f ns   %.2fx\n",
                 p.algorithm, p.servers, p.scalar_ns_per_lookup,
                 p.batch_ns_per_lookup,
@@ -352,9 +360,10 @@ int emit_batch_json(const std::string& path) {
     std::fprintf(out,
                  "    {\"kernel\": \"%s\", \"dimension\": %zu, "
                  "\"batch_ns_per_lookup\": %.1f, "
-                 "\"speedup_vs_scalar\": %.2f}%s\n",
+                 "\"speedup_vs_scalar\": %.2f, "
+                 "\"memory_backing\": \"%s\"}%s\n",
                  p.kernel.c_str(), p.dimension, p.batch_ns_per_lookup, speedup,
-                 i + 1 < panel.size() ? "," : "");
+                 backing.c_str(), i + 1 < panel.size() ? "," : "");
     std::printf(
         "kernel %-8s d=%-5zu k=512  batch %8.1f ns   %.2fx vs scalar\n",
         p.kernel.c_str(), p.dimension, p.batch_ns_per_lookup, speedup);

@@ -19,10 +19,14 @@ constexpr std::uint64_t kReplicaSalt = 0x57A5'11D5'0C1E'F00DULL;
 
 hd_table::hd_table(const hash64& hash, hd_table_config config)
     : hash_(&hash),
-      config_(config),
-      encoder_(config.capacity, config.dimension, hash, config.seed,
-               config.policy),
-      memory_(config.dimension, config.metric) {
+      config_(std::move(config)),
+      arena_(config_.arena_rows
+                 ? (config_.arena ? config_.arena : mem::local_arena())
+                 : nullptr),
+      encoder_(config_.capacity, config_.dimension, hash, config_.seed,
+               config_.policy),
+      memory_(config_.dimension, config_.metric, arena_),
+      cache_(mem::arena_allocator<std::optional<cached_slot>>(arena_)) {
   if (config_.slot_cache) {
     cache_.assign(config_.capacity, std::nullopt);
   }
@@ -31,6 +35,9 @@ hd_table::hd_table(const hash64& hash, hd_table_config config)
 hd_table::hd_table(const hd_table& other)
     : hash_(other.hash_),
       config_(other.config_),
+      // Clones and snapshots draw from the source's arena: shared rows
+      // have exactly one owning arena, so residency is counted once.
+      arena_(other.arena_),
       encoder_(other.encoder_),
       memory_(other.memory_),
       members_(other.members_),
@@ -43,6 +50,7 @@ hd_table::hd_table(const hd_table& other)
 hd_table& hd_table::operator=(const hd_table& other) {
   hash_ = other.hash_;
   config_ = other.config_;
+  arena_ = other.arena_;
   encoder_ = other.encoder_;
   memory_ = other.memory_;
   members_ = other.members_;
@@ -401,6 +409,12 @@ table_stats hd_table::stats() const {
       config_.slot_cache
           ? 1.0
           : static_cast<double>(memory_.size()) * static_cast<double>(words);
+  if (arena_ != nullptr) {
+    const mem::arena_stats arena = arena_->stats();
+    s.arena_backing = mem::to_string(arena.backing);
+    s.resident_pages = arena.resident_pages;
+    s.hugepage_bytes = arena.hugepage_bytes;
+  }
   return s;
 }
 

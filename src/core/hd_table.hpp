@@ -29,6 +29,8 @@
 
 #include "core/encoder.hpp"
 #include "hdc/item_memory.hpp"
+#include "mem/arena_allocator.hpp"
+#include "mem/hugepage_arena.hpp"
 #include "table/dynamic_table.hpp"
 
 namespace hdhash {
@@ -68,6 +70,14 @@ struct hd_table_config {
   /// equidistant between two servers resolve to the smaller server id,
   /// both with and without faults.  Disable to get the raw Eq. 2 argmax.
   bool lattice_decode = true;
+  /// Hot-state placement (src/mem).  When `arena_rows` is set (the
+  /// default) item-memory rows and the slot cache are carved from
+  /// `arena` — or, when `arena` is null, from the calling thread's
+  /// node-local arena (mem::local_arena(), created under the
+  /// HDHASH_MEM/--mem request).  Clear `arena_rows` for the default-
+  /// heap baseline the allocator benchmark compares against.
+  std::shared_ptr<mem::hugepage_arena> arena;
+  bool arena_rows = true;
 };
 
 /// The HD hashing dynamic hash table.
@@ -191,6 +201,9 @@ class hd_table final : public dynamic_table {
 
   const hash64* hash_;
   hd_table_config config_;
+  // The arena backing rows and the slot cache (nullptr = heap); shared
+  // with clones and snapshots so shared residency has one owner.
+  std::shared_ptr<mem::hugepage_arena> arena_;
   circle_encoder encoder_;
   hdc::item_memory memory_;
   std::unordered_map<server_id, member_info> members_;
@@ -198,8 +211,12 @@ class hd_table final : public dynamic_table {
   // Slot-result cache (accelerator model): slot -> winning decision,
   // maintained incrementally across join/leave.  Mutable because it is
   // a pure memoization of lookup(); frozen_ gates all writes so a
-  // published snapshot is read-only shared state.
-  mutable std::vector<std::optional<cached_slot>> cache_;
+  // published snapshot is read-only shared state.  Arena-allocated:
+  // the snapshot-time rebuild recycles the previous epoch's block
+  // through the arena free list instead of the general heap.
+  mutable std::vector<std::optional<cached_slot>,
+                      mem::arena_allocator<std::optional<cached_slot>>>
+      cache_;
   bool frozen_ = false;
 };
 

@@ -7,6 +7,7 @@
 #include "emu/buffer_pool.hpp"
 #include "emu/ingest.hpp"
 #include "hashing/splitmix_hash.hpp"
+#include "mem/hugepage_arena.hpp"
 #include "util/require.hpp"
 
 namespace hdhash {
@@ -269,7 +270,8 @@ sharded_emulator::sharded_emulator(table_factory factory,
   if (config_.membership == membership_mode::snapshot) {
     auto table = factory(0);
     HDHASH_REQUIRE(table != nullptr, "table factory returned null");
-    publisher_ = std::make_unique<snapshot_publisher>(std::move(table));
+    publisher_ = std::make_unique<snapshot_publisher>(std::move(table),
+                                                      mem::local_arena());
     return;
   }
   tables_.reserve(config_.shards);
@@ -432,8 +434,8 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   // it) never reaches the shadow's epochs.
   std::unique_ptr<snapshot_publisher> shadow_publisher;
   if (config_.shadow) {
-    shadow_publisher =
-        std::make_unique<snapshot_publisher>(publisher_->table().clone());
+    shadow_publisher = std::make_unique<snapshot_publisher>(
+        publisher_->table().clone(), mem::local_arena());
   }
   if (config_.corrupt) {
     config_.corrupt(publisher_->table(), 0);
@@ -594,7 +596,12 @@ sharded_report sharded_emulator::run_snapshot(std::span<const event> events) {
   report.merged.leaves = logical_leaves;
   report.table_memory_bytes = publisher_->memory_bytes();
   if (shadow_publisher) {
-    report.table_memory_bytes += shadow_publisher->memory_bytes();
+    // The shadow's rows are COW-shared with the primary until the
+    // corrupt hook un-shares them; memory_bytes() would count every
+    // still-shared row once per publisher.  The shadow contributes only
+    // its marginal (un-shared) residency — shared rows are reported
+    // once, by the primary.
+    report.table_memory_bytes += shadow_publisher->marginal_bytes();
   }
   report.snapshots_published = publisher_->published_epochs();
   return report;

@@ -1,5 +1,6 @@
 #include "emu/snapshot.hpp"
 
+#include "mem/arena_allocator.hpp"
 #include "util/require.hpp"
 
 namespace hdhash {
@@ -15,8 +16,10 @@ std::size_t table_snapshot::marginal_bytes() const {
   return stats.memory_bytes - stats.shared_bytes;
 }
 
-snapshot_publisher::snapshot_publisher(std::unique_ptr<dynamic_table> table)
-    : table_(std::move(table)) {
+snapshot_publisher::snapshot_publisher(
+    std::unique_ptr<dynamic_table> table,
+    std::shared_ptr<mem::hugepage_arena> arena)
+    : table_(std::move(table)), arena_(std::move(arena)) {
   HDHASH_REQUIRE(table_ != nullptr, "publisher needs a table");
 }
 
@@ -37,8 +40,12 @@ void snapshot_publisher::leave(server_id server) {
 
 std::shared_ptr<const table_snapshot> snapshot_publisher::current() {
   if (current_ == nullptr) {
-    current_ = std::make_shared<const table_snapshot>(epoch_,
-                                                      table_->snapshot());
+    // allocate_shared puts the epoch object and its control block in
+    // one arena stride; a drained epoch's block parks on the arena free
+    // list and the next publication here reuses it.
+    current_ = std::allocate_shared<table_snapshot>(
+        mem::arena_allocator<table_snapshot>(arena_), epoch_,
+        table_->snapshot());
     ++published_;
   }
   return current_;
@@ -46,6 +53,15 @@ std::shared_ptr<const table_snapshot> snapshot_publisher::current() {
 
 std::size_t snapshot_publisher::memory_bytes() const {
   std::size_t bytes = table_->stats().memory_bytes;
+  if (current_ != nullptr) {
+    bytes += current_->marginal_bytes();
+  }
+  return bytes;
+}
+
+std::size_t snapshot_publisher::marginal_bytes() const {
+  const table_stats stats = table_->stats();
+  std::size_t bytes = stats.memory_bytes - stats.shared_bytes;
   if (current_ != nullptr) {
     bytes += current_->marginal_bytes();
   }

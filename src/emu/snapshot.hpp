@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "mem/hugepage_arena.hpp"
 #include "table/dynamic_table.hpp"
 
 namespace hdhash {
@@ -75,8 +76,14 @@ class table_snapshot {
 class snapshot_publisher {
  public:
   /// Takes ownership of the mutable table (with its current membership).
+  /// \param arena  arena the published epoch objects (table_snapshot +
+  ///               shared_ptr control block, allocated together) are
+  ///               carved from; epochs drain back to its free lists and
+  ///               the next publication recycles them.  nullptr = heap.
   /// \pre table != nullptr.
-  explicit snapshot_publisher(std::unique_ptr<dynamic_table> table);
+  explicit snapshot_publisher(
+      std::unique_ptr<dynamic_table> table,
+      std::shared_ptr<mem::hugepage_arena> arena = nullptr);
 
   /// Applies a join to the mutable table and opens a new epoch.
   /// Previously published snapshots are unaffected.
@@ -108,8 +115,16 @@ class snapshot_publisher {
   /// number the sharded report compares against N full replicas.
   std::size_t memory_bytes() const;
 
+  /// Bytes this publisher keeps resident *beyond* rows shared with
+  /// another holder: (memory - shared) of the mutable table plus the
+  /// current snapshot's marginal bookkeeping.  This is what a shadow
+  /// replica whose rows are COW-shared with the primary actually adds —
+  /// memory_bytes() would count every shared row once per publisher.
+  std::size_t marginal_bytes() const;
+
  private:
   std::unique_ptr<dynamic_table> table_;
+  std::shared_ptr<mem::hugepage_arena> arena_;
   std::shared_ptr<const table_snapshot> current_;
   std::uint64_t epoch_ = 0;
   std::size_t published_ = 0;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "hashing/splitmix_hash.hpp"
+#include "mem/hugepage_arena.hpp"
 #include "util/require.hpp"
 
 namespace hdhash {
@@ -31,7 +32,8 @@ stream_router::stream_router(std::unique_ptr<dynamic_table> table,
                  "shard channel depth must be positive");
   HDHASH_REQUIRE(first_worker_ + config_.shards <= pool_.size(),
                  "shard worker range exceeds the pool");
-  publisher_ = std::make_unique<snapshot_publisher>(std::move(table));
+  publisher_ = std::make_unique<snapshot_publisher>(std::move(table),
+                                                    mem::local_arena());
   // One private row per registered session plus the shared legacy row
   // (row index config_.sessions, serialized by legacy_row_mutex_).
   mesh_ = std::make_unique<ingest_mesh<shard_slice>>(

@@ -83,6 +83,13 @@ emulator_options parse_emulator_options(int argc, char** argv) {
       } else {
         opts.errors.push_back("--channel needs one of ring|mutex");
       }
+    } else if (const char* value = flag_value(argc, argv, &i, "--mem")) {
+      opts.mem_set = true;
+      if (const auto request = mem::parse_mem_request(value)) {
+        opts.mem = *request;
+      } else {
+        opts.errors.push_back("--mem needs one of auto|huge|thp|page");
+      }
     } else if (const char* value = flag_value(argc, argv, &i, "--scenario")) {
       opts.scenario_set = true;
       if (is_scenario_name(value)) {
@@ -127,6 +134,11 @@ void emulator_options::apply(sharded_config& config) const {
   config.membership = membership;
   if (channel_set) {
     config.channel = channel;
+  }
+  if (mem_set) {
+    // Process-wide, not per-config: arenas are created when the driver
+    // builds its tables, after flags are applied.
+    mem::set_mem_request_override(mem);
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include "emu/channel.hpp"
 #include "emu/sharded_emulator.hpp"
+#include "mem/arena_options.hpp"
 #include "runtime/placement_plan.hpp"
 
 namespace hdhash {
@@ -61,6 +62,14 @@ struct emulator_options {
   /// --channel ring|mutex; default per HDHASH_CHANNEL.
   bool channel_set = false;
   channel_kind channel = default_channel_kind();
+
+  /// --mem auto|huge|thp|page: memory backing the hot-state arenas are
+  /// created under (src/mem/arena_options.hpp).  Wins over HDHASH_MEM;
+  /// apply() installs it as the process-wide request, so it must run
+  /// before the driver builds tables.  An unknown value lands in
+  /// `errors`.
+  bool mem_set = false;
+  mem::mem_request mem = mem::mem_request::automatic;
 
   /// --scenario <name>: a named production playbook
   /// (scenario/playbooks.hpp) the driver should compile its workload

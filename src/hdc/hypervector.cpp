@@ -5,8 +5,9 @@
 
 namespace hdhash::hdc {
 
-hypervector::hypervector(std::size_t dim)
-    : dim_(dim), words_(words_for_bits(dim), 0) {
+hypervector::hypervector(std::size_t dim,
+                         std::shared_ptr<mem::hugepage_arena> arena)
+    : dim_(dim), words_(words_for_bits(dim), std::move(arena)) {
   HDHASH_REQUIRE(dim > 0, "hypervector dimension must be positive");
 }
 

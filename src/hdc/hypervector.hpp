@@ -13,9 +13,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <vector>
 
+#include "mem/word_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace hdhash::hdc {
@@ -26,9 +27,23 @@ namespace hdhash::hdc {
 /// operations preserve the canonical-tail invariant.
 class hypervector {
  public:
-  /// Creates the zero hypervector of the given dimensionality.
+  /// Creates the zero hypervector of the given dimensionality, with
+  /// its words on `arena` (nullptr = default heap).
   /// \pre dim > 0.
-  explicit hypervector(std::size_t dim);
+  explicit hypervector(std::size_t dim,
+                       std::shared_ptr<mem::hugepage_arena> arena = nullptr);
+
+  /// Moves the word storage onto `arena` (nullptr = heap); contents
+  /// unchanged.  item_memory rehomes rows on insert and on COW
+  /// un-share so hot rows land in the owning table's arena.
+  void rehome(std::shared_ptr<mem::hugepage_arena> arena) {
+    words_.rehome(std::move(arena));
+  }
+
+  /// Arena the words live on (nullptr = heap).
+  const std::shared_ptr<mem::hugepage_arena>& arena() const noexcept {
+    return words_.arena();
+  }
 
   /// Number of bits.
   std::size_t dim() const noexcept { return dim_; }
@@ -75,7 +90,7 @@ class hypervector {
 
  private:
   std::size_t dim_;
-  std::vector<std::uint64_t> words_;
+  mem::word_buffer words_;
 };
 
 /// Binding (XOR, the paper's ⊕): componentwise exclusive-or.  Binding is

@@ -6,7 +6,9 @@
 
 namespace hdhash::hdc {
 
-item_memory::item_memory(std::size_t dim, metric m) : dim_(dim), metric_(m) {
+item_memory::item_memory(std::size_t dim, metric m,
+                         std::shared_ptr<mem::hugepage_arena> arena)
+    : dim_(dim), metric_(m), arena_(std::move(arena)) {
   HDHASH_REQUIRE(dim > 0, "item memory dimension must be positive");
 }
 
@@ -22,6 +24,9 @@ std::size_t item_memory::find_index(std::uint64_t key) const noexcept {
 void item_memory::insert(std::uint64_t key, hypervector hv) {
   HDHASH_REQUIRE(hv.dim() == dim_, "dimension mismatch on insert");
   HDHASH_REQUIRE(find_index(key) == entries_.size(), "key already present");
+  // Rows live on this memory's arena regardless of where the caller
+  // built the vector (no-op when backings already match).
+  hv.rehome(arena_);
   entries_.push_back(entry{key, std::make_shared<hypervector>(std::move(hv))});
 }
 
@@ -81,7 +86,11 @@ std::vector<std::span<std::uint64_t>> item_memory::storage() {
     // be un-shared before anyone can write through the view, or fault
     // injection on this table would corrupt the published copy too.
     if (e.hv.use_count() > 1) {
-      e.hv = std::make_shared<hypervector>(*e.hv);
+      auto fresh = std::make_shared<hypervector>(*e.hv);
+      // The un-shared copy belongs to the writer: it moves into this
+      // instance's arena even when the shared original lives elsewhere.
+      fresh->rehome(arena_);
+      e.hv = std::move(fresh);
     }
     regions.push_back(e.hv->words_mut());
   }

@@ -48,8 +48,19 @@ class item_memory {
  public:
   /// \param dim    dimensionality of all stored vectors.
   /// \param m      similarity metric used by query().
+  /// \param arena  arena the stored rows live on (nullptr = heap).
+  ///               Inserted rows are rehomed onto it, and COW
+  ///               un-shared copies land on it — the writer's arena —
+  ///               so hot rows stay contiguous whatever arena (or
+  ///               heap) the caller built them on.
   explicit item_memory(std::size_t dim,
-                       metric m = metric::inverse_hamming);
+                       metric m = metric::inverse_hamming,
+                       std::shared_ptr<mem::hugepage_arena> arena = nullptr);
+
+  /// Arena backing the stored rows (nullptr = heap).
+  const std::shared_ptr<mem::hugepage_arena>& arena() const noexcept {
+    return arena_;
+  }
 
   /// Inserts a vector under `key`.
   /// \pre hv.dim() == dim(); key not already present.
@@ -112,6 +123,7 @@ class item_memory {
 
   std::size_t dim_;
   metric metric_;
+  std::shared_ptr<mem::hugepage_arena> arena_;
   std::vector<entry> entries_;
 };
 

@@ -1,0 +1,82 @@
+/// \file arena_allocator.hpp
+/// \brief std-allocator adapter over a hugepage_arena, for containers
+/// whose backing store should live on arena pages.
+///
+/// `std::vector<T, arena_allocator<T>>` puts the vector's buffer on the
+/// owning arena's chunks: the hd_table slot cache ("snapshot pages")
+/// uses this so each epoch's cache rebuild recycles the previous
+/// epoch's block through the arena free list, and snapshot_publisher
+/// uses allocate_shared with it so epoch objects (control block +
+/// table_snapshot inline) are carved from the arena too.
+///
+/// A null arena means the default heap — the allocator degrades to
+/// operator new/delete, so `heap` baselines need no separate container
+/// type.  The allocator holds a shared_ptr: any container (or
+/// shared_ptr control block) allocated from it keeps the arena alive.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+
+#include "mem/hugepage_arena.hpp"
+
+namespace hdhash::mem {
+
+template <typename T>
+class arena_allocator {
+ public:
+  using value_type = T;
+  // Copying a container must not silently move its contents onto a
+  // different arena; equality below makes element-wise copies explicit.
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+
+  arena_allocator() noexcept = default;
+  explicit arena_allocator(std::shared_ptr<hugepage_arena> arena) noexcept
+      : arena_(std::move(arena)) {}
+
+  template <typename U>
+  arena_allocator(const arena_allocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(bytes));
+    }
+    return static_cast<T*>(arena_->allocate(bytes));
+  }
+
+  void deallocate(T* ptr, std::size_t count) noexcept {
+    if (arena_ == nullptr) {
+      ::operator delete(ptr);
+      return;
+    }
+    arena_->deallocate(ptr, count * sizeof(T));
+  }
+
+  const std::shared_ptr<hugepage_arena>& arena() const noexcept {
+    return arena_;
+  }
+
+ private:
+  std::shared_ptr<hugepage_arena> arena_;
+};
+
+/// Allocators are interchangeable only when they draw from the same
+/// arena (both-null = both-heap counts).
+template <typename T, typename U>
+bool operator==(const arena_allocator<T>& lhs,
+                const arena_allocator<U>& rhs) noexcept {
+  return lhs.arena() == rhs.arena();
+}
+
+template <typename T, typename U>
+bool operator!=(const arena_allocator<T>& lhs,
+                const arena_allocator<U>& rhs) noexcept {
+  return !(lhs == rhs);
+}
+
+}  // namespace hdhash::mem

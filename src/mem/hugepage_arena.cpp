@@ -1,0 +1,247 @@
+#include "mem/hugepage_arena.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "runtime/worker_pool.hpp"
+#include "util/require.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace hdhash::mem {
+
+namespace {
+
+constexpr std::size_t kSmallPage = std::size_t{4} << 10;
+constexpr std::size_t kHugePage = std::size_t{2} << 20;
+
+constexpr std::size_t round_up(std::size_t value, std::size_t quantum) {
+  return (value + quantum - 1) / quantum * quantum;
+}
+
+/// Fallback order a request walks when mapping a chunk.
+std::vector<mem_backing> try_order(mem_request request) {
+  switch (request) {
+    case mem_request::automatic:
+      return {mem_backing::huge, mem_backing::thp, mem_backing::page};
+    case mem_request::huge:
+      return {mem_backing::huge};
+    case mem_request::thp:
+      return {mem_backing::thp};
+    case mem_request::page:
+      return {mem_backing::page};
+  }
+  return {mem_backing::page};
+}
+
+/// One loud note per process per degradation target: `auto` falling
+/// past hugepages is transparent but never silent — benchmarks read
+/// very differently on 4KB pages and the operator should know why.
+void report_degradation(mem_backing landed) {
+  static std::atomic<bool> reported_thp{false};
+  static std::atomic<bool> reported_page{false};
+  std::atomic<bool>& flag =
+      landed == mem_backing::thp ? reported_thp : reported_page;
+  if (flag.exchange(true, std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr,
+               "hdhash-mem: explicit 2MB hugepages unavailable "
+               "(no MAP_HUGETLB pool?) — arenas fall back to %s "
+               "(set HDHASH_MEM to pin a backing)\n",
+               landed == mem_backing::thp
+                   ? "THP-advised mappings"
+                   : "plain 4KB pages (THP also unavailable)");
+}
+
+}  // namespace
+
+hugepage_arena::hugepage_arena(arena_options options)
+    : options_(std::move(options)),
+      backend_(options_.backend.scripted() ? &options_.backend
+                                           : &system_map_backend()) {
+  HDHASH_REQUIRE(options_.stride_quantum >= 64 &&
+                     (options_.stride_quantum &
+                      (options_.stride_quantum - 1)) == 0,
+                 "arena stride quantum must be a power of two >= 64");
+  HDHASH_REQUIRE(options_.chunk_bytes >= options_.stride_quantum,
+                 "arena chunk size must cover at least one stride");
+  const std::lock_guard lock(mutex_);
+  // Eager first chunk: resolves (and loudly reports) the backing at
+  // construction instead of at an arbitrary later allocation.
+  map_chunk_locked(options_.chunk_bytes);
+  backing_ = chunks_.front().kind;
+  if (options_.request == mem_request::automatic &&
+      backing_ != mem_backing::huge) {
+    report_degradation(backing_);
+  }
+}
+
+hugepage_arena::~hugepage_arena() {
+  for (const chunk& c : chunks_) {
+    backend_->unmap(c.base, c.bytes);
+  }
+}
+
+std::size_t hugepage_arena::stride_of(std::size_t bytes) const noexcept {
+  return round_up(std::max<std::size_t>(bytes, 1), options_.stride_quantum);
+}
+
+void hugepage_arena::map_chunk_locked(std::size_t min_bytes) {
+  const std::size_t base_bytes =
+      round_up(std::max(min_bytes, options_.chunk_bytes), kSmallPage);
+  for (const mem_backing kind : try_order(options_.request)) {
+    // Hugepage mappings must be hugepage-granular; the kernel rejects
+    // (or worse, rounds) anything else.
+    const std::size_t bytes = kind == mem_backing::huge
+                                  ? round_up(base_bytes, kHugePage)
+                                  : base_bytes;
+    void* base = backend_->map(bytes, kind);
+    if (base != nullptr) {
+      chunks_.push_back(chunk{base, bytes, 0, kind});
+      return;
+    }
+  }
+  HDHASH_REQUIRE(false,
+                 std::string("arena cannot map memory with HDHASH_MEM=") +
+                     std::string(to_string(options_.request)) +
+                     " — the requested backing is unavailable on this "
+                     "host (use auto for transparent fallback)");
+}
+
+void* hugepage_arena::allocate(std::size_t bytes) {
+  HDHASH_REQUIRE(bytes > 0, "arena allocation must be non-empty");
+  const std::size_t stride = stride_of(bytes);
+  const std::lock_guard lock(mutex_);
+  auto& free_list = free_lists_[stride];
+  if (!free_list.empty()) {
+    void* block = free_list.back();
+    free_list.pop_back();
+    --free_blocks_;
+    ++recycled_;
+    ++allocations_;
+    live_bytes_ += stride;
+    return block;
+  }
+  if (chunks_.empty() || chunks_.back().used + stride > chunks_.back().bytes) {
+    map_chunk_locked(stride);
+  }
+  chunk& c = chunks_.back();
+  void* block = static_cast<char*>(c.base) + c.used;
+  c.used += stride;
+  ++allocations_;
+  live_bytes_ += stride;
+  return block;
+}
+
+void hugepage_arena::deallocate(void* block, std::size_t bytes) noexcept {
+  if (block == nullptr) {
+    return;
+  }
+  const std::size_t stride = stride_of(bytes);
+  const std::lock_guard lock(mutex_);
+  live_bytes_ -= std::min(live_bytes_, stride);
+  free_lists_[stride].push_back(block);
+  ++free_blocks_;
+}
+
+arena_stats hugepage_arena::stats() const {
+  const std::lock_guard lock(mutex_);
+  arena_stats s;
+  s.backing = backing_;
+  s.numa_node = options_.numa_node;
+  s.chunk_count = chunks_.size();
+  s.live_bytes = live_bytes_;
+  s.free_blocks = free_blocks_;
+  s.allocations = allocations_;
+  s.recycled = recycled_;
+  for (const chunk& c : chunks_) {
+    s.reserved_bytes += c.bytes;
+    if (c.kind == mem_backing::huge) {
+      s.hugepage_bytes += c.bytes;
+      s.resident_pages += c.bytes / kHugePage;
+    } else {
+      s.resident_pages += c.bytes / kSmallPage;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+struct node_registry {
+  std::mutex mutex;
+  std::unordered_map<int, std::shared_ptr<hugepage_arena>> arenas;
+  int first_created = -1;
+};
+
+node_registry& registry() {
+  // Leaked on purpose: rows and snapshots may outlive static
+  // destruction order; each holds a shared_ptr to its arena, and the
+  // registry's own references must never be destroyed underneath a
+  // late deallocate().
+  static node_registry* instance = new node_registry();
+  return *instance;
+}
+
+}  // namespace
+
+std::shared_ptr<hugepage_arena> node_arena(int node) {
+  const std::size_t nodes =
+      std::max<std::size_t>(1, runtime::host_topology().numa_nodes());
+  const int clamped = node < 0 ? 0
+                               : std::min<int>(node,
+                                               static_cast<int>(nodes) - 1);
+  node_registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  auto it = reg.arenas.find(clamped);
+  if (it == reg.arenas.end()) {
+    arena_options options;
+    options.request = select_mem_request();
+    options.numa_node = clamped;
+    it = reg.arenas.emplace(clamped,
+                            std::make_shared<hugepage_arena>(options))
+             .first;
+    if (reg.first_created < 0) {
+      reg.first_created = clamped;
+    }
+  }
+  return it->second;
+}
+
+std::shared_ptr<hugepage_arena> local_arena() {
+  int node = 0;
+#if defined(__linux__)
+  const int cpu = ::sched_getcpu();
+  if (cpu >= 0) {
+    node = static_cast<int>(
+        runtime::host_topology().node_of(static_cast<unsigned>(cpu)));
+  }
+#endif
+  return node_arena(node);
+}
+
+arena_registry_stats registry_stats() {
+  node_registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  arena_registry_stats total;
+  total.arenas = reg.arenas.size();
+  for (const auto& [node, arena] : reg.arenas) {
+    const arena_stats s = arena->stats();
+    if (node == reg.first_created) {
+      total.backing = s.backing;
+    }
+    total.reserved_bytes += s.reserved_bytes;
+    total.live_bytes += s.live_bytes;
+    total.hugepage_bytes += s.hugepage_bytes;
+    total.resident_pages += s.resident_pages;
+    total.recycled += s.recycled;
+  }
+  return total;
+}
+
+}  // namespace hdhash::mem

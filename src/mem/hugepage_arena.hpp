@@ -1,0 +1,161 @@
+/// \file hugepage_arena.hpp
+/// \brief Hugepage-backed bump/region allocator with per-size-class
+/// free lists — the row store of the memory layer.
+///
+/// The arena maps memory in large chunks (2MB by default: one explicit
+/// hugepage) through the selected backing (see arena_options.hpp) and
+/// hands out cache-line-aligned blocks by bumping a cursor.  Freed
+/// blocks are not returned to the kernel; they park on a per-size-class
+/// free list and the next allocation of the same stride reuses them —
+/// the fast-fixed-allocator design cachegrand's `ffma` uses for its row
+/// storage, which keeps epoch churn (snapshot slot caches, recycled
+/// rows) from growing the mapping set without a general-purpose
+/// allocator on the hot path.
+///
+/// Why this shape fits hypervector state:
+///  * rows are fixed-stride (d = 10,000 → 1,256 bytes, rounded to the
+///    1,280-byte stride class), so a free list per stride class is an
+///    exact fit — no fragmentation, O(1) free/reuse;
+///  * one 2MB chunk holds ~1,600 rows contiguously: a full item-memory
+///    sweep touches one TLB entry instead of ~320;
+///  * blocks keep a shared_ptr to their arena (via word_buffer /
+///    arena_allocator), so an arena outlives every row, snapshot page
+///    and epoch object carved from it, whatever thread drops last.
+///
+/// Allocation is mutex-guarded: rows are carved on membership changes
+/// and COW un-shares, snapshot pages once per epoch — never inside the
+/// per-request lookup path — so a lock per allocation is noise while
+/// keeping multi-threaded TSan runs clean.
+///
+/// Process-wide placement: `node_arena(node)` keeps one arena per
+/// discovered NUMA node (the placement plan's node reporting gives
+/// workers their node), and `local_arena()` resolves the calling
+/// thread's current node — the writer-local default used for item
+/// memory rows, so first-touch lands pages on the producer's node.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/arena_options.hpp"
+
+namespace hdhash::mem {
+
+/// Introspection snapshot of one arena (see hugepage_arena::stats()).
+struct arena_stats {
+  /// Backing the first chunk landed on — what stats()/STATS report.
+  mem_backing backing = mem_backing::page;
+  /// NUMA node the arena is placed for (-1 = unpinned).
+  int numa_node = -1;
+  std::size_t chunk_count = 0;     ///< mapped chunks
+  std::size_t reserved_bytes = 0;  ///< bytes mapped from the kernel
+  std::size_t live_bytes = 0;      ///< bytes in blocks currently handed out
+  std::size_t free_blocks = 0;     ///< blocks parked on the free lists
+  /// Of reserved_bytes, bytes on explicit-hugepage (MAP_HUGETLB)
+  /// chunks.  THP-advised chunks are not counted: the kernel may or
+  /// may not have promoted them.
+  std::size_t hugepage_bytes = 0;
+  /// Pages backing the mapping set: 2MB pages for huge chunks, 4KB
+  /// pages otherwise — the TLB-reach number.
+  std::size_t resident_pages = 0;
+  std::uint64_t allocations = 0;  ///< allocate() calls served
+  std::uint64_t recycled = 0;     ///< of allocations, served from a free list
+};
+
+/// Chunked bump allocator with per-stride-class free lists.
+/// Thread-safe; blocks are stable for the arena's lifetime.
+class hugepage_arena {
+ public:
+  /// Maps the first chunk eagerly, so an explicit unsupported request
+  /// (`huge` without a hugepage pool, `thp` with THP disabled) fails
+  /// loudly at construction (hdhash::precondition_error), and `auto`
+  /// reports its degradation once, up front.
+  explicit hugepage_arena(arena_options options = {});
+  ~hugepage_arena();
+
+  hugepage_arena(const hugepage_arena&) = delete;
+  hugepage_arena& operator=(const hugepage_arena&) = delete;
+
+  /// A `stride_of(bytes)`-sized block aligned to the stride quantum;
+  /// contents unspecified (recycled blocks keep stale bytes).
+  /// \pre bytes > 0.
+  void* allocate(std::size_t bytes);
+
+  /// Parks the block on its stride class's free list for reuse.  The
+  /// mapping is never returned to the kernel.
+  /// \param block  a pointer previously returned by allocate().
+  /// \param bytes  the byte count passed to that allocate() call.
+  void deallocate(void* block, std::size_t bytes) noexcept;
+
+  /// The stride class serving `bytes`: rounded up to the stride
+  /// quantum (cache-line) multiple.
+  std::size_t stride_of(std::size_t bytes) const noexcept;
+
+  /// Backing the arena landed on (after any auto degradation).
+  mem_backing backing() const noexcept { return backing_; }
+
+  /// NUMA node this arena is placed for (-1 = unpinned).
+  int numa_node() const noexcept { return options_.numa_node; }
+
+  const arena_options& options() const noexcept { return options_; }
+
+  arena_stats stats() const;
+
+ private:
+  struct chunk {
+    void* base = nullptr;
+    std::size_t bytes = 0;
+    std::size_t used = 0;
+    mem_backing kind = mem_backing::page;
+  };
+
+  // Maps a chunk of at least min_bytes, walking the request's fallback
+  // order; throws when nothing in the order maps.  mutex_ held.
+  void map_chunk_locked(std::size_t min_bytes);
+
+  arena_options options_;
+  const map_backend* backend_;  // &options_.backend or the system backend
+  mem_backing backing_ = mem_backing::page;
+
+  mutable std::mutex mutex_;
+  std::vector<chunk> chunks_;
+  std::unordered_map<std::size_t, std::vector<void*>> free_lists_;
+  std::size_t live_bytes_ = 0;
+  std::size_t free_blocks_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+/// Process-wide arena for NUMA node `node` (clamped into the
+/// discovered node range), created on first use with the request
+/// select_mem_request() resolves then.  One arena per node for the
+/// process's lifetime — the unit the planned per-node snapshot mirrors
+/// copy between.
+std::shared_ptr<hugepage_arena> node_arena(int node);
+
+/// Arena of the calling thread's current NUMA node (sched_getcpu
+/// against the host topology) — the writer-local default for item
+/// memory rows and snapshot pages.
+std::shared_ptr<hugepage_arena> local_arena();
+
+/// Aggregate over every node arena created so far (the net STATS
+/// surface).  `backing` is the first created arena's backing;
+/// `arenas` is 0 when nothing allocated from the layer yet.
+struct arena_registry_stats {
+  std::size_t arenas = 0;
+  mem_backing backing = mem_backing::heap;
+  std::size_t reserved_bytes = 0;
+  std::size_t live_bytes = 0;
+  std::size_t hugepage_bytes = 0;
+  std::size_t resident_pages = 0;
+  std::uint64_t recycled = 0;
+};
+
+/// Snapshot of the node-arena registry; never creates an arena.
+arena_registry_stats registry_stats();
+
+}  // namespace hdhash::mem

@@ -1,0 +1,196 @@
+/// \file slab_cache.hpp
+/// \brief Fixed-size-class object cache: per-thread magazines over a
+/// global depot (cachegrand ffma-style), for recycled epoch snapshots,
+/// batch buffers, and ring segments.
+///
+/// A slab_cache<T> recycles whole T objects (typically batch structs
+/// whose vectors keep their heap capacity) instead of letting them
+/// round-trip through the general allocator every epoch:
+///
+///  * each thread keeps a small **magazine** — a lock-free-for-the-
+///    owner stash sized `magazine_capacity` — so steady-state
+///    take/recycle pairs on one thread touch no lock at all;
+///  * magazines drain into / refill from a mutex-guarded **depot**
+///    shared by all threads, which is what lets an object recycled on a
+///    worker thread be taken by the producer thread;
+///  * `magazine_capacity = 0` bypasses magazines entirely: every
+///    take/recycle goes straight to the depot in LIFO order.  This is
+///    the buffer_pool configuration — its cross-thread recycle→take
+///    round-trip (mesh workers recycle, producers take) needs objects
+///    visible process-wide immediately, and LIFO keeps the warmest
+///    buffer (caches still hot, pages resident) first out.
+///
+/// The depot state is a shared_ptr owned jointly by the cache and every
+/// live magazine, so a thread exiting after the cache is destroyed
+/// flushes into a still-alive depot rather than freed memory.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hdhash::mem {
+
+/// Construction parameters for slab_cache.
+struct slab_options {
+  /// Objects a thread's magazine holds before flushing half to the
+  /// depot.  0 = no magazines: pure shared LIFO depot (buffer_pool
+  /// semantics).
+  std::size_t magazine_capacity = 8;
+};
+
+/// Counters for one slab_cache (see slab_cache::stats()).
+struct slab_stats {
+  std::uint64_t takes = 0;          ///< take() calls that found an object
+  std::uint64_t misses = 0;         ///< take() calls that found nothing
+  std::uint64_t puts = 0;           ///< recycle() calls
+  std::uint64_t magazine_hits = 0;  ///< takes served by the caller's magazine
+  std::uint64_t depot_hits = 0;     ///< takes served by the shared depot
+  std::size_t depot_size = 0;       ///< objects parked in the depot now
+};
+
+template <typename T>
+class slab_cache {
+ public:
+  explicit slab_cache(slab_options options = {})
+      : depot_(std::make_shared<depot>()), options_(options) {
+    static std::atomic<std::uint64_t> next_id{1};
+    id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  slab_cache(const slab_cache&) = delete;
+  slab_cache& operator=(const slab_cache&) = delete;
+
+  /// Parks `object` for reuse — into the calling thread's magazine, or
+  /// straight into the depot when magazines are disabled.  A full
+  /// magazine flushes its older half to the depot first.
+  void recycle(T&& object) {
+    depot_->puts.fetch_add(1, std::memory_order_relaxed);
+    if (options_.magazine_capacity == 0) {
+      const std::lock_guard lock(depot_->mutex);
+      depot_->objects.push_back(std::move(object));
+      return;
+    }
+    magazine& mag = local_magazine();
+    if (mag.objects.size() >= options_.magazine_capacity) {
+      flush_half(mag);
+    }
+    mag.objects.push_back(std::move(object));
+  }
+
+  /// Pops a recycled object into `out`; false when neither the
+  /// caller's magazine nor the depot has one (callers then construct
+  /// fresh).
+  bool take(T& out) {
+    if (options_.magazine_capacity != 0) {
+      magazine& mag = local_magazine();
+      if (!mag.objects.empty()) {
+        out = std::move(mag.objects.back());
+        mag.objects.pop_back();
+        depot_->takes.fetch_add(1, std::memory_order_relaxed);
+        depot_->magazine_hits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    const std::lock_guard lock(depot_->mutex);
+    if (depot_->objects.empty()) {
+      depot_->misses.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    out = std::move(depot_->objects.back());
+    depot_->objects.pop_back();
+    depot_->takes.fetch_add(1, std::memory_order_relaxed);
+    depot_->depot_hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Objects parked process-wide: depot plus the calling thread's own
+  /// magazine (other threads' magazines are invisible by design).
+  std::size_t size() const {
+    std::size_t total = 0;
+    if (options_.magazine_capacity != 0) {
+      total += local_magazine().objects.size();
+    }
+    const std::lock_guard lock(depot_->mutex);
+    return total + depot_->objects.size();
+  }
+
+  slab_stats stats() const {
+    slab_stats s;
+    s.takes = depot_->takes.load(std::memory_order_relaxed);
+    s.misses = depot_->misses.load(std::memory_order_relaxed);
+    s.puts = depot_->puts.load(std::memory_order_relaxed);
+    s.magazine_hits = depot_->magazine_hits.load(std::memory_order_relaxed);
+    s.depot_hits = depot_->depot_hits.load(std::memory_order_relaxed);
+    const std::lock_guard lock(depot_->mutex);
+    s.depot_size = depot_->objects.size();
+    return s;
+  }
+
+  const slab_options& options() const noexcept { return options_; }
+
+ private:
+  struct depot {
+    mutable std::mutex mutex;
+    std::vector<T> objects;
+    std::atomic<std::uint64_t> takes{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> magazine_hits{0};
+    std::atomic<std::uint64_t> depot_hits{0};
+  };
+
+  // A magazine pins its depot: when the owning thread exits after the
+  // cache is gone, the flush in ~magazine still has a live target.
+  struct magazine {
+    std::shared_ptr<depot> home;
+    std::vector<T> objects;
+
+    ~magazine() {
+      if (home == nullptr || objects.empty()) {
+        return;
+      }
+      const std::lock_guard lock(home->mutex);
+      for (T& object : objects) {
+        home->objects.push_back(std::move(object));
+      }
+    }
+  };
+
+  magazine& local_magazine() const {
+    // Keyed by cache id, not address: ids are never reused, so a new
+    // cache landing at a destroyed cache's address cannot inherit its
+    // stale magazine.
+    thread_local std::unordered_map<std::uint64_t, magazine> magazines;
+    magazine& mag = magazines[id_];
+    if (mag.home == nullptr) {
+      mag.home = depot_;
+    }
+    return mag;
+  }
+
+  void flush_half(magazine& mag) {
+    const std::size_t flush = (mag.objects.size() + 1) / 2;
+    {
+      const std::lock_guard lock(depot_->mutex);
+      // The magazine's *older* half (front of the vector) moves out, so
+      // the thread keeps its most recently recycled — warmest — objects.
+      for (std::size_t i = 0; i < flush; ++i) {
+        depot_->objects.push_back(std::move(mag.objects[i]));
+      }
+    }
+    mag.objects.erase(mag.objects.begin(),
+                      mag.objects.begin() + static_cast<std::ptrdiff_t>(flush));
+  }
+
+  std::shared_ptr<depot> depot_;
+  slab_options options_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace hdhash::mem

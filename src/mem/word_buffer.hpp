@@ -1,0 +1,157 @@
+/// \file word_buffer.hpp
+/// \brief Fixed-length uint64 word storage for hypervectors — arena-
+/// carved when an arena is attached, heap-backed otherwise.
+///
+/// This is the storage type behind hdc::hypervector.  It looks enough
+/// like `std::vector<std::uint64_t>` for the bit kernels (data(),
+/// size(), operator[], back(), iteration) but its length is fixed at
+/// construction — hypervector dimensions never change — which lets the
+/// arena path be a single stride-class block with no growth logic.
+///
+/// Backing rules:
+///  * null arena → `new std::uint64_t[n]()` (the heap baseline);
+///  * arena → one arena block, zero-filled on construction (recycled
+///    blocks keep the previous row's stale bits);
+///  * copies land on the same backing as the source — a COW un-share
+///    then calls rehome() to move the fresh row into the writer's
+///    arena;
+///  * equality is content-only: a heap row and an arena row with the
+///    same bits are equal, so snapshot bit-identity checks hold across
+///    backings.
+///
+/// The buffer keeps a shared_ptr to its arena, so rows can outlive the
+/// table that created them (snapshots hand rows to readers) without the
+/// arena unmapping under them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "mem/hugepage_arena.hpp"
+
+namespace hdhash::mem {
+
+class word_buffer {
+ public:
+  word_buffer() noexcept = default;
+
+  /// `words` zero-filled words on `arena` (nullptr = heap).
+  explicit word_buffer(std::size_t words,
+                       std::shared_ptr<hugepage_arena> arena = nullptr)
+      : words_(words), arena_(std::move(arena)) {
+    if (words_ == 0) {
+      return;
+    }
+    if (arena_ == nullptr) {
+      data_ = new std::uint64_t[words_]();
+    } else {
+      data_ = static_cast<std::uint64_t*>(
+          arena_->allocate(words_ * sizeof(std::uint64_t)));
+      std::memset(data_, 0, words_ * sizeof(std::uint64_t));
+    }
+  }
+
+  word_buffer(const word_buffer& other)
+      : word_buffer(other.words_, other.arena_) {
+    if (words_ != 0) {
+      std::memcpy(data_, other.data_, words_ * sizeof(std::uint64_t));
+    }
+  }
+
+  word_buffer(word_buffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        words_(std::exchange(other.words_, 0)),
+        arena_(std::move(other.arena_)) {}
+
+  word_buffer& operator=(const word_buffer& other) {
+    if (this != &other) {
+      word_buffer copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+
+  word_buffer& operator=(word_buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      words_ = std::exchange(other.words_, 0);
+      arena_ = std::move(other.arena_);
+    }
+    return *this;
+  }
+
+  ~word_buffer() { release(); }
+
+  /// Moves the contents onto `arena` (nullptr = heap).  No-op when the
+  /// buffer already lives there; otherwise allocates on the target,
+  /// copies, and frees the old block.
+  void rehome(std::shared_ptr<hugepage_arena> arena) {
+    if (arena_ == arena || words_ == 0) {
+      arena_ = std::move(arena);
+      return;
+    }
+    word_buffer moved(words_, std::move(arena));
+    std::memcpy(moved.data_, data_, words_ * sizeof(std::uint64_t));
+    *this = std::move(moved);
+  }
+
+  std::uint64_t* data() noexcept { return data_; }
+  const std::uint64_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return words_; }
+  bool empty() const noexcept { return words_ == 0; }
+
+  std::uint64_t& operator[](std::size_t i) noexcept { return data_[i]; }
+  const std::uint64_t& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  std::uint64_t& back() noexcept { return data_[words_ - 1]; }
+  const std::uint64_t& back() const noexcept { return data_[words_ - 1]; }
+
+  std::uint64_t* begin() noexcept { return data_; }
+  std::uint64_t* end() noexcept { return data_ + words_; }
+  const std::uint64_t* begin() const noexcept { return data_; }
+  const std::uint64_t* end() const noexcept { return data_ + words_; }
+
+  const std::shared_ptr<hugepage_arena>& arena() const noexcept {
+    return arena_;
+  }
+
+  void swap(word_buffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(words_, other.words_);
+    std::swap(arena_, other.arena_);
+  }
+
+  /// Content equality regardless of backing.
+  friend bool operator==(const word_buffer& lhs, const word_buffer& rhs) {
+    if (lhs.words_ != rhs.words_) {
+      return false;
+    }
+    return lhs.words_ == 0 ||
+           std::memcmp(lhs.data_, rhs.data_,
+                       lhs.words_ * sizeof(std::uint64_t)) == 0;
+  }
+
+ private:
+  void release() noexcept {
+    if (data_ == nullptr) {
+      return;
+    }
+    if (arena_ == nullptr) {
+      delete[] data_;
+    } else {
+      arena_->deallocate(data_, words_ * sizeof(std::uint64_t));
+    }
+    data_ = nullptr;
+  }
+
+  std::uint64_t* data_ = nullptr;
+  std::size_t words_ = 0;
+  std::shared_ptr<hugepage_arena> arena_;
+};
+
+}  // namespace hdhash::mem

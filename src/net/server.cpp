@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "mem/hugepage_arena.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "runtime/worker_pool.hpp"
@@ -523,14 +524,19 @@ void net_server::impl::run_io_loop(io_loop& loop) {
 }
 
 std::string net_server::impl::render_stats() {
-  char line[512];
+  // Memory-layer panel: which backing the hot state actually landed on
+  // and the arena-level residency, aggregated over every node arena
+  // (shared rows are attributed to their owning arena, counted once).
+  const mem::arena_registry_stats arenas = mem::registry_stats();
+  char line[768];
   const int written = std::snprintf(
       line, sizeof line,
       "requests_routed=%llu\r\nbatches_routed=%llu\r\nservers=%zu\r\n"
       "epoch=%llu\r\nsnapshots_published=%zu\r\nshards=%zu\r\n"
       "io_threads=%zu\r\nconnections_open=%llu\r\n"
       "connections_accepted=%llu\r\njoins=%llu\r\nleaves=%llu\r\n"
-      "protocol_errors=%llu\r\nio_backend=%s",
+      "protocol_errors=%llu\r\nio_backend=%s\r\n"
+      "arena_backing=%s\r\nresident_pages=%zu\r\nhugepage_bytes=%zu",
       static_cast<unsigned long long>(route_engine->requests_routed()),
       static_cast<unsigned long long>(route_engine->batches_routed()),
       route_engine->members(),
@@ -545,7 +551,9 @@ std::string net_server::impl::render_stats() {
           leaves.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           protocol_errors.load(std::memory_order_relaxed)),
-      std::string(to_string(backend)).c_str());
+      std::string(to_string(backend)).c_str(),
+      std::string(mem::to_string(arenas.backing)).c_str(),
+      arenas.resident_pages, arenas.hugepage_bytes);
   return std::string(line, static_cast<std::size_t>(written));
 }
 

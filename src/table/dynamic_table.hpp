@@ -54,6 +54,19 @@ struct table_stats {
   /// associative query.  Comparable within an algorithm across pool
   /// sizes (the Figure 4 x-axis), indicative across algorithms.
   double expected_lookup_cost = 0.0;
+  /// Backing the hot state landed on: "huge", "thp" or "page" for
+  /// arena-backed tables (src/mem), "heap" for the default allocator
+  /// (every non-arena algorithm).  Points at a string literal — always
+  /// valid.
+  std::string_view arena_backing = "heap";
+  /// Pages backing the owning arena's mapping set (2MB pages for huge
+  /// chunks, 4KB otherwise) — the TLB-reach number.  Arena-level:
+  /// tables sharing one arena report the same value (residency is
+  /// attributed to the owning arena, counted once), and 0 means heap.
+  std::size_t resident_pages = 0;
+  /// Of the owning arena's reserved bytes, bytes on explicit-hugepage
+  /// (MAP_HUGETLB) chunks.  Arena-level, like resident_pages.
+  std::size_t hugepage_bytes = 0;
 };
 
 /// Abstract request→server mapper over a dynamic server pool.
